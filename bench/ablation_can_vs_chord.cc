@@ -1,0 +1,172 @@
+// Substrate comparison: Chord vs CAN vs Tapestry as the DHT under the
+// paper's architecture (§1 surveys all three; the paper builds on
+// Chord, Harren et al. built on CAN, Tapestry is its citation [16]).
+//
+// All overlays resolve the same stream of LSH identifiers. Reported
+// per overlay size: mean/99th-percentile routing hops, per-node
+// routing-state size, and the load imbalance of identifier ownership
+// (max/mean of identifiers owned per node). Chord routes in O(log N)
+// hops with O(log N) state; CAN in O(d*N^(1/d)) hops with O(d) state;
+// Tapestry in O(log16 N) hops with O(log N * base) prefix tables — the
+// classical tradeoffs, measured on identical workloads.
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <unordered_map>
+
+#include "bench/bench_util.h"
+#include "can/network.h"
+#include "chord/ring.h"
+#include "hash/lsh.h"
+#include "tapestry/tapestry.h"
+
+namespace p2prange {
+namespace bench {
+namespace {
+
+std::vector<uint32_t> IdentifierStream(size_t count, uint64_t seed) {
+  auto scheme = LshScheme::Make(LshParams::Paper(HashFamilyType::kApproxMinwise,
+                                                 seed));
+  CHECK(scheme.ok());
+  UniformRangeGenerator gen(kDomainLo, kDomainHi, seed ^ 0xF00D);
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  while (ids.size() < count) {
+    for (uint32_t id : scheme->Identifiers(gen.Next())) {
+      if (ids.size() < count) ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+struct OverlayRow {
+  double mean_hops, p99_hops;
+  double mean_state;  // routing-table entries per node
+  double load_max_over_mean;
+};
+
+OverlayRow MeasureChord(size_t n, const std::vector<uint32_t>& ids) {
+  auto ring = chord::ChordRing::Make(n, 5);
+  CHECK(ring.ok());
+  Summary hops;
+  std::unordered_map<uint32_t, size_t> owned;  // node id -> identifiers owned
+  for (uint32_t id : ids) {
+    auto origin = ring->RandomAliveAddress();
+    CHECK(origin.ok());
+    auto result = ring->Lookup(*origin, id);
+    CHECK(result.ok());
+    hops.AddCount(static_cast<uint64_t>(result->hops));
+    ++owned[result->owner.id];
+  }
+  // State: distinct finger entries + successor list.
+  Summary state;
+  for (const chord::NodeInfo& info : ring->AliveNodesSorted()) {
+    const chord::ChordNode* node = ring->node(info.addr);
+    std::set<uint32_t> distinct;
+    for (int i = 0; i < chord::FingerTable::size(); ++i) {
+      if (node->fingers().entry(i)) distinct.insert(node->fingers().entry(i)->id);
+    }
+    for (const auto& s : node->successors()) distinct.insert(s.id);
+    state.AddCount(distinct.size());
+  }
+  Summary load;
+  for (const auto& [id, count] : owned) load.AddCount(count);
+  const double mean_per_owner =
+      static_cast<double>(ids.size()) / static_cast<double>(n);
+  return OverlayRow{hops.Mean(), hops.Percentile(99), state.Mean(),
+                    load.Max() / mean_per_owner};
+}
+
+OverlayRow MeasureCan(size_t n, const std::vector<uint32_t>& ids, int dims) {
+  can::CanConfig cfg;
+  cfg.dims = dims;
+  auto net = can::CanNetwork::Make(n, 5, cfg);
+  CHECK(net.ok());
+  Summary hops;
+  std::unordered_map<uint64_t, size_t> owned;
+  for (uint32_t id : ids) {
+    auto origin = net->RandomAliveAddress();
+    CHECK(origin.ok());
+    auto result = net->Lookup(*origin, id);
+    CHECK(result.ok()) << result.status();
+    hops.AddCount(static_cast<uint64_t>(result->hops));
+    ++owned[(static_cast<uint64_t>(result->owner.host) << 16) |
+            result->owner.port];
+  }
+  Summary state;
+  for (size_t c : net->NeighborCounts()) state.AddCount(c);
+  Summary load;
+  for (const auto& [addr, count] : owned) load.AddCount(count);
+  const double mean_per_owner =
+      static_cast<double>(ids.size()) / static_cast<double>(n);
+  return OverlayRow{hops.Mean(), hops.Percentile(99), state.Mean(),
+                    load.Max() / mean_per_owner};
+}
+
+OverlayRow MeasureTapestry(size_t n, const std::vector<uint32_t>& ids) {
+  auto mesh = tapestry::TapestryMesh::Make(n, 5);
+  CHECK(mesh.ok());
+  Summary hops;
+  std::unordered_map<uint32_t, size_t> owned;
+  for (uint32_t id : ids) {
+    auto origin = mesh->RandomAliveAddress();
+    CHECK(origin.ok());
+    auto result = mesh->Lookup(*origin, id);
+    CHECK(result.ok()) << result.status();
+    hops.AddCount(static_cast<uint64_t>(result->hops));
+    ++owned[result->owner.id];
+  }
+  Summary state;
+  for (size_t s : mesh->StateSizes()) state.AddCount(s);
+  Summary load;
+  for (const auto& [id, count] : owned) load.AddCount(count);
+  const double mean_per_owner =
+      static_cast<double>(ids.size()) / static_cast<double>(n);
+  return OverlayRow{hops.Mean(), hops.Percentile(99), state.Mean(),
+                    load.Max() / mean_per_owner};
+}
+
+void Run(size_t lookups) {
+  const std::vector<uint32_t> ids = IdentifierStream(lookups, 3);
+  TablePrinter table({"peers", "overlay", "mean hops", "99th pct",
+                      "state/node", "load max/mean"});
+  for (size_t n : {64u, 256u, 1024u}) {
+    const OverlayRow chord_row = MeasureChord(n, ids);
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)), "Chord",
+                  TablePrinter::Fmt(chord_row.mean_hops, 2),
+                  TablePrinter::Fmt(chord_row.p99_hops, 0),
+                  TablePrinter::Fmt(chord_row.mean_state, 1),
+                  TablePrinter::Fmt(chord_row.load_max_over_mean, 1)});
+    for (int dims : {2, 4}) {
+      const OverlayRow can_row = MeasureCan(n, ids, dims);
+      table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)),
+                    "CAN d=" + std::to_string(dims),
+                    TablePrinter::Fmt(can_row.mean_hops, 2),
+                    TablePrinter::Fmt(can_row.p99_hops, 0),
+                    TablePrinter::Fmt(can_row.mean_state, 1),
+                    TablePrinter::Fmt(can_row.load_max_over_mean, 1)});
+    }
+    const OverlayRow tap_row = MeasureTapestry(n, ids);
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)), "Tapestry",
+                  TablePrinter::Fmt(tap_row.mean_hops, 2),
+                  TablePrinter::Fmt(tap_row.p99_hops, 0),
+                  TablePrinter::Fmt(tap_row.mean_state, 1),
+                  TablePrinter::Fmt(tap_row.load_max_over_mean, 1)});
+  }
+  table.Print(std::cout, "Substrate comparison: Chord vs CAN vs Tapestry on the paper's "
+                         "identifier workload (" +
+                             std::to_string(lookups) + " lookups)");
+  std::cout << "(expected: Chord ~0.5*log2 N hops with O(log N) state; CAN\n"
+               " ~(d/4)*N^(1/d) hops with O(d) state; Tapestry ~log16 N hops\n"
+               " with compact prefix tables)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2prange
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+  p2prange::bench::Run(n);
+  return 0;
+}

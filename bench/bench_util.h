@@ -1,0 +1,62 @@
+// Shared helpers for the figure-regeneration benches.
+#ifndef P2PRANGE_BENCH_BENCH_UTIL_H_
+#define P2PRANGE_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "rel/generator.h"
+#include "stats/summary.h"
+#include "stats/table_printer.h"
+#include "workload/range_workload.h"
+
+namespace p2prange {
+namespace bench {
+
+/// The paper's evaluation workload (§5.1): uniform integer ranges over
+/// [0, 1000].
+inline constexpr uint32_t kDomainLo = 0;
+inline constexpr uint32_t kDomainHi = 1000;
+
+/// Result of replaying the §5 protocol for one configuration.
+struct WorkloadResult {
+  std::vector<double> jaccards;  ///< matched similarity per measured query (0 = none)
+  std::vector<double> recalls;   ///< recall per measured query (0 = none)
+  double frac_matched = 0;       ///< fraction of measured queries with any match
+  SystemMetrics metrics;
+};
+
+/// Replays `n` uniform range queries through a fresh system, excluding
+/// the first `warmup_fraction` from measurement (they still populate
+/// the caches), exactly as in §5.1.
+inline WorkloadResult RunPaperWorkload(const SystemConfig& config, size_t n,
+                                       uint64_t workload_seed,
+                                       double warmup_fraction = 0.2) {
+  auto sys = RangeCacheSystem::Make(
+      config, MakeNumbersCatalog(/*n=*/10, kDomainLo, kDomainHi, /*seed=*/1));
+  CHECK(sys.ok()) << sys.status();
+  UniformRangeGenerator gen(kDomainLo, kDomainHi, workload_seed);
+  const size_t warmup = static_cast<size_t>(warmup_fraction * static_cast<double>(n));
+  WorkloadResult result;
+  size_t matched = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Range q = gen.Next();
+    auto outcome = sys->LookupRange(PartitionKey{"Numbers", "key", q});
+    CHECK(outcome.ok()) << outcome.status();
+    if (i < warmup) continue;
+    result.jaccards.push_back(outcome->match ? outcome->match->jaccard : 0.0);
+    result.recalls.push_back(outcome->match ? outcome->match->recall : 0.0);
+    if (outcome->match) ++matched;
+  }
+  result.frac_matched =
+      static_cast<double>(matched) / static_cast<double>(result.jaccards.size());
+  result.metrics = sys->metrics();
+  return result;
+}
+
+}  // namespace bench
+}  // namespace p2prange
+
+#endif  // P2PRANGE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Regenerates Figure 10: recall with the selection range expanded 20%
+// on each edge before hashing ("query padding"), versus no padding —
+// both with containment matching and approximate min-wise hashing.
+//
+// Padding finds broader cached partitions that fully contain the
+// original query (the paper reports ~70% of queries answered
+// completely, roughly doubling the unpadded containment figure), at
+// the cost of lower recall for the queries where the padded range
+// matches worse than the original would have.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+namespace p2prange {
+namespace bench {
+namespace {
+
+std::vector<std::pair<double, double>> Series(double padding, size_t n,
+                                              double* complete) {
+  SystemConfig cfg;
+  cfg.num_peers = 1000;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, /*seed=*/42);
+  cfg.criterion = MatchCriterion::kContainment;
+  cfg.padding = padding;
+  cfg.seed = 42;
+  const WorkloadResult result = RunPaperWorkload(cfg, n, /*workload_seed=*/4242);
+  const auto series = FractionAtLeast(result.recalls, /*points=*/20);
+  *complete = series.front().second;
+  return series;
+}
+
+void Run(size_t n) {
+  double complete_plain = 0, complete_padded = 0;
+  const auto plain = Series(0.0, n, &complete_plain);
+  const auto padded = Series(0.2, n, &complete_padded);
+
+  TablePrinter table(
+      {"part of query answered >=", "% 20% padding", "% no padding"});
+  for (size_t i = 0; i < plain.size(); ++i) {
+    table.AddRow({TablePrinter::Fmt(plain[i].first, 2),
+                  TablePrinter::Fmt(padded[i].second, 1),
+                  TablePrinter::Fmt(plain[i].second, 1)});
+  }
+  table.Print(std::cout,
+              "Figure 10: recall with 20% query padding (containment "
+              "matching, " +
+                  std::to_string(n) + " queries)");
+  std::cout << "completely answered:  padded "
+            << TablePrinter::Fmt(complete_padded, 1) << "%   unpadded "
+            << TablePrinter::Fmt(complete_plain, 1)
+            << "%  (paper: ~70% vs ~60%... vs ~35% under jaccard)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2prange
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  p2prange::bench::Run(n);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Regenerates Figure 8: recall ("part of query answered") for the
+// three hash-function families, as a reverse CDF — for thresholds x
+// from 1 down to 0, the percentage of measured queries whose best
+// match covers at least x of the query.
+//
+// Same workload as Figures 6-7 (10,000 uniform ranges over [0,1000],
+// 20% warmup, Jaccard best-match inside buckets).
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+namespace p2prange {
+namespace bench {
+namespace {
+
+std::vector<std::pair<double, double>> RecallSeries(HashFamilyType family,
+                                                    size_t n,
+                                                    uint64_t linear_prime) {
+  SystemConfig cfg;
+  cfg.num_peers = 1000;
+  cfg.lsh = LshParams::Paper(family, /*seed=*/42);
+  cfg.lsh.linear_prime = linear_prime;
+  cfg.criterion = MatchCriterion::kJaccard;
+  cfg.seed = 42;
+  const WorkloadResult result = RunPaperWorkload(cfg, n, /*workload_seed=*/4242);
+  return FractionAtLeast(result.recalls, /*points=*/20);
+}
+
+void Run(size_t n) {
+  const auto minwise = RecallSeries(HashFamilyType::kMinwise, n,
+                                    LinearHashFunction::kPrime);
+  const auto approx = RecallSeries(HashFamilyType::kApproxMinwise, n,
+                                   LinearHashFunction::kPrime);
+  const auto linear = RecallSeries(HashFamilyType::kLinear, n,
+                                   NextPrimeAtLeast(kDomainHi + 1));
+
+  TablePrinter table({"part of query answered >=", "% min-wise", "% approx",
+                      "% linear"});
+  for (size_t i = 0; i < minwise.size(); ++i) {
+    table.AddRow({TablePrinter::Fmt(minwise[i].first, 2),
+                  TablePrinter::Fmt(minwise[i].second, 1),
+                  TablePrinter::Fmt(approx[i].second, 1),
+                  TablePrinter::Fmt(linear[i].second, 1)});
+  }
+  table.Print(std::cout, "Figure 8: recall for the hash function families (" +
+                             std::to_string(n) + " queries)");
+  std::cout << "completely answered:  min-wise "
+            << TablePrinter::Fmt(minwise.front().second, 1) << "%   approx "
+            << TablePrinter::Fmt(approx.front().second, 1) << "%   linear "
+            << TablePrinter::Fmt(linear.front().second, 1) << "%\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2prange
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  p2prange::bench::Run(n);
+  return 0;
+}

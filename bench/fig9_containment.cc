@@ -1,0 +1,61 @@
+// Regenerates Figure 9: recall when the in-bucket best match is chosen
+// by *containment* similarity (|Q∩R| / |Q|) versus by Jaccard, both
+// under approximate min-wise hashing.
+//
+// Containment cannot drive the hashing itself (no LSH family exists
+// for it, §3.2), but once a bucket has been located it is the better
+// selection criterion — the paper reports complete answers improving
+// from ~35% to ~60% of queries.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+namespace p2prange {
+namespace bench {
+namespace {
+
+std::vector<std::pair<double, double>> Series(MatchCriterion criterion, size_t n,
+                                              double* complete) {
+  SystemConfig cfg;
+  cfg.num_peers = 1000;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, /*seed=*/42);
+  cfg.criterion = criterion;
+  cfg.seed = 42;
+  const WorkloadResult result = RunPaperWorkload(cfg, n, /*workload_seed=*/4242);
+  const auto series = FractionAtLeast(result.recalls, /*points=*/20);
+  *complete = series.front().second;
+  return series;
+}
+
+void Run(size_t n) {
+  double complete_jaccard = 0, complete_containment = 0;
+  const auto jaccard = Series(MatchCriterion::kJaccard, n, &complete_jaccard);
+  const auto containment =
+      Series(MatchCriterion::kContainment, n, &complete_containment);
+
+  TablePrinter table(
+      {"part of query answered >=", "% containment match", "% jaccard match"});
+  for (size_t i = 0; i < jaccard.size(); ++i) {
+    table.AddRow({TablePrinter::Fmt(jaccard[i].first, 2),
+                  TablePrinter::Fmt(containment[i].second, 1),
+                  TablePrinter::Fmt(jaccard[i].second, 1)});
+  }
+  table.Print(std::cout,
+              "Figure 9: recall with containment vs Jaccard matching (approx "
+              "min-wise hashing, " +
+                  std::to_string(n) + " queries)");
+  std::cout << "completely answered:  containment "
+            << TablePrinter::Fmt(complete_containment, 1) << "%   jaccard "
+            << TablePrinter::Fmt(complete_jaccard, 1)
+            << "%  (paper: ~60% vs ~35%)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2prange
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  p2prange::bench::Run(n);
+  return 0;
+}

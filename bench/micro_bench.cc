@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks for the performance-critical
+// primitives: permutation evaluation, range hashing, LSH identifier
+// computation, SHA-1, Chord lookups, and bucket matching.
+#include <benchmark/benchmark.h>
+
+#include "chord/ring.h"
+#include "common/random.h"
+#include "hash/bit_permutation.h"
+#include "hash/lsh.h"
+#include "hash/minwise.h"
+#include "hash/sha1.h"
+#include "store/bucket_store.h"
+
+namespace p2prange {
+namespace {
+
+void BM_BitPermutationApply(benchmark::State& state) {
+  Rng rng(1);
+  const BitShuffleKeys keys = BitShuffleKeys::Sample(32, rng);
+  const BitPermutation perm(keys, keys.num_levels());
+  uint32_t x = 12345;
+  for (auto _ : state) {
+    x = perm.Apply(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_BitPermutationApply);
+
+void BM_BitPermutationApplyNaive(benchmark::State& state) {
+  Rng rng(1);
+  const BitShuffleKeys keys = BitShuffleKeys::Sample(32, rng);
+  const BitPermutation perm(keys, static_cast<int>(state.range(0)));
+  uint32_t x = 12345;
+  for (auto _ : state) {
+    x = perm.ApplyNaive(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_BitPermutationApplyNaive)->Arg(1)->Arg(5);
+
+void BM_BitPermutationCompile(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    const BitShuffleKeys keys = BitShuffleKeys::Sample(32, rng);
+    BitPermutation perm(keys, keys.num_levels());
+    benchmark::DoNotOptimize(perm);
+  }
+}
+BENCHMARK(BM_BitPermutationCompile);
+
+void BM_LinearPermute(benchmark::State& state) {
+  Rng rng(2);
+  const LinearHashFunction fn(rng);
+  uint32_t x = 999;
+  for (auto _ : state) {
+    x = fn.Permute(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_LinearPermute);
+
+template <HashFamilyType kFamily>
+void BM_HashRange(benchmark::State& state) {
+  Rng rng(3);
+  auto fn = MakeHashFunction(kFamily, rng);
+  const Range q(1000, 1000 + static_cast<uint32_t>(state.range(0)) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn->HashRange(q));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashRange<HashFamilyType::kMinwise>)->Arg(334)->Arg(1500);
+BENCHMARK(BM_HashRange<HashFamilyType::kApproxMinwise>)->Arg(334)->Arg(1500);
+BENCHMARK(BM_HashRange<HashFamilyType::kLinear>)->Arg(334)->Arg(1500);
+
+void BM_LshIdentifiers(benchmark::State& state) {
+  auto scheme = LshScheme::Make(LshParams::Paper(HashFamilyType::kApproxMinwise, 7));
+  CHECK(scheme.ok());
+  const Range q(100, 433);  // the workload's mean-sized range
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->Identifiers(q));
+  }
+}
+BENCHMARK(BM_LshIdentifiers);
+
+void BM_Sha1(benchmark::State& state) {
+  const std::string input(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(input));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(21)->Arg(1024)->Arg(65536);
+
+void BM_ChordLookup(benchmark::State& state) {
+  auto ring = chord::ChordRing::Make(static_cast<size_t>(state.range(0)), 11);
+  CHECK(ring.ok());
+  Rng rng(13);
+  auto origin = ring->RandomAliveAddress();
+  CHECK(origin.ok());
+  for (auto _ : state) {
+    auto result = ring->Lookup(*origin, rng.Next32());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_BucketBestMatch(benchmark::State& state) {
+  BucketStore store;
+  Rng rng(17);
+  const int entries = static_cast<int>(state.range(0));
+  for (int i = 0; i < entries; ++i) {
+    const uint32_t lo = static_cast<uint32_t>(rng.NextBounded(900));
+    store.Insert(42, PartitionDescriptor{
+                         PartitionKey{"Numbers", "key",
+                                      Range(lo, lo + static_cast<uint32_t>(
+                                                        rng.NextBounded(100)))},
+                         NetAddress{1, 1}});
+  }
+  const PartitionKey query{"Numbers", "key", Range(300, 500)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.BestMatch(42, query, MatchCriterion::kJaccard));
+  }
+}
+BENCHMARK(BM_BucketBestMatch)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PeerIndexBestMatch(benchmark::State& state) {
+  // The §5.3 peer-wide matcher over the interval index: cost stays
+  // near-flat in store size for selective queries.
+  BucketStore store;
+  Rng rng(19);
+  const int entries = static_cast<int>(state.range(0));
+  for (int i = 0; i < entries; ++i) {
+    const uint32_t lo = static_cast<uint32_t>(rng.NextBounded(100000));
+    store.Insert(static_cast<chord::ChordId>(rng.NextBounded(1000)),
+                 PartitionDescriptor{
+                     PartitionKey{"Numbers", "key",
+                                  Range(lo, lo + static_cast<uint32_t>(
+                                                     rng.NextBounded(200)))},
+                     NetAddress{1, 1}});
+  }
+  const PartitionKey query{"Numbers", "key", Range(50000, 50400)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.BestMatchAnywhere(query, MatchCriterion::kContainment));
+  }
+}
+BENCHMARK(BM_PeerIndexBestMatch)->Arg(100)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace p2prange
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// The paper's §2 scenario: a medical global schema shared by peers,
+// and the motivating query — prescriptions given to Glaucoma patients
+// aged 30-50 between Jan 2000 and Dec 2002 — executed through the P2P
+// system. Demonstrates selection pushdown, per-leaf cache resolution
+// (range leaves via LSH, the diagnosis equality leaf via exact-match
+// hashing), local joins, and the cold/warm cost difference.
+//
+//   $ ./build/examples/medical_records
+#include <iostream>
+
+#include "core/system.h"
+#include "rel/generator.h"
+
+using namespace p2prange;
+
+namespace {
+
+void Report(const char* label, const QueryOutcome& outcome,
+            const SystemMetrics& metrics) {
+  std::cout << label << ": " << outcome.result.num_rows() << " rows, "
+            << outcome.total_hops << " overlay hops\n";
+  for (const LeafOutcome& leaf : outcome.leaves) {
+    std::cout << "    leaf " << leaf.table << ": "
+              << (leaf.used_cache    ? "cache"
+                  : leaf.from_source ? "source"
+                                     : "local")
+              << " (recall " << leaf.recall << ")\n";
+  }
+  std::cout << "    cumulative: source_fetches=" << metrics.source_fetches
+            << " cache_fetches=" << metrics.cache_fetches << "\n";
+}
+
+}  // namespace
+
+int main() {
+  // The §2 global schema with synthetic but referentially consistent
+  // contents: 1000 patients, 50 physicians, 2000 prescriptions, 2000
+  // diagnoses.
+  Catalog catalog = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  if (Status s = PopulateMedicalData(spec, &catalog); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  SystemConfig config;
+  config.num_peers = 128;
+  config.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, /*seed=*/2);
+  config.criterion = MatchCriterion::kContainment;
+  config.seed = 2;
+  auto system = RangeCacheSystem::Make(config, std::move(catalog));
+  if (!system.ok()) {
+    std::cerr << system.status() << "\n";
+    return 1;
+  }
+
+  // The paper's query, §2 (age bounds exclusive, dates inclusive).
+  const std::string sql =
+      "Select Prescription.prescription "
+      "from Patient, Diagnosis, Prescription "
+      "where 30 < age and age < 50 "
+      "and diagnosis = 'Glaucoma' "
+      "and Patient.patient_id = Diagnosis.patient_id "
+      "and '2000-01-01' <= date and date <= '2002-12-31' "
+      "and Diagnosis.prescription_id = Prescription.prescription_id";
+  std::cout << "query:\n  " << sql << "\n\n";
+
+  auto cold = system->ExecuteQuery(sql);
+  if (!cold.ok()) {
+    std::cerr << cold.status() << "\n";
+    return 1;
+  }
+  Report("cold run (empty caches)", *cold, system->metrics());
+
+  // The same query again: every leaf partition is now cached somewhere
+  // in the overlay, so the source is never contacted.
+  auto warm = system->ExecuteQuery(sql);
+  Report("\nwarm run (same query)", *warm, system->metrics());
+
+  // A *similar* query (ages 31-49 instead of 31-49... the paper's
+  // point: the cached partitions can serve nearby selections too).
+  auto nearby = system->ExecuteQuery(
+      "Select Prescription.prescription "
+      "from Patient, Diagnosis, Prescription "
+      "where 31 < age and age < 49 "
+      "and diagnosis = 'Glaucoma' "
+      "and Patient.patient_id = Diagnosis.patient_id "
+      "and '2000-02-01' <= date and date <= '2002-11-30' "
+      "and Diagnosis.prescription_id = Prescription.prescription_id");
+  Report("\nnearby query (narrower ranges)", *nearby, system->metrics());
+
+  std::cout << "\nsample of the answer:\n"
+            << warm->result.ToString(/*max_rows=*/5);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Multi-attribute range selections — the paper's §6 future-work
+// extension, implemented. Queries constrain both `age` and
+// `patient_id`; the system probes the cache of each attribute and
+// serves the leaf from whichever cached partition fully covers its
+// selection, applying the other predicate locally.
+//
+//   $ ./build/examples/multi_attribute
+#include <iostream>
+
+#include "core/system.h"
+#include "rel/generator.h"
+
+using namespace p2prange;
+
+namespace {
+
+void Show(const char* label, const QueryOutcome& outcome) {
+  const LeafOutcome& leaf = outcome.leaves[0];
+  std::cout << label << ": " << outcome.result.num_rows() << " rows, served by "
+            << (leaf.used_cache ? "cache" : "source");
+  if (leaf.used_cache && leaf.lookup && leaf.lookup->match) {
+    std::cout << " via attribute '" << leaf.lookup->match->matched.attribute
+              << "' partition " << leaf.lookup->match->matched.range.ToString();
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 2000;
+  if (Status s = PopulateMedicalData(spec, &catalog); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  SystemConfig config;
+  config.num_peers = 64;
+  config.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, /*seed=*/9);
+  config.criterion = MatchCriterion::kContainment;
+  config.multi_attribute = true;  // lift the one-range-attribute rule
+  config.seed = 9;
+  auto system = RangeCacheSystem::Make(config, std::move(catalog));
+  if (!system.ok()) {
+    std::cerr << system.status() << "\n";
+    return 1;
+  }
+
+  // Cold: both attribute caches are empty; the source answers, and the
+  // age partition (the primary attribute) is materialized + published.
+  auto q1 = system->ExecuteQuery(
+      "SELECT * FROM Patient WHERE age BETWEEN 30 AND 50 "
+      "AND patient_id BETWEEN 100 AND 900");
+  if (!q1.ok()) {
+    std::cerr << q1.status() << "\n";
+    return 1;
+  }
+  Show("cold two-attribute query", *q1);
+
+  // Same constraints: the age cache now serves the leaf.
+  auto q2 = system->ExecuteQuery(
+      "SELECT * FROM Patient WHERE age BETWEEN 30 AND 50 "
+      "AND patient_id BETWEEN 100 AND 900");
+  Show("repeat two-attribute query", *q2);
+
+  // Different age band but the SAME patient_id band, after warming the
+  // patient_id cache with a single-attribute query: the system serves
+  // the leaf from the patient_id partition (a secondary attribute) and
+  // filters the new age band locally.
+  (void)system->ExecuteQuery(
+      "SELECT * FROM Patient WHERE patient_id BETWEEN 100 AND 900");
+  auto q3 = system->ExecuteQuery(
+      "SELECT * FROM Patient WHERE age BETWEEN 60 AND 75 "
+      "AND patient_id BETWEEN 100 AND 900");
+  Show("new age band, cached id band", *q3);
+
+  std::cout << "\nmetrics: " << system->metrics().ToString() << "\n";
+  return 0;
+}

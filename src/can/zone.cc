@@ -1,0 +1,163 @@
+#include "can/zone.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace p2prange {
+namespace can {
+
+namespace {
+constexpr uint64_t kAxisSpan = 1ULL << 32;
+}  // namespace
+
+Zone Zone::Root(int dims) {
+  CHECK_GE(dims, 1);
+  CHECK_LE(dims, kMaxDims);
+  Zone z;
+  z.dims_ = dims;
+  for (int d = 0; d < dims; ++d) {
+    z.lo_[d] = 0;
+    z.width_[d] = kAxisSpan;
+  }
+  return z;
+}
+
+bool Zone::Contains(const Point& p) const {
+  for (int d = 0; d < dims_; ++d) {
+    // Circular containment: offset of the coordinate from lo, mod 2^32.
+    const uint32_t offset = p.coords[d] - lo_[d];
+    if (offset >= width_[d]) return false;
+  }
+  return true;
+}
+
+std::pair<Zone, Zone> Zone::Split(int dim) const {
+  DCHECK_GE(dim, 0);
+  DCHECK_LT(dim, dims_);
+  DCHECK_GE(width_[dim], 2u) << "zone too thin to split";
+  Zone lower = *this;
+  Zone upper = *this;
+  const uint64_t half = width_[dim] / 2;
+  lower.width_[dim] = half;
+  upper.lo_[dim] = static_cast<uint32_t>(lo_[dim] + half);
+  upper.width_[dim] = width_[dim] - half;
+  return {lower, upper};
+}
+
+int Zone::WidestDim() const {
+  int best = 0;
+  for (int d = 1; d < dims_; ++d) {
+    if (width_[d] > width_[best]) best = d;
+  }
+  return best;
+}
+
+double Zone::Volume() const {
+  double v = 1.0;
+  for (int d = 0; d < dims_; ++d) {
+    v *= static_cast<double>(width_[d]) / static_cast<double>(kAxisSpan);
+  }
+  return v;
+}
+
+bool Zone::IsNeighbor(const Zone& other) const {
+  DCHECK_EQ(dims_, other.dims_);
+  // Zones produced by recursive splitting never wrap: treat intervals
+  // as [lo, lo+width] within [0, 2^32], with torus adjacency between
+  // the two ends of each axis.
+  int abutting = 0;
+  for (int d = 0; d < dims_; ++d) {
+    const uint64_t a_lo = lo_[d], a_hi = lo_[d] + width_[d];
+    const uint64_t b_lo = other.lo_[d], b_hi = other.lo_[d] + other.width_[d];
+    const bool overlaps = std::min(a_hi, b_hi) > std::max(a_lo, b_lo);
+    const bool abuts = a_hi == b_lo || b_hi == a_lo ||
+                       (a_hi == kAxisSpan && b_lo == 0) ||
+                       (b_hi == kAxisSpan && a_lo == 0);
+    if (overlaps) continue;
+    if (abuts) {
+      ++abutting;
+      continue;
+    }
+    return false;  // separated along this dimension
+  }
+  return abutting == 1;
+}
+
+bool Zone::CanMergeWith(const Zone& other, int* merge_dim) const {
+  DCHECK_EQ(dims_, other.dims_);
+  int candidate = -1;
+  for (int d = 0; d < dims_; ++d) {
+    if (lo_[d] == other.lo_[d] && width_[d] == other.width_[d]) continue;
+    // Exactly adjacent along d, without crossing the wrap boundary (a
+    // merged zone must remain a non-wrapping box).
+    const uint64_t a_hi = static_cast<uint64_t>(lo_[d]) + width_[d];
+    const uint64_t b_hi = static_cast<uint64_t>(other.lo_[d]) + other.width_[d];
+    const bool adjacent = a_hi == other.lo_[d] || b_hi == lo_[d];
+    if (!adjacent || candidate != -1) return false;
+    candidate = d;
+  }
+  if (candidate == -1) return false;  // identical zones
+  if (merge_dim != nullptr) *merge_dim = candidate;
+  return true;
+}
+
+Zone Zone::MergeWith(const Zone& other) const {
+  int dim = -1;
+  CHECK(CanMergeWith(other, &dim));
+  Zone merged = *this;
+  if (static_cast<uint64_t>(other.lo_[dim]) + other.width_[dim] == lo_[dim]) {
+    merged.lo_[dim] = other.lo_[dim];
+  }
+  merged.width_[dim] = width_[dim] + other.width_[dim];
+  return merged;
+}
+
+uint32_t Zone::AxisDistance(uint32_t lo, uint64_t width, uint32_t c) {
+  const uint32_t offset = c - lo;
+  if (offset < width) return 0;  // inside
+  // Distance to the nearer end, around the circle.
+  const uint32_t to_lo = lo - c;                                  // going up to lo
+  const uint32_t past_hi = offset - static_cast<uint32_t>(width);  // beyond hi
+  return std::min(to_lo, past_hi);
+}
+
+double Zone::DistanceTo(const Point& p) const {
+  double sum = 0;
+  for (int d = 0; d < dims_; ++d) {
+    const double axis = static_cast<double>(AxisDistance(lo_[d], width_[d],
+                                                         p.coords[d])) /
+                        static_cast<double>(kAxisSpan);
+    sum += axis * axis;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Zone::ToString() const {
+  std::string out = "{";
+  for (int d = 0; d < dims_; ++d) {
+    if (d > 0) out += " x ";
+    const double lo = static_cast<double>(lo_[d]) / static_cast<double>(kAxisSpan);
+    const double w = static_cast<double>(width_[d]) / static_cast<double>(kAxisSpan);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[%.4f,%.4f)", lo, lo + w);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+Point IdentifierToPoint(uint32_t identifier, int dims) {
+  CHECK_GE(dims, 1);
+  CHECK_LE(dims, kMaxDims);
+  Point p;
+  uint64_t state = 0x51a7b2c9u ^ identifier;
+  for (int d = 0; d < dims; ++d) {
+    p.coords[d] = static_cast<uint32_t>(SplitMix64(state) >> 32);
+  }
+  return p;
+}
+
+}  // namespace can
+}  // namespace p2prange

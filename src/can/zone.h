@@ -1,0 +1,104 @@
+// Zones of the CAN (Content-Addressable Network) coordinate space.
+//
+// CAN [Ratnasamy et al., SIGCOMM'01] is the other DHT the paper
+// discusses as a substrate (and the one Harren et al. used for DHT
+// joins). The coordinate space is a d-dimensional unit torus; each
+// node owns a hyper-rectangular zone, keys hash to points, and the
+// node whose zone contains a key's point owns the key.
+//
+// Coordinates are fixed-point: each dimension is a [lo, hi) interval
+// of 32-bit fractions, so splits at powers of two are exact and zone
+// arithmetic has no floating-point edge cases.
+#ifndef P2PRANGE_CAN_ZONE_H_
+#define P2PRANGE_CAN_ZONE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace p2prange {
+namespace can {
+
+/// Maximum supported dimensionality.
+inline constexpr int kMaxDims = 8;
+
+/// \brief A point in the d-dimensional unit torus; each coordinate is
+/// a 32-bit fixed-point fraction in [0, 1).
+struct Point {
+  std::array<uint32_t, kMaxDims> coords{};
+
+  bool operator==(const Point&) const = default;
+};
+
+/// \brief An axis-aligned box [lo_i, hi_i) per dimension. hi == 0 with
+/// lo != 0 is not used; the whole-axis interval is [0, 2^32) which we
+/// encode as lo == 0, hi == 0 (wrap) only at the root: to keep the
+/// arithmetic simple we represent interval width by uint64 and the
+/// root axis as lo = 0, width = 2^32.
+class Zone {
+ public:
+  Zone() = default;
+
+  /// The whole space in `dims` dimensions.
+  static Zone Root(int dims);
+
+  int dims() const { return dims_; }
+  uint32_t lo(int d) const { return lo_[d]; }
+  /// Width of the zone along dimension d (up to 2^32 for the root).
+  uint64_t width(int d) const { return width_[d]; }
+
+  bool Contains(const Point& p) const;
+
+  /// Splits this zone in half along `dim` (width must be >= 2).
+  /// Returns {lower half, upper half}.
+  std::pair<Zone, Zone> Split(int dim) const;
+
+  /// Index of the widest dimension (ties broken by lowest index) —
+  /// CAN's canonical split choice keeps zones near-square.
+  int WidestDim() const;
+
+  /// Fraction of the whole space this zone covers, in (0, 1].
+  double Volume() const;
+
+  /// True if the two zones share a (d-1)-dimensional face: abutting
+  /// (modulo wraparound) in exactly one dimension and overlapping in
+  /// all others.
+  bool IsNeighbor(const Zone& other) const;
+
+  /// True if merging with `other` along some dimension yields a box
+  /// (same extent in all other dimensions and adjacent in one);
+  /// `*merge_dim` receives the dimension.
+  bool CanMergeWith(const Zone& other, int* merge_dim) const;
+
+  /// The merged box (requires CanMergeWith).
+  Zone MergeWith(const Zone& other) const;
+
+  /// Torus distance from the zone to a point: 0 if contained, else the
+  /// Euclidean distance (in unit-cube units) from the closest boundary
+  /// point, accounting for wraparound. Used by greedy routing.
+  double DistanceTo(const Point& p) const;
+
+  bool operator==(const Zone&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  /// Distance along one (circular) axis from interval [lo, lo+width)
+  /// to coordinate c; 0 when inside.
+  static uint32_t AxisDistance(uint32_t lo, uint64_t width, uint32_t c);
+
+  int dims_ = 0;
+  std::array<uint32_t, kMaxDims> lo_{};
+  std::array<uint64_t, kMaxDims> width_{};
+};
+
+/// \brief Maps a 32-bit DHT identifier to a point in d dimensions by
+/// expanding it with SplitMix64 — deterministic and uniform.
+Point IdentifierToPoint(uint32_t identifier, int dims);
+
+}  // namespace can
+}  // namespace p2prange
+
+#endif  // P2PRANGE_CAN_ZONE_H_

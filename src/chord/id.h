@@ -1,0 +1,51 @@
+// Circular identifier-space arithmetic for the 32-bit Chord ring.
+//
+// The paper (§4) uses a 32-bit identifier space organized as a ring;
+// both peer identifiers (SHA-1 of address) and data-partition
+// identifiers (LSH of the range set) live in this space.
+#ifndef P2PRANGE_CHORD_ID_H_
+#define P2PRANGE_CHORD_ID_H_
+
+#include <cstdint>
+
+namespace p2prange {
+namespace chord {
+
+using ChordId = uint32_t;
+
+/// Ring width in bits; the identifier space is [0, 2^32).
+inline constexpr int kIdBits = 32;
+
+/// Clockwise distance from a to b (how far forward b is from a).
+/// Unsigned wraparound gives the mod-2^32 ring metric for free.
+inline uint32_t ClockwiseDistance(ChordId a, ChordId b) { return b - a; }
+
+/// x ∈ (a, b] walking clockwise. When a == b the interval is the whole
+/// ring (Chord's convention for a single-node ring).
+inline bool InOpenClosed(ChordId a, ChordId b, ChordId x) {
+  if (a == b) return true;
+  return ClockwiseDistance(a, x) != 0 && ClockwiseDistance(a, x) <= ClockwiseDistance(a, b);
+}
+
+/// x ∈ (a, b) walking clockwise. When a == b the interval is the whole
+/// ring minus a itself.
+inline bool InOpenOpen(ChordId a, ChordId b, ChordId x) {
+  if (a == b) return x != a;
+  return ClockwiseDistance(a, x) != 0 && ClockwiseDistance(a, x) < ClockwiseDistance(a, b);
+}
+
+/// x ∈ [a, b) walking clockwise.
+inline bool InClosedOpen(ChordId a, ChordId b, ChordId x) {
+  if (a == b) return true;
+  return ClockwiseDistance(a, x) < ClockwiseDistance(a, b);
+}
+
+/// The start of finger i of node n: n + 2^i (mod 2^32), i in [0, 32).
+inline ChordId FingerStart(ChordId n, int i) {
+  return n + (static_cast<uint32_t>(1) << i);
+}
+
+}  // namespace chord
+}  // namespace p2prange
+
+#endif  // P2PRANGE_CHORD_ID_H_

@@ -1,0 +1,77 @@
+// Portable bit-manipulation helpers used by the permutation networks
+// and the Chord identifier arithmetic.
+#ifndef P2PRANGE_COMMON_BIT_UTILS_H_
+#define P2PRANGE_COMMON_BIT_UTILS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace p2prange {
+namespace bits {
+
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// \brief Parallel bit extract ("sheep from goats"): gathers the bits
+/// of `x` selected by `mask` into the low-order bits of the result,
+/// preserving their relative order.
+///
+/// Equivalent to the BMI2 PEXT instruction; implemented portably so
+/// that results are identical on every platform.
+inline uint64_t ExtractBits(uint64_t x, uint64_t mask) {
+  uint64_t result = 0;
+  int out = 0;
+  while (mask != 0) {
+    const uint64_t low = mask & (~mask + 1);  // lowest set bit
+    if (x & low) result |= (1ULL << out);
+    ++out;
+    mask &= mask - 1;  // clear lowest set bit
+  }
+  return result;
+}
+
+/// \brief Parallel bit deposit: scatters the low-order bits of `x`
+/// into the positions selected by `mask` (inverse of ExtractBits).
+inline uint64_t DepositBits(uint64_t x, uint64_t mask) {
+  uint64_t result = 0;
+  int in = 0;
+  while (mask != 0) {
+    const uint64_t low = mask & (~mask + 1);
+    if (x & (1ULL << in)) result |= low;
+    ++in;
+    mask &= mask - 1;
+  }
+  return result;
+}
+
+/// \brief Ceil(log2(x)) for x >= 1.
+inline int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// \brief True if x is a power of two (and nonzero).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// \brief A mask with the low `n` bits set; n in [0, 64].
+inline uint64_t LowMask(int n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/// \brief MurmurHash3's 32-bit finalizer: a fixed bijection of the
+/// 32-bit space with avalanche behavior. Used to spread LSH bucket
+/// signatures uniformly over the identifier ring — min-hash values are
+/// order statistics concentrated near 0 (E[min] ~ 2^32/|set|), so the
+/// raw XOR signature would pile every bucket onto the ring's first few
+/// peers. Being a bijection, it preserves signature equality exactly.
+inline uint32_t Mix32(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace bits
+}  // namespace p2prange
+
+#endif  // P2PRANGE_COMMON_BIT_UTILS_H_

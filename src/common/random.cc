@@ -1,0 +1,112 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  DCHECK_GT(bound, 0u);
+  // Lemire-style rejection to remove modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  DCHECK_LE(lo, hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // full 64-bit range
+  return lo + NextBounded(span);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Rng::NextBalancedMask(int width, int ones) {
+  DCHECK_GE(width, 0);
+  DCHECK_LE(width, 64);
+  DCHECK_GE(ones, 0);
+  DCHECK_LE(ones, width);
+  // Floyd's algorithm for sampling `ones` distinct positions in
+  // [0, width) would need a set; widths here are <= 64, so a simple
+  // partial Fisher-Yates over positions is cheap and exact.
+  uint64_t positions[64];
+  for (int i = 0; i < width; ++i) positions[i] = static_cast<uint64_t>(i);
+  uint64_t mask = 0;
+  for (int i = 0; i < ones; ++i) {
+    const uint64_t j = i + NextBounded(static_cast<uint64_t>(width - i));
+    std::swap(positions[i], positions[j]);
+    mask |= (1ULL << positions[i]);
+  }
+  return mask;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CHECK_GT(n, 0u);
+  CHECK_GT(theta, 0.0);
+  CHECK(theta != 1.0) << "theta == 1 is not supported by this sampler";
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+}
+
+double ZipfGenerator::H(double x) const {
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  for (;;) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+      return k - 1;  // zero-based rank
+    }
+  }
+}
+
+}  // namespace p2prange

@@ -1,0 +1,99 @@
+// Deterministic pseudo-random generation used throughout the library.
+//
+// Every stochastic component (hash-key sampling, workload generation,
+// ring population) takes an explicit 64-bit seed so that experiments
+// are exactly reproducible.
+#ifndef P2PRANGE_COMMON_RANDOM_H_
+#define P2PRANGE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace p2prange {
+
+/// \brief SplitMix64: stateless mixing of a 64-bit counter. Used to
+/// derive independent sub-seeds from a master seed.
+uint64_t SplitMix64(uint64_t& state);
+
+/// \brief xoshiro256** PRNG. Fast, high-quality, 256-bit state.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can
+/// be used with <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform in [0, bound). `bound` must be > 0. Unbiased (rejection).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform 32-bit value.
+  uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// A W-bit mask with exactly `ones` bits set, uniformly among all
+  /// such masks. Requires width <= 64 and ones <= width.
+  uint64_t NextBalancedMask(int width, int ones);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = NextBounded(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives a fresh, statistically independent generator.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed integers over [0, n): P(i) ∝ 1/(i+1)^theta.
+///
+/// Uses the rejection-inversion sampler of Hörmann & Derflinger, which
+/// is O(1) per sample and needs no per-rank table.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_COMMON_RANDOM_H_

@@ -1,0 +1,79 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+#ifndef P2PRANGE_COMMON_RESULT_H_
+#define P2PRANGE_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace p2prange {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Use with ASSIGN_OR_RETURN for ergonomic propagation:
+/// \code
+///   ASSIGN_OR_RETURN(auto node, ring.FindSuccessor(id));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. Aborts (in debug) if `status` is OK,
+  /// because an OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    DCHECK(!std::get<Status>(repr_).ok()) << "Result constructed from OK status";
+  }
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const& {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+  Status status() && {
+    if (ok()) return Status::OK();
+    return std::move(std::get<Status>(repr_));
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& ValueUnsafe() const& { return std::get<T>(repr_); }
+  T& ValueUnsafe() & { return std::get<T>(repr_); }
+  T ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// Returns the value, or aborts with the error message. For use in
+  /// tests, examples, and benches only.
+  T ValueOrDie() && {
+    CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+  const T& ValueOrDie() const& {
+    CHECK(ok()) << status().ToString();
+    return std::get<T>(repr_);
+  }
+
+  /// Returns the value, or `alternative` on error.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::move(std::get<T>(repr_));
+    return alternative;
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_COMMON_RESULT_H_

@@ -1,0 +1,129 @@
+// Status: error propagation without exceptions, in the style used by
+// Apache Arrow and RocksDB. Library code returns Status (or Result<T>,
+// see result.h) instead of throwing.
+#ifndef P2PRANGE_COMMON_STATUS_H_
+#define P2PRANGE_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace p2prange {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kInternal = 6,
+  kUnavailable = 7,
+  kIOError = 8,
+};
+
+/// \brief Returns a human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// An OK status carries no allocation; error states allocate a small
+/// state block. Statuses are cheap to move and to copy-when-OK.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief The singleton-equivalent OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace p2prange
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define RETURN_NOT_OK(expr)                       \
+  do {                                            \
+    ::p2prange::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define P2P_CONCAT_IMPL(a, b) a##b
+#define P2P_CONCAT(a, b) P2P_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  ASSIGN_OR_RETURN_IMPL(P2P_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto&& result_name = (rexpr);                        \
+  if (!result_name.ok()) return result_name.status();  \
+  lhs = std::move(result_name).ValueUnsafe();
+
+#endif  // P2PRANGE_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#include "core/column_stats.h"
+
+namespace p2prange {
+
+bool ColumnStats::ShouldProbe(const std::string& column_key) {
+  State& s = state_.try_emplace(column_key).first->second;
+  if (s.probes < config_.min_probes) return true;
+  if (s.ema_recall >= config_.skip_threshold) return true;
+  // Exploration: probe every explore_every-th query even when the
+  // estimate says the cache is useless, so recovery is possible.
+  if (++s.skips_since_probe >= config_.explore_every) {
+    s.skips_since_probe = 0;
+    return true;
+  }
+  return false;
+}
+
+void ColumnStats::Observe(const std::string& column_key, double recall) {
+  State& s = state_.try_emplace(column_key).first->second;
+  if (s.probes == 0) {
+    s.ema_recall = recall;
+  } else {
+    s.ema_recall = (1.0 - config_.alpha) * s.ema_recall + config_.alpha * recall;
+  }
+  ++s.probes;
+  s.skips_since_probe = 0;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,76 @@
+// Per-column cache statistics for planning — the paper's third §6
+// future-work item ("the problem of planning a query in a peer-to-peer
+// system based on available statistics of the system").
+//
+// The querying peer tracks, per (relation, attribute), an exponential
+// moving average of how useful the P2P lookup protocol has been: the
+// recall obtained from the best cached match. A leaf whose column has
+// a persistently useless cache (cold column, exotic selections) can
+// skip the l Chord lookups and go straight to the source, saving
+// O(l log N) routing hops per query.
+#ifndef P2PRANGE_CORE_COLUMN_STATS_H_
+#define P2PRANGE_CORE_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace p2prange {
+
+/// \brief Planner statistics configuration.
+struct StatsPlanningConfig {
+  /// EMA smoothing factor for observed recall.
+  double alpha = 0.15;
+  /// Leaves whose column's expected recall is below this skip the
+  /// cache probe entirely (after the exploration phase).
+  double skip_threshold = 0.2;
+  /// Always probe at least this many times per column before trusting
+  /// the estimate, and keep exploring occasionally afterwards.
+  uint64_t min_probes = 20;
+  /// After the exploration phase, still probe every k-th query of a
+  /// skipped column so the estimate can recover when peers warm up.
+  uint64_t explore_every = 16;
+};
+
+/// \brief Tracks expected cache usefulness per column.
+class ColumnStats {
+ public:
+  explicit ColumnStats(StatsPlanningConfig config = {}) : config_(config) {}
+
+  /// Expected recall of a cache probe for this column (optimistic 1.0
+  /// until observed).
+  double ExpectedRecall(const std::string& column_key) const {
+    auto it = state_.find(column_key);
+    return it == state_.end() ? 1.0 : it->second.ema_recall;
+  }
+
+  uint64_t Probes(const std::string& column_key) const {
+    auto it = state_.find(column_key);
+    return it == state_.end() ? 0 : it->second.probes;
+  }
+
+  /// \brief Decides whether the next query on this column should probe
+  /// the P2P cache. Counts the decision: skipped queries advance the
+  /// exploration counter.
+  bool ShouldProbe(const std::string& column_key);
+
+  /// Feeds back the recall obtained by a probe (0 when nothing was
+  /// found).
+  void Observe(const std::string& column_key, double recall);
+
+  const StatsPlanningConfig& config() const { return config_; }
+
+ private:
+  struct State {
+    double ema_recall = 1.0;
+    uint64_t probes = 0;
+    uint64_t skips_since_probe = 0;
+  };
+
+  StatsPlanningConfig config_;
+  std::unordered_map<std::string, State> state_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_CORE_COLUMN_STATS_H_

@@ -1,0 +1,58 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+
+namespace p2prange {
+
+CoverageResult AssembleCoverage(const Range& query,
+                                std::vector<PartitionDescriptor> candidates,
+                                size_t max_pieces) {
+  CoverageResult result;
+  if (max_pieces == 0) return result;
+  // Drop non-overlapping candidates, sort the rest by range start.
+  std::erase_if(candidates, [&](const PartitionDescriptor& d) {
+    return !query.Overlaps(d.key.range);
+  });
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PartitionDescriptor& a, const PartitionDescriptor& b) {
+              if (a.key.range.lo() != b.key.range.lo()) {
+                return a.key.range.lo() < b.key.range.lo();
+              }
+              return a.key.range.hi() > b.key.range.hi();
+            });
+
+  uint64_t covered = 0;
+  uint64_t cursor = query.lo();  // 64-bit so cursor can pass hi() without wrap
+  size_t i = 0;
+  while (cursor <= query.hi() && result.pieces.size() < max_pieces) {
+    // Scan every candidate starting at or before the cursor; the one
+    // reaching furthest right is the greedy choice. Discarded scanned
+    // candidates end at or before the chosen one, so they can never
+    // help after the cursor jumps past it.
+    const PartitionDescriptor* best = nullptr;
+    while (i < candidates.size() && candidates[i].key.range.lo() <= cursor) {
+      if (best == nullptr ||
+          candidates[i].key.range.hi() > best->key.range.hi()) {
+        best = &candidates[i];
+      }
+      ++i;
+    }
+    if (best != nullptr && best->key.range.hi() >= cursor) {
+      const uint64_t piece_end =
+          std::min<uint64_t>(best->key.range.hi(), query.hi());
+      covered += piece_end - cursor + 1;
+      result.pieces.push_back(*best);
+      cursor = piece_end + 1;
+    } else if (i < candidates.size()) {
+      // Gap: no candidate spans the cursor; skip to the next start.
+      cursor = candidates[i].key.range.lo();
+    } else {
+      break;
+    }
+  }
+  result.covered_fraction =
+      static_cast<double>(covered) / static_cast<double>(query.size());
+  return result;
+}
+
+}  // namespace p2prange

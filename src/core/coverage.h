@@ -1,0 +1,38 @@
+// Multi-partition coverage assembly.
+//
+// The paper's protocol answers a query from the single best cached
+// partition. Frequently, though, no one partition covers the query
+// while two or three overlapping ones do (e.g. [0,60] and [50,120] for
+// the query [10,100]). AssembleCoverage picks a small set of cached
+// ranges that jointly maximize coverage of the query using the
+// classical greedy interval-cover sweep (optimal in pieces for full
+// covers, and maximal for partial ones given the piece bound).
+#ifndef P2PRANGE_CORE_COVERAGE_H_
+#define P2PRANGE_CORE_COVERAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "hash/range.h"
+#include "store/partition_key.h"
+
+namespace p2prange {
+
+/// \brief A selected set of cached partitions and how much of the
+/// query they jointly cover.
+struct CoverageResult {
+  std::vector<PartitionDescriptor> pieces;  ///< in ascending range order
+  /// |(∪ pieces) ∩ Q| / |Q| in [0, 1].
+  double covered_fraction = 0.0;
+};
+
+/// \brief Greedy interval cover of `query` from `candidates`
+/// (descriptors of any ranges; non-overlapping ones are ignored),
+/// using at most `max_pieces` partitions.
+CoverageResult AssembleCoverage(const Range& query,
+                                std::vector<PartitionDescriptor> candidates,
+                                size_t max_pieces);
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_CORE_COVERAGE_H_

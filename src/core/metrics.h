@@ -1,0 +1,43 @@
+// Running counters of the RangeCacheSystem.
+#ifndef P2PRANGE_CORE_METRICS_H_
+#define P2PRANGE_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace p2prange {
+
+/// \brief System-wide counters; all costs are simulated.
+struct SystemMetrics {
+  uint64_t range_lookups = 0;   ///< §4 protocol invocations
+  uint64_t exact_hits = 0;      ///< best reply was the identical range
+  uint64_t approx_hits = 0;     ///< best reply overlapped but was not exact
+  uint64_t misses = 0;          ///< no same-column descriptor found
+
+  uint64_t partitions_published = 0;  ///< distinct (range, l-ids) publishes
+  uint64_t descriptors_stored = 0;    ///< descriptor insertions at peers
+
+  uint64_t eq_lookups = 0;
+  uint64_t eq_hits = 0;
+
+  uint64_t result_cache_lookups = 0;  ///< whole-query result probes
+  uint64_t result_cache_hits = 0;
+
+  uint64_t lookups_skipped = 0;  ///< cache probes avoided by stats planning
+  uint64_t coverage_assemblies = 0;  ///< leaves served by multiple partitions
+
+  uint64_t source_fetches = 0;  ///< leaf answered from the base relation
+  uint64_t cache_fetches = 0;   ///< leaf answered from a cached partition
+
+  uint64_t bytes_from_source = 0;  ///< payload bytes shipped by the source
+  uint64_t bytes_from_cache = 0;   ///< payload bytes shipped by peer caches
+
+  uint64_t chord_hops = 0;      ///< overlay routing messages for lookups
+  double latency_ms = 0.0;      ///< simulated latency across all traffic
+
+  std::string ToString() const;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_CORE_METRICS_H_

@@ -1,0 +1,28 @@
+#include "core/peer.h"
+
+#include <algorithm>
+
+namespace p2prange {
+
+void Peer::StoreEqDescriptor(chord::ChordId id, EqDescriptor d) {
+  auto& vec = eq_index_[id];
+  for (EqDescriptor& existing : vec) {
+    if (existing.key == d.key) {
+      existing.holder = d.holder;
+      return;
+    }
+  }
+  vec.push_back(std::move(d));
+}
+
+std::optional<EqDescriptor> Peer::FindEqDescriptor(chord::ChordId id,
+                                                   const std::string& key) const {
+  auto it = eq_index_.find(id);
+  if (it == eq_index_.end()) return std::nullopt;
+  auto match = std::find_if(it->second.begin(), it->second.end(),
+                            [&](const EqDescriptor& d) { return d.key == key; });
+  if (match == it->second.end()) return std::nullopt;
+  return *match;
+}
+
+}  // namespace p2prange

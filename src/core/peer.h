@@ -1,0 +1,72 @@
+// Application-level state of one peer: the descriptor buckets for the
+// ring slice it owns, plus any partition data it has materialized.
+#ifndef P2PRANGE_CORE_PEER_H_
+#define P2PRANGE_CORE_PEER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "chord/node.h"
+#include "rel/relation.h"
+#include "store/bucket_store.h"
+
+namespace p2prange {
+
+/// \brief Descriptor of an exact-match (equality) partition, e.g.
+/// Diagnosis tuples with diagnosis = 'Glaucoma' (§3.1's put/get path).
+struct EqDescriptor {
+  std::string key;     ///< canonical "relation|attribute|value"
+  NetAddress holder;
+
+  bool operator==(const EqDescriptor&) const = default;
+};
+
+/// \brief One peer of the data-sharing system.
+class Peer {
+ public:
+  Peer(chord::NodeInfo info, size_t store_capacity)
+      : info_(info), store_(store_capacity) {}
+
+  const chord::NodeInfo& info() const { return info_; }
+  const NetAddress& addr() const { return info_.addr; }
+
+  BucketStore& store() { return store_; }
+  const BucketStore& store() const { return store_; }
+
+  // --- Materialized range partitions (this peer is the holder) -------
+
+  void StorePartitionData(const PartitionKey& key, Relation data) {
+    data_[key] = std::move(data);
+  }
+  const Relation* GetPartitionData(const PartitionKey& key) const {
+    auto it = data_.find(key);
+    return it == data_.end() ? nullptr : &it->second;
+  }
+  size_t num_materialized() const { return data_.size(); }
+
+  // --- Exact-match partitions (§3.1 put/get path) ---------------------
+
+  void StoreEqDescriptor(chord::ChordId id, EqDescriptor d);
+  std::optional<EqDescriptor> FindEqDescriptor(chord::ChordId id,
+                                               const std::string& key) const;
+
+  void StoreEqData(const std::string& key, Relation data) {
+    eq_data_[key] = std::move(data);
+  }
+  const Relation* GetEqData(const std::string& key) const {
+    auto it = eq_data_.find(key);
+    return it == eq_data_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  chord::NodeInfo info_;
+  BucketStore store_;
+  std::unordered_map<PartitionKey, Relation, PartitionKeyHash> data_;
+  std::unordered_map<chord::ChordId, std::vector<EqDescriptor>> eq_index_;
+  std::unordered_map<std::string, Relation> eq_data_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_CORE_PEER_H_

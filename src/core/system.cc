@@ -1,0 +1,650 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "core/coverage.h"
+#include "hash/sha1.h"
+#include "wire/serde.h"
+
+namespace p2prange {
+
+std::string SystemMetrics::ToString() const {
+  std::string out;
+  out += "range_lookups=" + std::to_string(range_lookups);
+  out += " exact_hits=" + std::to_string(exact_hits);
+  out += " approx_hits=" + std::to_string(approx_hits);
+  out += " misses=" + std::to_string(misses);
+  out += " published=" + std::to_string(partitions_published);
+  out += " descriptors=" + std::to_string(descriptors_stored);
+  out += " eq_lookups=" + std::to_string(eq_lookups);
+  out += " eq_hits=" + std::to_string(eq_hits);
+  out += " result_cache_lookups=" + std::to_string(result_cache_lookups);
+  out += " result_cache_hits=" + std::to_string(result_cache_hits);
+  out += " lookups_skipped=" + std::to_string(lookups_skipped);
+  out += " source_fetches=" + std::to_string(source_fetches);
+  out += " cache_fetches=" + std::to_string(cache_fetches);
+  out += " bytes_from_source=" + std::to_string(bytes_from_source);
+  out += " bytes_from_cache=" + std::to_string(bytes_from_cache);
+  out += " chord_hops=" + std::to_string(chord_hops);
+  return out;
+}
+
+
+namespace {
+/// Delivers a control message with a few retransmissions when it is
+/// lost in transit (IOError); accumulated latency of all attempts is
+/// returned. Unavailable (dead peer) is returned immediately.
+Result<double> DeliverReliable(SimNetwork& net, const NetAddress& from,
+                               const NetAddress& to, uint64_t payload_bytes = 0,
+                               int retries = 3) {
+  double total = 0.0;
+  Status last;
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    auto latency = net.DeliverBytes(from, to, payload_bytes);
+    if (latency.ok()) return total + *latency;
+    last = latency.status();
+    if (!last.IsIOError()) return last;
+  }
+  return last;
+}
+}  // namespace
+
+RangeCacheSystem::RangeCacheSystem(const SystemConfig& config, Catalog catalog)
+    : config_(config),
+      catalog_(std::move(catalog)),
+      padding_controller_(config.adaptive),
+      column_stats_(config.stats) {}
+
+Result<RangeCacheSystem> RangeCacheSystem::Make(const SystemConfig& config,
+                                                Catalog catalog) {
+  if (config.padding < 0.0) {
+    return Status::InvalidArgument("padding must be non-negative");
+  }
+  if (config.descriptor_replication < 1) {
+    return Status::InvalidArgument("descriptor_replication must be >= 1");
+  }
+  RangeCacheSystem sys(config, std::move(catalog));
+
+  ASSIGN_OR_RETURN(chord::ChordRing ring,
+                   chord::ChordRing::Make(config.num_peers, config.seed,
+                                          config.chord));
+  sys.ring_ = std::make_unique<chord::ChordRing>(std::move(ring));
+
+  LshParams lsh_params = config.lsh;
+  lsh_params.seed = config.seed ^ 0x5bd1e995u;
+  ASSIGN_OR_RETURN(LshScheme scheme, LshScheme::Make(lsh_params));
+  sys.lsh_ = std::make_unique<LshScheme>(std::move(scheme));
+
+  const auto nodes = sys.ring_->AliveNodesSorted();
+  for (const chord::NodeInfo& info : nodes) {
+    sys.peers_.emplace(info.addr,
+                       std::make_unique<Peer>(info, config.store_capacity));
+  }
+  sys.source_ = nodes.front().addr;
+  return sys;
+}
+
+Peer* RangeCacheSystem::peer(const NetAddress& addr) {
+  auto it = peers_.find(addr);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+const Peer* RangeCacheSystem::peer(const NetAddress& addr) const {
+  auto it = peers_.find(addr);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+Result<AttributeDomain> RangeCacheSystem::DomainFor(const PartitionKey& key) const {
+  return catalog_.GetDomain(key.relation, key.attribute);
+}
+
+Result<Range> RangeCacheSystem::EffectiveRange(const PartitionKey& key) const {
+  const double padding =
+      config_.adaptive_padding
+          ? padding_controller_.Get(key.relation + "." + key.attribute)
+          : config_.padding;
+  if (padding <= 0.0) return key.range;
+  ASSIGN_OR_RETURN(const AttributeDomain domain, DomainFor(key));
+  const uint32_t width_hi = static_cast<uint32_t>(domain.width() - 1);
+  return key.range.Padded(padding, 0, width_hi);
+}
+
+Status RangeCacheSystem::TransferData(const NetAddress& client,
+                                      const NetAddress& server,
+                                      const Relation& payload, bool from_source) {
+  // Request (control) + response carrying the encoded tuples; both
+  // legs retransmit on transit loss.
+  auto req = DeliverReliable(ring_->network(), client, server);
+  RETURN_NOT_OK(req.status());
+  const size_t bytes = wire::RelationWireSize(payload);
+  auto resp = DeliverReliable(ring_->network(), server, client, bytes);
+  RETURN_NOT_OK(resp.status());
+  metrics_.latency_ms += *req + *resp;
+  if (from_source) {
+    metrics_.bytes_from_source += bytes;
+  } else {
+    metrics_.bytes_from_cache += bytes;
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Relation>> RangeCacheSystem::FetchCoverage(
+    const NetAddress& client, const std::vector<PartitionDescriptor>& pieces) {
+  if (pieces.empty()) return std::optional<Relation>(std::nullopt);
+  // All pieces must be materialized somewhere before any bytes move.
+  std::vector<const Relation*> datas;
+  datas.reserve(pieces.size());
+  for (const PartitionDescriptor& piece : pieces) {
+    const Peer* holder = peer(piece.holder);
+    const Relation* data = holder ? holder->GetPartitionData(piece.key) : nullptr;
+    if (data == nullptr) return std::optional<Relation>(std::nullopt);
+    datas.push_back(data);
+  }
+  std::optional<Relation> merged;
+  std::set<std::string> seen_rows;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    RETURN_NOT_OK(TransferData(client, pieces[i].holder, *datas[i],
+                               /*from_source=*/false));
+    if (!merged) merged = Relation(datas[i]->name(), datas[i]->schema());
+    for (const Row& row : datas[i]->rows()) {
+      // Overlapping partitions duplicate tuples; dedup by encoding.
+      wire::Encoder enc;
+      for (const Value& v : row) wire::EncodeValue(v, &enc);
+      if (seen_rows.insert(enc.Take()).second) {
+        merged->AppendUnchecked(row);
+      }
+    }
+  }
+  return merged;
+}
+
+
+Result<RangeLookupOutcome> RangeCacheSystem::LookupRange(const PartitionKey& query) {
+  ASSIGN_OR_RETURN(const NetAddress origin, ring_->RandomAliveAddress());
+  return LookupRangeFrom(origin, query);
+}
+
+Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
+    const NetAddress& origin, const PartitionKey& query) {
+  if (peer(origin) == nullptr) {
+    return Status::InvalidArgument("unknown origin peer " + origin.ToString());
+  }
+  RangeLookupOutcome out;
+  out.query = query.range;
+  ASSIGN_OR_RETURN(out.effective_query, EffectiveRange(query));
+  const PartitionKey effective_key{query.relation, query.attribute,
+                                   out.effective_query};
+  out.identifiers = lsh_->Identifiers(out.effective_query);
+
+  ++metrics_.range_lookups;
+
+  // Route to each identifier's owner and collect its best match.
+  std::optional<MatchCandidate> best;
+  std::set<NetAddress> owners_seen;
+  std::vector<NetAddress> owners(out.identifiers.size());
+  std::vector<PartitionDescriptor> coverage_candidates;
+  std::set<std::string> coverage_seen;
+  for (size_t g = 0; g < out.identifiers.size(); ++g) {
+    ASSIGN_OR_RETURN(const chord::LookupResult route,
+                     ring_->Lookup(origin, out.identifiers[g]));
+    owners[g] = route.owner.addr;
+    out.hops += route.hops;
+    out.latency_ms += route.latency_ms;
+    metrics_.chord_hops += route.hops;
+    metrics_.latency_ms += route.latency_ms;
+    if (owners_seen.insert(route.owner.addr).second) ++out.peers_contacted;
+
+    const Peer* owner_peer = peer(route.owner.addr);
+    if (owner_peer == nullptr) {
+      return Status::Internal("ring node " + route.owner.addr.ToString() +
+                              " has no application peer");
+    }
+    const std::optional<MatchCandidate> candidate =
+        config_.use_peer_index
+            ? owner_peer->store().BestMatchAnywhere(effective_key, config_.criterion)
+            : owner_peer->store().BestMatch(out.identifiers[g], effective_key,
+                                            config_.criterion);
+    if (config_.assemble_coverage) {
+      for (MatchCandidate& c : owner_peer->store().OverlappingCandidates(
+               out.identifiers[g], effective_key, config_.criterion)) {
+        if (coverage_seen.insert(c.descriptor.key.ToString() + "@" +
+                                 c.descriptor.holder.ToString())
+                .second) {
+          coverage_candidates.push_back(std::move(c.descriptor));
+        }
+      }
+    }
+    // The owner replies to the origin either way.
+    auto reply = DeliverReliable(ring_->network(), route.owner.addr, origin);
+    if (reply.ok()) {
+      out.latency_ms += *reply;
+      metrics_.latency_ms += *reply;
+    }
+    if (candidate && (!best || candidate->similarity > best->similarity ||
+                      (candidate->similarity == best->similarity &&
+                       candidate->exact && !best->exact))) {
+      best = candidate;
+    }
+  }
+
+  if (config_.assemble_coverage && !coverage_candidates.empty()) {
+    CoverageResult cover = AssembleCoverage(query.range,
+                                            std::move(coverage_candidates),
+                                            config_.max_coverage_pieces);
+    out.coverage_pieces = std::move(cover.pieces);
+    out.coverage_recall = cover.covered_fraction;
+  }
+
+  if (config_.adaptive_padding) {
+    padding_controller_.Observe(
+        query.relation + "." + query.attribute,
+        best ? query.range.RecallFrom(best->descriptor.key.range) : 0.0);
+  }
+
+  if (best) {
+    RangeMatch match;
+    match.matched = best->descriptor.key;
+    match.holder = best->descriptor.holder;
+    match.score = best->similarity;
+    match.jaccard = query.range.Jaccard(best->descriptor.key.range);
+    match.recall = query.range.RecallFrom(best->descriptor.key.range);
+    match.exact = best->descriptor.key.range == out.effective_query;
+    out.match = match;
+    if (match.exact) {
+      ++metrics_.exact_hits;
+    } else {
+      ++metrics_.approx_hits;
+    }
+  } else {
+    ++metrics_.misses;
+  }
+
+  // Cache-on-miss (§4): if no exact match exists, the computed
+  // partition (the effective range, held by the origin) is stored at
+  // the peers owning the l identifiers.
+  if (config_.cache_on_miss && (!out.match || !out.match->exact)) {
+    const PartitionDescriptor descriptor{effective_key, origin};
+    ++metrics_.partitions_published;
+    for (size_t g = 0; g < out.identifiers.size(); ++g) {
+      StoreReplicated(out.identifiers[g], descriptor, origin, &out.latency_ms);
+    }
+  }
+  return out;
+}
+
+void RangeCacheSystem::StoreReplicated(chord::ChordId id,
+                                       const PartitionDescriptor& descriptor,
+                                       const NetAddress& from,
+                                       double* latency_acc) {
+  // Resolve the current owner plus (replication - 1) of its live
+  // successors; each replica costs one store message.
+  auto owner_info = ring_->FindSuccessorOracle(id);
+  if (!owner_info.ok()) return;
+  std::vector<NetAddress> targets{owner_info->addr};
+  const chord::ChordNode* owner_node = ring_->node(owner_info->addr);
+  if (owner_node != nullptr) {
+    for (const chord::NodeInfo& succ : owner_node->successors()) {
+      if (static_cast<int>(targets.size()) >= config_.descriptor_replication) break;
+      if (succ.addr == owner_info->addr) continue;
+      if (!ring_->network().IsAlive(succ.addr)) continue;
+      targets.push_back(succ.addr);
+    }
+  }
+  for (const NetAddress& target : targets) {
+    Peer* target_peer = peer(target);
+    if (target_peer == nullptr) continue;  // churned away mid-protocol
+    // The store RPC must arrive before the descriptor exists there.
+    auto msg = DeliverReliable(ring_->network(), from, target);
+    if (!msg.ok()) continue;
+    if (latency_acc != nullptr) *latency_acc += *msg;
+    metrics_.latency_ms += *msg;
+    if (target_peer->store().Insert(id, descriptor)) {
+      ++metrics_.descriptors_stored;
+    }
+  }
+}
+
+Status RangeCacheSystem::PublishPartition(const PartitionKey& key,
+                                          const NetAddress& holder) {
+  if (peer(holder) == nullptr) {
+    return Status::InvalidArgument("unknown holder peer " + holder.ToString());
+  }
+  const std::vector<uint32_t> ids = lsh_->Identifiers(key.range);
+  const PartitionDescriptor descriptor{key, holder};
+  ++metrics_.partitions_published;
+  for (uint32_t id : ids) {
+    ASSIGN_OR_RETURN(const chord::LookupResult route, ring_->Lookup(holder, id));
+    metrics_.chord_hops += route.hops;
+    metrics_.latency_ms += route.latency_ms;
+    StoreReplicated(id, descriptor, holder, nullptr);
+  }
+  return Status::OK();
+}
+
+Status RangeCacheSystem::MaterializePartition(const PartitionKey& key,
+                                              const NetAddress& holder) {
+  Peer* holder_peer = peer(holder);
+  if (holder_peer == nullptr) {
+    return Status::InvalidArgument("unknown holder peer " + holder.ToString());
+  }
+  ASSIGN_OR_RETURN(const Relation* base, catalog_.GetBaseData(key.relation));
+  ASSIGN_OR_RETURN(const AttributeDomain domain, DomainFor(key));
+  ASSIGN_OR_RETURN(
+      Relation rows,
+      base->SelectOrdinalRange(key.attribute, domain.DecodeLo(key.range),
+                               domain.DecodeHi(key.range)));
+  ++metrics_.source_fetches;
+  RETURN_NOT_OK(TransferData(holder, source_, rows, /*from_source=*/true));
+  holder_peer->StorePartitionData(key, std::move(rows));
+  return Status::OK();
+}
+
+namespace {
+std::string EqKeyString(const std::string& relation, const std::string& attribute,
+                        const Value& v) {
+  return relation + "|" + attribute + "|" + v.ToString();
+}
+}  // namespace
+
+Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
+                                    const TableSelection& leaf,
+                                    std::map<std::string, Relation>* inputs,
+                                    LeafOutcome* outcome) {
+  outcome->table = leaf.table;
+
+  const std::vector<RangeSelection> ranges = leaf.AllRanges();
+  if (!ranges.empty()) {
+    // Probe the cache for every range-selected attribute of this leaf
+    // (one with the paper's base model; several under the §6
+    // multi-attribute extension). A partition that fully covers *its*
+    // attribute's selection yields the complete leaf answer once the
+    // remaining predicates are applied locally by the executor.
+    struct Candidate {
+      RangeLookupOutcome lookup;
+      PartitionKey key;
+    };
+    std::optional<Candidate> best;
+    std::optional<Candidate> best_cover;  // by assembled coverage
+    std::optional<RangeLookupOutcome> primary_lookup;
+    PartitionKey primary_key;
+    for (const RangeSelection& sel : ranges) {
+      ASSIGN_OR_RETURN(const AttributeDomain domain,
+                       catalog_.GetDomain(leaf.table, sel.attribute));
+      ASSIGN_OR_RETURN(const Range encoded,
+                       domain.EncodeClampedRange(sel.lo, sel.hi));
+      const PartitionKey key{leaf.table, sel.attribute, encoded};
+      if (primary_key.relation.empty()) primary_key = key;
+      // §6 statistics-based planning: skip probing columns whose cache
+      // has proven useless (with periodic exploration).
+      const std::string column_key = leaf.table + "." + sel.attribute;
+      if (config_.stats_planning && !column_stats_.ShouldProbe(column_key)) {
+        ++metrics_.lookups_skipped;
+        continue;
+      }
+      ASSIGN_OR_RETURN(RangeLookupOutcome lookup, LookupRangeFrom(client, key));
+      const double recall = lookup.match ? lookup.match->recall : 0.0;
+      if (config_.stats_planning) column_stats_.Observe(column_key, recall);
+      const double best_recall =
+          best && best->lookup.match ? best->lookup.match->recall : -1.0;
+      if (!primary_lookup) primary_lookup = lookup;
+      if (config_.assemble_coverage && lookup.coverage_recall > 0.0 &&
+          (!best_cover || lookup.coverage_recall > best_cover->lookup.coverage_recall)) {
+        best_cover = Candidate{lookup, key};
+      }
+      if (recall > best_recall) {
+        best = Candidate{std::move(lookup), key};
+      }
+    }
+
+    const bool full = best && best->lookup.match && best->lookup.match->recall >= 1.0;
+    const bool partial =
+        best && best->lookup.match && best->lookup.match->recall > 0.0;
+    const bool use_cache = full || (config_.accept_partial_answers && partial);
+
+    if (use_cache) {
+      const Peer* holder_peer = peer(best->lookup.match->holder);
+      const Relation* data =
+          holder_peer == nullptr
+              ? nullptr
+              : holder_peer->GetPartitionData(best->lookup.match->matched);
+      if (data != nullptr) {
+        RETURN_NOT_OK(TransferData(client, best->lookup.match->holder, *data,
+                                   /*from_source=*/false));
+        ++metrics_.cache_fetches;
+        inputs->emplace(leaf.table, *data);
+        outcome->used_cache = true;
+        outcome->recall = best->lookup.match->recall;
+        outcome->lookup = std::move(best->lookup);
+        return Status::OK();
+      }
+      // Descriptor with no materialized bytes (holder lost it): treat
+      // as a miss and fall through to the source.
+    }
+
+    // Multi-partition coverage: several overlapping partitions may
+    // jointly cover the selection even though no single one does.
+    if (best_cover &&
+        best_cover->lookup.coverage_recall >
+            (best && best->lookup.match ? best->lookup.match->recall : 0.0)) {
+      const double covered = best_cover->lookup.coverage_recall;
+      const bool cover_full = covered >= 1.0 - 1e-12;
+      if (cover_full || (config_.accept_partial_answers && covered > 0.0)) {
+        ASSIGN_OR_RETURN(
+            const std::optional<Relation> merged,
+            FetchCoverage(client, best_cover->lookup.coverage_pieces));
+        if (merged.has_value()) {
+          ++metrics_.cache_fetches;
+          ++metrics_.coverage_assemblies;
+          inputs->emplace(leaf.table, *merged);
+          outcome->used_cache = true;
+          outcome->recall = covered;
+          outcome->lookup = std::move(best_cover->lookup);
+          return Status::OK();
+        }
+      }
+    }
+
+    // Go to the source for the primary attribute's (effective)
+    // partition. With caching enabled, materialize it at the client
+    // and re-publish the descriptors so they point at the client's
+    // copy — the lookup's cache-on-miss step does not run on an exact
+    // hit, and the exact hit may have been a descriptor whose holder
+    // never materialized the bytes (e.g. published by a metadata-only
+    // lookup).
+    Range primary_effective = primary_key.range;
+    if (primary_lookup) {
+      primary_effective = primary_lookup->effective_query;
+    } else {
+      ASSIGN_OR_RETURN(primary_effective, EffectiveRange(primary_key));
+    }
+    const PartitionKey effective_key{leaf.table, ranges.front().attribute,
+                                     primary_effective};
+    if (config_.cache_on_miss) {
+      RETURN_NOT_OK(MaterializePartition(effective_key, client));
+      RETURN_NOT_OK(PublishPartition(effective_key, client));
+      const Relation* data = peer(client)->GetPartitionData(effective_key);
+      DCHECK(data != nullptr);
+      inputs->emplace(leaf.table, *data);
+    } else {
+      ASSIGN_OR_RETURN(const Relation* base, catalog_.GetBaseData(leaf.table));
+      ASSIGN_OR_RETURN(const AttributeDomain domain, DomainFor(effective_key));
+      ASSIGN_OR_RETURN(Relation rows,
+                       base->SelectOrdinalRange(
+                           effective_key.attribute,
+                           domain.DecodeLo(effective_key.range),
+                           domain.DecodeHi(effective_key.range)));
+      ++metrics_.source_fetches;
+      RETURN_NOT_OK(TransferData(client, source_, rows, /*from_source=*/true));
+      inputs->emplace(leaf.table, std::move(rows));
+    }
+    outcome->from_source = true;
+    outcome->recall = 1.0;
+    if (primary_lookup) outcome->lookup = std::move(*primary_lookup);
+    return Status::OK();
+  }
+
+  if (!leaf.filters.empty()) {
+    // Exact-match partition path (§3.1): hash the (relation,
+    // attribute, value) key onto the ring, probe the owner.
+    const EqFilter& f = leaf.filters.front();
+    const std::string eq_key = EqKeyString(leaf.table, f.attribute, f.value);
+    const chord::ChordId id = Sha1::Hash32(eq_key);
+    ++metrics_.eq_lookups;
+    ASSIGN_OR_RETURN(const chord::LookupResult route, ring_->Lookup(client, id));
+    metrics_.chord_hops += route.hops;
+    metrics_.latency_ms += route.latency_ms;
+    Peer* owner_peer = peer(route.owner.addr);
+    const std::optional<EqDescriptor> desc = owner_peer->FindEqDescriptor(id, eq_key);
+    if (desc) {
+      const Peer* holder_peer = peer(desc->holder);
+      const Relation* data =
+          holder_peer == nullptr ? nullptr : holder_peer->GetEqData(eq_key);
+      if (data != nullptr) {
+        RETURN_NOT_OK(TransferData(client, desc->holder, *data,
+                                   /*from_source=*/false));
+        ++metrics_.eq_hits;
+        ++metrics_.cache_fetches;
+        inputs->emplace(leaf.table, *data);
+        outcome->used_cache = true;
+        return Status::OK();
+      }
+    }
+    // Source fetch; publish and materialize at the client.
+    ASSIGN_OR_RETURN(const Relation* base, catalog_.GetBaseData(leaf.table));
+    ASSIGN_OR_RETURN(Relation rows, base->SelectEquals(f.attribute, f.value));
+    ++metrics_.source_fetches;
+    RETURN_NOT_OK(TransferData(client, source_, rows, /*from_source=*/true));
+    if (config_.cache_on_miss) {
+      peer(client)->StoreEqData(eq_key, rows);
+      owner_peer->StoreEqDescriptor(id, EqDescriptor{eq_key, client});
+    }
+    inputs->emplace(leaf.table, std::move(rows));
+    outcome->from_source = true;
+    return Status::OK();
+  }
+
+  // Unfiltered leaf: always from the source.
+  ASSIGN_OR_RETURN(const Relation* base, catalog_.GetBaseData(leaf.table));
+  ++metrics_.source_fetches;
+  RETURN_NOT_OK(TransferData(client, source_, *base, /*from_source=*/true));
+  inputs->emplace(leaf.table, *base);
+  outcome->from_source = true;
+  return Status::OK();
+}
+
+Result<QueryOutcome> RangeCacheSystem::ExecuteQuery(const std::string& sql) {
+  ASSIGN_OR_RETURN(const NetAddress client, ring_->RandomAliveAddress());
+  return ExecuteQueryFrom(client, sql);
+}
+
+Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client,
+                                                        const std::string& sql) {
+  if (peer(client) == nullptr) {
+    return Status::InvalidArgument("unknown client peer " + client.ToString());
+  }
+  ASSIGN_OR_RETURN(const SelectStatement stmt, ParseSelect(sql));
+  PlannerOptions planner_options;
+  planner_options.allow_multi_attribute = config_.multi_attribute;
+  ASSIGN_OR_RETURN(const QueryPlan plan, BuildPlan(stmt, catalog_, planner_options));
+
+  const uint64_t hops_before = metrics_.chord_hops;
+  const double latency_before = metrics_.latency_ms;
+
+  // §6 extension: whole-result cache keyed by the canonical plan (the
+  // plan text normalizes literal spellings, bound merging, and column
+  // qualification, so equivalent queries share a key).
+  const std::string result_key = "QR|" + plan.ToString();
+  const chord::ChordId result_id = Sha1::Hash32(result_key);
+  chord::NodeInfo result_owner{};
+  if (config_.cache_query_results) {
+    ++metrics_.result_cache_lookups;
+    ASSIGN_OR_RETURN(const chord::LookupResult route,
+                     ring_->Lookup(client, result_id));
+    metrics_.chord_hops += route.hops;
+    metrics_.latency_ms += route.latency_ms;
+    result_owner = route.owner;
+    Peer* owner_peer = peer(route.owner.addr);
+    const std::optional<EqDescriptor> desc =
+        owner_peer == nullptr ? std::nullopt
+                              : owner_peer->FindEqDescriptor(result_id, result_key);
+    if (desc) {
+      const Peer* holder_peer = peer(desc->holder);
+      const Relation* cached =
+          holder_peer == nullptr ? nullptr : holder_peer->GetEqData(result_key);
+      if (cached != nullptr) {
+        RETURN_NOT_OK(TransferData(client, desc->holder, *cached,
+                                   /*from_source=*/false));
+        ++metrics_.result_cache_hits;
+        QueryOutcome outcome;
+        outcome.result = *cached;
+        outcome.from_result_cache = true;
+        outcome.total_hops = static_cast<int>(metrics_.chord_hops - hops_before);
+        outcome.total_latency_ms = metrics_.latency_ms - latency_before;
+        return outcome;
+      }
+    }
+  }
+
+  QueryOutcome outcome;
+  std::map<std::string, Relation> inputs;
+  for (const TableSelection& leaf : plan.leaves) {
+    LeafOutcome leaf_outcome;
+    RETURN_NOT_OK(AnswerLeaf(client, leaf, &inputs, &leaf_outcome));
+    if (leaf_outcome.recall < 1.0) outcome.approximate = true;
+    outcome.leaves.push_back(std::move(leaf_outcome));
+  }
+  ASSIGN_OR_RETURN(outcome.result, ExecutePlan(plan, inputs));
+
+  // Publish the complete result (never an approximate one) at the
+  // querying peer for future exact re-asks.
+  if (config_.cache_query_results && !outcome.approximate) {
+    peer(client)->StoreEqData(result_key, outcome.result);
+    Peer* owner_peer = peer(result_owner.addr);
+    if (owner_peer != nullptr) {
+      owner_peer->StoreEqDescriptor(result_id, EqDescriptor{result_key, client});
+    }
+  }
+
+  outcome.total_hops = static_cast<int>(metrics_.chord_hops - hops_before);
+  outcome.total_latency_ms = metrics_.latency_ms - latency_before;
+  return outcome;
+}
+
+Result<NetAddress> RangeCacheSystem::AddPeer() {
+  ASSIGN_OR_RETURN(const chord::NodeInfo info, ring_->AddNode());
+  ring_->StabilizeAll(2);
+  peers_.emplace(info.addr,
+                 std::make_unique<Peer>(info, config_.store_capacity));
+  return info.addr;
+}
+
+Status RangeCacheSystem::RemovePeer(const NetAddress& addr, bool graceful) {
+  if (addr == source_) {
+    return Status::InvalidArgument("the source peer cannot leave the system");
+  }
+  if (peer(addr) == nullptr) {
+    return Status::NotFound("unknown peer " + addr.ToString());
+  }
+  if (graceful) {
+    RETURN_NOT_OK(ring_->Leave(addr));
+  } else {
+    RETURN_NOT_OK(ring_->Fail(addr));
+  }
+  ring_->StabilizeAll(1);
+  peers_.erase(addr);
+  return Status::OK();
+}
+
+std::vector<size_t> RangeCacheSystem::DescriptorCountsPerPeer() const {
+  std::vector<size_t> counts;
+  counts.reserve(peers_.size());
+  for (const chord::NodeInfo& info : ring_->AliveNodesSorted()) {
+    const Peer* p = peer(info.addr);
+    counts.push_back(p == nullptr ? 0 : p->store().num_descriptors());
+  }
+  return counts;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,61 @@
+#include "hash/lsh.h"
+
+#include <cmath>
+
+#include "common/bit_utils.h"
+#include "common/logging.h"
+
+namespace p2prange {
+
+Result<LshScheme> LshScheme::Make(const LshParams& params) {
+  if (params.k < 1) {
+    return Status::InvalidArgument("LSH k must be >= 1, got " +
+                                   std::to_string(params.k));
+  }
+  if (params.l < 1) {
+    return Status::InvalidArgument("LSH l must be >= 1, got " +
+                                   std::to_string(params.l));
+  }
+  Rng rng(params.seed);
+  std::vector<std::vector<std::unique_ptr<RangeHashFunction>>> groups;
+  groups.reserve(params.l);
+  for (int g = 0; g < params.l; ++g) {
+    std::vector<std::unique_ptr<RangeHashFunction>> group;
+    group.reserve(params.k);
+    for (int i = 0; i < params.k; ++i) {
+      group.push_back(MakeHashFunction(params.family, rng, params.pre_xor_mask,
+                                       params.linear_prime));
+    }
+    groups.push_back(std::move(group));
+  }
+  return LshScheme(params, std::move(groups));
+}
+
+uint32_t LshScheme::GroupIdentifier(int g, const Range& q) const {
+  DCHECK_GE(g, 0);
+  DCHECK_LT(g, params_.l);
+  uint32_t id = 0;
+  for (const auto& fn : groups_[g]) {
+    id ^= fn->HashRange(q);
+  }
+  // Spread the bucket signature uniformly over the ring (see Mix32's
+  // comment). Identifier equality is exactly signature equality.
+  return bits::Mix32(id);
+}
+
+std::vector<uint32_t> LshScheme::Identifiers(const Range& q) const {
+  std::vector<uint32_t> ids;
+  ids.reserve(groups_.size());
+  for (int g = 0; g < params_.l; ++g) {
+    ids.push_back(GroupIdentifier(g, q));
+  }
+  return ids;
+}
+
+double LshScheme::CollisionProbability(double sim, int k, int l) {
+  DCHECK_GE(sim, 0.0);
+  DCHECK_LE(sim, 1.0);
+  return 1.0 - std::pow(1.0 - std::pow(sim, k), l);
+}
+
+}  // namespace p2prange

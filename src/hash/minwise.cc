@@ -1,0 +1,100 @@
+#include "hash/minwise.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+const char* HashFamilyName(HashFamilyType family) {
+  switch (family) {
+    case HashFamilyType::kMinwise:
+      return "min-wise independent";
+    case HashFamilyType::kApproxMinwise:
+      return "approx. min-wise independent";
+    case HashFamilyType::kLinear:
+      return "linear";
+  }
+  return "unknown";
+}
+
+uint32_t RangeHashFunction::HashRange(const Range& q) const {
+  uint32_t best = std::numeric_limits<uint32_t>::max();
+  uint32_t x = q.lo();
+  for (;;) {
+    const uint32_t h = Permute(x);
+    if (h < best) best = h;
+    if (x == q.hi()) break;
+    ++x;
+  }
+  return best;
+}
+
+uint32_t RangeHashFunction::HashSet(std::span<const uint32_t> elements) const {
+  DCHECK(!elements.empty());
+  uint32_t best = std::numeric_limits<uint32_t>::max();
+  for (uint32_t x : elements) {
+    const uint32_t h = Permute(x);
+    if (h < best) best = h;
+  }
+  return best;
+}
+
+MinwiseHashFunction::MinwiseHashFunction(Rng& rng, bool pre_xor)
+    : perm_([&rng] {
+        BitShuffleKeys keys = BitShuffleKeys::Sample(32, rng);
+        return BitPermutation(keys, keys.num_levels());
+      }()),
+      pre_(pre_xor ? rng.Next32() : 0) {}
+
+ApproxMinwiseHashFunction::ApproxMinwiseHashFunction(Rng& rng, bool pre_xor)
+    : perm_(BitPermutation(BitShuffleKeys::Sample(32, rng), /*rounds=*/1)),
+      pre_(pre_xor ? rng.Next32() : 0) {}
+
+LinearHashFunction::LinearHashFunction(Rng& rng, uint64_t prime)
+    : a_(rng.NextInRange(1, prime - 1)),
+      b_(rng.NextInRange(0, prime - 1)),
+      prime_(prime) {
+  CHECK_GE(prime, 2u);
+  CHECK_LE(prime, kPrime);
+}
+
+LinearHashFunction::LinearHashFunction(uint64_t a, uint64_t b, uint64_t prime)
+    : a_(a), b_(b), prime_(prime) {
+  CHECK_GE(a, 1u);
+  CHECK_LT(a, prime);
+  CHECK_LT(b, prime);
+  CHECK_LE(prime, kPrime);
+}
+
+uint64_t NextPrimeAtLeast(uint64_t n) {
+  CHECK_GE(n, 2u);
+  auto is_prime = [](uint64_t x) {
+    if (x < 4) return x >= 2;
+    if (x % 2 == 0) return false;
+    for (uint64_t d = 3; d * d <= x; d += 2) {
+      if (x % d == 0) return false;
+    }
+    return true;
+  };
+  uint64_t p = n;
+  while (!is_prime(p)) ++p;
+  return p;
+}
+
+std::unique_ptr<RangeHashFunction> MakeHashFunction(HashFamilyType family, Rng& rng,
+                                                    bool pre_xor,
+                                                    uint64_t linear_prime) {
+  switch (family) {
+    case HashFamilyType::kMinwise:
+      return std::make_unique<MinwiseHashFunction>(rng, pre_xor);
+    case HashFamilyType::kApproxMinwise:
+      return std::make_unique<ApproxMinwiseHashFunction>(rng, pre_xor);
+    case HashFamilyType::kLinear:
+      return std::make_unique<LinearHashFunction>(rng, linear_prime);
+  }
+  LOG_FATAL() << "unknown hash family";
+  return nullptr;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,56 @@
+#include "hash/range.h"
+
+#include <algorithm>
+
+namespace p2prange {
+
+uint64_t Range::IntersectionSize(const Range& other) const {
+  const uint32_t lo = std::max(lo_, other.lo_);
+  const uint32_t hi = std::min(hi_, other.hi_);
+  if (lo > hi) return 0;
+  return static_cast<uint64_t>(hi) - lo + 1;
+}
+
+uint64_t Range::UnionSize(const Range& other) const {
+  return size() + other.size() - IntersectionSize(other);
+}
+
+std::optional<Range> Range::Intersection(const Range& other) const {
+  const uint32_t lo = std::max(lo_, other.lo_);
+  const uint32_t hi = std::min(hi_, other.hi_);
+  if (lo > hi) return std::nullopt;
+  return Range(lo, hi);
+}
+
+double Range::Jaccard(const Range& other) const {
+  const uint64_t inter = IntersectionSize(other);
+  if (inter == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(UnionSize(other));
+}
+
+double Range::ContainmentIn(const Range& other) const {
+  return static_cast<double>(IntersectionSize(other)) /
+         static_cast<double>(size());
+}
+
+Range Range::Padded(double fraction, uint32_t domain_lo, uint32_t domain_hi) const {
+  DCHECK_GE(fraction, 0.0);
+  DCHECK_LE(domain_lo, domain_hi);
+  const uint64_t pad = static_cast<uint64_t>(fraction * static_cast<double>(size()));
+  uint32_t lo = lo_;
+  uint32_t hi = hi_;
+  // Widen, saturating at the attribute-domain bounds.
+  lo = (static_cast<uint64_t>(lo) >= static_cast<uint64_t>(domain_lo) + pad)
+           ? static_cast<uint32_t>(lo - pad)
+           : domain_lo;
+  hi = (static_cast<uint64_t>(hi) + pad <= domain_hi)
+           ? static_cast<uint32_t>(hi + pad)
+           : domain_hi;
+  return Range(lo, hi);
+}
+
+std::string Range::ToString() const {
+  return "[" + std::to_string(lo_) + ", " + std::to_string(hi_) + "]";
+}
+
+}  // namespace p2prange

@@ -1,0 +1,133 @@
+#include "hash/sha1.h"
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+namespace {
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+}  // namespace
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_bytes_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t block[64]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           (static_cast<uint32_t>(block[4 * i + 3]));
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_bytes_ += len;
+  if (buffer_len_ > 0) {
+    const size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Sha1::Digest Sha1::Finish() {
+  const uint64_t bit_len = total_bytes_ * 8;
+  // Append 0x80, then zeros, then the 64-bit big-endian length.
+  const uint8_t one = 0x80;
+  Update(&one, 1);
+  const uint8_t zero = 0x00;
+  while (buffer_len_ != 56) {
+    Update(&zero, 1);
+  }
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  // Bypass Update's length accounting for the trailer.
+  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
+  ProcessBlock(buffer_);
+  buffer_len_ = 0;
+
+  Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    d[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    d[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    d[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return d;
+}
+
+std::string Sha1::ToHex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+uint32_t Sha1::Hash32(std::string_view s) {
+  const Digest d = Hash(s);
+  return (static_cast<uint32_t>(d[0]) << 24) | (static_cast<uint32_t>(d[1]) << 16) |
+         (static_cast<uint32_t>(d[2]) << 8) | static_cast<uint32_t>(d[3]);
+}
+
+}  // namespace p2prange

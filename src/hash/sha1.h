@@ -1,0 +1,66 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// The paper (§4, step 2) maps peer nodes into the identifier ring by
+// hashing their IP address with SHA-1; we do the same and truncate the
+// 160-bit digest to the ring width.
+#ifndef P2PRANGE_HASH_SHA1_H_
+#define P2PRANGE_HASH_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace p2prange {
+
+/// \brief Incremental SHA-1 hasher.
+///
+/// \code
+///   Sha1 h;
+///   h.Update("192.168.0.1:7000");
+///   Sha1::Digest d = h.Finish();
+/// \endcode
+class Sha1 {
+ public:
+  using Digest = std::array<uint8_t, 20>;
+
+  Sha1() { Reset(); }
+
+  /// Resets to the initial state so the hasher can be reused.
+  void Reset();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Pads, finalizes, and returns the 160-bit digest. The hasher must
+  /// be Reset() before further use.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(std::string_view s) {
+    Sha1 h;
+    h.Update(s);
+    return h.Finish();
+  }
+
+  /// Digest rendered as 40 lowercase hex characters.
+  static std::string ToHex(const Digest& d);
+
+  /// The leading 32 bits of SHA-1(s), big-endian — the paper's node
+  /// identifier derivation, truncated to the 32-bit ring.
+  static uint32_t Hash32(std::string_view s);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t h_[5];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_HASH_SHA1_H_

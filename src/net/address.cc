@@ -1,0 +1,20 @@
+#include "net/address.h"
+
+namespace p2prange {
+
+std::string NetAddress::ToString() const {
+  std::string out;
+  out.reserve(21);
+  out += std::to_string((host >> 24) & 0xFF);
+  out += '.';
+  out += std::to_string((host >> 16) & 0xFF);
+  out += '.';
+  out += std::to_string((host >> 8) & 0xFF);
+  out += '.';
+  out += std::to_string(host & 0xFF);
+  out += ':';
+  out += std::to_string(port);
+  return out;
+}
+
+}  // namespace p2prange

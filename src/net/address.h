@@ -1,0 +1,36 @@
+// Network addresses for simulated peers.
+//
+// Peers are identified by IPv4 address + port; the Chord identifier of
+// a peer is SHA-1(address string) truncated to the ring width, exactly
+// as prescribed in paper §4 step 2.
+#ifndef P2PRANGE_NET_ADDRESS_H_
+#define P2PRANGE_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace p2prange {
+
+/// \brief An IPv4 endpoint of a simulated peer.
+struct NetAddress {
+  uint32_t host = 0;  ///< IPv4 address in host byte order
+  uint16_t port = 0;
+
+  bool operator==(const NetAddress&) const = default;
+  auto operator<=>(const NetAddress&) const = default;
+
+  /// Dotted-quad "a.b.c.d:port" — the string fed to SHA-1.
+  std::string ToString() const;
+};
+
+/// std::hash support so addresses key unordered containers.
+struct NetAddressHash {
+  size_t operator()(const NetAddress& a) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(a.host) << 16) | a.port);
+  }
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_NET_ADDRESS_H_

@@ -1,0 +1,49 @@
+#include "net/sim_network.h"
+
+namespace p2prange {
+
+void SimNetwork::Register(const NetAddress& addr) {
+  alive_.emplace(addr, true);
+}
+
+Status SimNetwork::SetAlive(const NetAddress& addr, bool alive) {
+  auto it = alive_.find(addr);
+  if (it == alive_.end()) {
+    return Status::NotFound("unregistered address " + addr.ToString());
+  }
+  it->second = alive;
+  return Status::OK();
+}
+
+bool SimNetwork::IsRegistered(const NetAddress& addr) const {
+  return alive_.contains(addr);
+}
+
+bool SimNetwork::IsAlive(const NetAddress& addr) const {
+  auto it = alive_.find(addr);
+  return it != alive_.end() && it->second;
+}
+
+Result<double> SimNetwork::DeliverBytes(const NetAddress& from,
+                                        const NetAddress& to,
+                                        uint64_t payload_bytes) {
+  if (!IsAlive(to)) {
+    ++stats_.failed_deliveries;
+    return Status::Unavailable("peer " + to.ToString() + " is unreachable");
+  }
+  if (from == to) return 0.0;
+  const double latency =
+      latency_.base_ms + rng_.NextDouble() * latency_.jitter_ms +
+      latency_.per_kib_ms * static_cast<double>(payload_bytes) / 1024.0;
+  ++stats_.messages;
+  stats_.bytes += kControlBytes + payload_bytes;
+  stats_.total_latency_ms += latency;
+  if (latency_.loss_rate > 0.0 && rng_.NextBernoulli(latency_.loss_rate)) {
+    ++stats_.lost_messages;
+    return Status::IOError("message from " + from.ToString() + " to " +
+                           to.ToString() + " lost in transit");
+  }
+  return latency;
+}
+
+}  // namespace p2prange

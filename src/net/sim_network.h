@@ -1,0 +1,94 @@
+// A simulated wide-area message layer.
+//
+// The paper's evaluation (like the MIT Chord simulator it used) runs
+// the overlay in simulation; what matters for the scalability results
+// is the *number of overlay messages* (hops) per operation, plus an
+// optional latency model. Every remote interaction between peers in
+// this library is charged through SimNetwork::Deliver so that message
+// counts are honest, and dead peers make deliveries fail.
+#ifndef P2PRANGE_NET_SIM_NETWORK_H_
+#define P2PRANGE_NET_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/address.h"
+
+namespace p2prange {
+
+/// \brief Per-message latency: base + uniform jitter plus a bandwidth
+/// term for the payload, in milliseconds.
+struct LatencyModel {
+  double base_ms = 20.0;
+  double jitter_ms = 20.0;
+  /// Transmission delay per KiB of payload (~16 Mbit/s at 0.5).
+  double per_kib_ms = 0.5;
+  /// Probability that a message to a *live* peer is dropped in
+  /// transit (distinguishable from a dead peer: the sender can retry).
+  double loss_rate = 0.0;
+};
+
+/// \brief Running totals maintained by SimNetwork.
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;  ///< control + payload bytes on the wire
+  double total_latency_ms = 0.0;
+  uint64_t failed_deliveries = 0;  ///< to dead/unknown peers
+  uint64_t lost_messages = 0;      ///< dropped in transit (loss_rate)
+};
+
+/// \brief Registry of peer endpoints with liveness, message accounting,
+/// and a latency model.
+class SimNetwork {
+ public:
+  explicit SimNetwork(LatencyModel latency = {}, uint64_t seed = 42)
+      : latency_(latency), rng_(seed) {}
+
+  /// Registers an endpoint (idempotent); newly registered peers are
+  /// alive.
+  void Register(const NetAddress& addr);
+
+  /// Marks a peer up or down. Unknown addresses are an error.
+  Status SetAlive(const NetAddress& addr, bool alive);
+
+  bool IsRegistered(const NetAddress& addr) const;
+  bool IsAlive(const NetAddress& addr) const;
+
+  /// Wire overhead charged for any message (headers, framing).
+  static constexpr uint64_t kControlBytes = 64;
+
+  /// \brief Accounts one control message from `from` to `to` and
+  /// returns its simulated latency in ms. Fails with Unavailable if
+  /// `to` is down or unknown. Local deliveries (from == to) are free
+  /// and always succeed for a live peer.
+  Result<double> Deliver(const NetAddress& from, const NetAddress& to) {
+    return DeliverBytes(from, to, 0);
+  }
+
+  /// \brief Accounts one message carrying `payload_bytes` of payload
+  /// (kControlBytes of framing are added); the latency includes the
+  /// bandwidth term. A message to a live peer may be lost in transit
+  /// (LatencyModel::loss_rate), reported as IOError — the message and
+  /// its bytes are still charged (they went onto the wire); the sender
+  /// may retry. Unavailable always means the peer is down.
+  Result<double> DeliverBytes(const NetAddress& from, const NetAddress& to,
+                              uint64_t payload_bytes);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  size_t num_registered() const { return alive_.size(); }
+
+ private:
+  LatencyModel latency_;
+  Rng rng_;
+  NetworkStats stats_;
+  std::unordered_map<NetAddress, bool, NetAddressHash> alive_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_NET_SIM_NETWORK_H_

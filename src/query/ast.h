@@ -1,0 +1,68 @@
+// Abstract syntax of the restricted SQL dialect of §2.
+//
+// Supported statements:
+//   SELECT <col-list | *> FROM <table-list>
+//   [WHERE cond AND cond AND ...]
+// where each condition is one of
+//   col OP literal           (OP in <, <=, >, >=, =)
+//   literal OP col           (normalized to the form above)
+//   col BETWEEN lit AND lit
+//   col = col                (equi-join)
+// Conjunctions only — selections are pushed to the leaves of the plan,
+// the well-known algebraic optimization the paper relies on.
+#ifndef P2PRANGE_QUERY_AST_H_
+#define P2PRANGE_QUERY_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace p2prange {
+
+/// \brief A possibly table-qualified column name.
+struct ColumnRef {
+  std::string table;  ///< empty when unqualified
+  std::string column;
+
+  bool operator==(const ColumnRef&) const = default;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq };
+
+const char* CompareOpName(CompareOp op);
+
+/// \brief One conjunct of the WHERE clause.
+struct Condition {
+  enum class Kind { kCompare, kBetween, kJoin };
+
+  Kind kind = Kind::kCompare;
+  ColumnRef lhs;
+
+  // kCompare: lhs op literal.
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  // kBetween: literal <= lhs <= literal_hi.
+  Value literal_hi;
+
+  // kJoin: lhs = rhs.
+  ColumnRef rhs;
+};
+
+/// \brief A parsed SELECT statement.
+struct SelectStatement {
+  std::vector<ColumnRef> projections;  ///< empty means '*'
+  std::vector<std::string> tables;
+  std::vector<Condition> conditions;
+
+  std::string ToString() const;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_QUERY_AST_H_

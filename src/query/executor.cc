@@ -1,0 +1,179 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+Result<Relation> ApplyLeafFilters(const TableSelection& leaf, const Relation& input) {
+  Relation current = input;
+  for (const RangeSelection& sel : leaf.AllRanges()) {
+    ASSIGN_OR_RETURN(current,
+                     current.SelectOrdinalRange(sel.attribute, sel.lo, sel.hi));
+  }
+  for (const EqFilter& f : leaf.filters) {
+    ASSIGN_OR_RETURN(current, current.SelectEquals(f.attribute, f.value));
+  }
+  return current;
+}
+
+namespace {
+
+/// A relation whose fields are qualified "Table.column".
+Relation Qualify(const std::string& table, const Relation& rel) {
+  std::vector<Field> fields;
+  fields.reserve(rel.schema().num_fields());
+  for (const Field& f : rel.schema().fields()) {
+    fields.push_back(Field{table + "." + f.name, f.type, f.domain});
+  }
+  Relation out(table, Schema(std::move(fields)));
+  out.Reserve(rel.num_rows());
+  for (const Row& r : rel.rows()) out.AppendUnchecked(r);
+  return out;
+}
+
+/// Hash join of `left` and `right` on the given qualified columns.
+Result<Relation> HashJoin(const Relation& left, const std::string& left_col,
+                          const Relation& right, const std::string& right_col) {
+  ASSIGN_OR_RETURN(const size_t li, left.schema().FieldIndex(left_col));
+  ASSIGN_OR_RETURN(const size_t ri, right.schema().FieldIndex(right_col));
+
+  // Build on the smaller side.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const size_t build_idx = build_left ? li : ri;
+  const size_t probe_idx = build_left ? ri : li;
+
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> table;
+  table.reserve(build.num_rows());
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    table[build.rows()[r][build_idx]].push_back(r);
+  }
+
+  // Output schema: left fields then right fields (stable regardless of
+  // build side).
+  std::vector<Field> fields = left.schema().fields();
+  fields.insert(fields.end(), right.schema().fields().begin(),
+                right.schema().fields().end());
+  Relation out(left.name() + "*" + right.name(), Schema(std::move(fields)));
+
+  for (const Row& probe_row : probe.rows()) {
+    auto it = table.find(probe_row[probe_idx]);
+    if (it == table.end()) continue;
+    for (size_t build_r : it->second) {
+      const Row& build_row = build.rows()[build_r];
+      const Row& lrow = build_left ? build_row : probe_row;
+      const Row& rrow = build_left ? probe_row : build_row;
+      Row joined;
+      joined.reserve(lrow.size() + rrow.size());
+      joined.insert(joined.end(), lrow.begin(), lrow.end());
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      out.AppendUnchecked(std::move(joined));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ExecutePlan(const QueryPlan& plan,
+                             const std::map<std::string, Relation>& inputs) {
+  if (plan.leaves.empty()) {
+    return Status::InvalidArgument("plan has no leaves");
+  }
+  // Filter every leaf and qualify its columns.
+  std::map<std::string, Relation> filtered;
+  for (const TableSelection& leaf : plan.leaves) {
+    auto it = inputs.find(leaf.table);
+    if (it == inputs.end()) {
+      return Status::InvalidArgument("no input relation for table '" + leaf.table +
+                                     "'");
+    }
+    ASSIGN_OR_RETURN(Relation f, ApplyLeafFilters(leaf, it->second));
+    filtered.emplace(leaf.table, Qualify(leaf.table, f));
+  }
+
+  // Left-deep joins: start from the first table, repeatedly join in a
+  // table connected to the joined set by some edge.
+  std::vector<JoinEdge> remaining = plan.joins;
+  std::vector<std::string> joined_tables{plan.leaves.front().table};
+  Relation current = filtered.at(plan.leaves.front().table);
+
+  auto in_joined = [&](const std::string& t) {
+    return std::find(joined_tables.begin(), joined_tables.end(), t) !=
+           joined_tables.end();
+  };
+
+  while (!remaining.empty()) {
+    bool progressed = false;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const JoinEdge edge = remaining[i];
+      const bool l_in = in_joined(edge.left_table);
+      const bool r_in = in_joined(edge.right_table);
+      if (l_in && r_in) {
+        // Both sides already joined: apply as a residual filter.
+        ASSIGN_OR_RETURN(const size_t li, current.schema().FieldIndex(
+                                              edge.left_table + "." + edge.left_column));
+        ASSIGN_OR_RETURN(const size_t ri,
+                         current.schema().FieldIndex(edge.right_table + "." +
+                                                     edge.right_column));
+        Relation next(current.name(), current.schema());
+        for (const Row& row : current.rows()) {
+          if (row[li] == row[ri]) next.AppendUnchecked(row);
+        }
+        current = std::move(next);
+      } else if (l_in || r_in) {
+        const std::string& new_table = l_in ? edge.right_table : edge.left_table;
+        const std::string cur_col = l_in ? edge.left_table + "." + edge.left_column
+                                         : edge.right_table + "." + edge.right_column;
+        const std::string new_col = new_table + "." +
+                                    (l_in ? edge.right_column : edge.left_column);
+        ASSIGN_OR_RETURN(
+            current, HashJoin(current, cur_col, filtered.at(new_table), new_col));
+        joined_tables.push_back(new_table);
+      } else {
+        continue;  // edge not yet connectable
+      }
+      remaining.erase(remaining.begin() + static_cast<long>(i));
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      return Status::NotImplemented(
+          "disconnected join graph (cross products are not supported)");
+    }
+  }
+
+  // Any FROM table never touched by a join edge is an implicit cross
+  // product — reject rather than silently explode.
+  for (const TableSelection& leaf : plan.leaves) {
+    if (!in_joined(leaf.table) && plan.leaves.size() > 1) {
+      return Status::NotImplemented("table '" + leaf.table +
+                                    "' is not connected by any join predicate");
+    }
+  }
+
+  if (plan.projections.empty()) return current;
+
+  std::vector<Field> fields;
+  std::vector<size_t> indices;
+  for (const ColumnRef& p : plan.projections) {
+    ASSIGN_OR_RETURN(const size_t idx, current.schema().FieldIndex(p.ToString()));
+    fields.push_back(current.schema().field(idx));
+    indices.push_back(idx);
+  }
+  Relation projected(current.name(), Schema(std::move(fields)));
+  projected.Reserve(current.num_rows());
+  for (const Row& row : current.rows()) {
+    Row out_row;
+    out_row.reserve(indices.size());
+    for (size_t idx : indices) out_row.push_back(row[idx]);
+    projected.AppendUnchecked(std::move(out_row));
+  }
+  return projected;
+}
+
+}  // namespace p2prange

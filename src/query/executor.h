@@ -1,0 +1,39 @@
+// Local physical execution of a logical plan.
+//
+// The querying peer executes the upper plan (filters not satisfied by
+// the fetched partitions, equi-joins, projection) locally over the
+// data it obtained from the P2P layer or the sources, exactly as in
+// §2: "The located peers ... can send the data over to the requesting
+// peer which can now compute the remaining query locally".
+#ifndef P2PRANGE_QUERY_EXECUTOR_H_
+#define P2PRANGE_QUERY_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "query/plan.h"
+#include "rel/relation.h"
+
+namespace p2prange {
+
+/// \brief Executes `plan` over per-table input relations.
+///
+/// Inputs may be *broader* than the leaf selections (approximate
+/// matches fetch superset/overlapping partitions); the executor
+/// re-applies each leaf's range and equality filters, so the output
+/// contains no false positives. Rows of the inputs that the leaf
+/// selection would not include are simply filtered out; rows the input
+/// is *missing* cannot be recovered — that is the recall the paper
+/// measures.
+///
+/// The joined schema qualifies every column as "Table.column".
+Result<Relation> ExecutePlan(const QueryPlan& plan,
+                             const std::map<std::string, Relation>& inputs);
+
+/// \brief Applies one leaf's range + equality filters to `input`.
+Result<Relation> ApplyLeafFilters(const TableSelection& leaf, const Relation& input);
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_QUERY_EXECUTOR_H_

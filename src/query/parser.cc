@@ -1,0 +1,284 @@
+#include "query/parser.h"
+
+#include <charconv>
+
+#include "query/tokenizer.h"
+
+namespace p2prange {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (projections.empty()) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < projections.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += projections[i].ToString();
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i];
+  }
+  if (!conditions.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (i > 0) out += " AND ";
+      const Condition& c = conditions[i];
+      switch (c.kind) {
+        case Condition::Kind::kCompare:
+          out += c.lhs.ToString();
+          out += " ";
+          out += CompareOpName(c.op);
+          out += " ";
+          out += c.literal.ToString();
+          break;
+        case Condition::Kind::kBetween:
+          out += c.lhs.ToString() + " BETWEEN " + c.literal.ToString() + " AND " +
+                 c.literal_hi.ToString();
+          break;
+        case Condition::Kind::kJoin:
+          out += c.lhs.ToString() + " = " + c.rhs.ToString();
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Stream of tokens with one-token lookahead.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  Status Expect(const char* symbol_or_keyword) {
+    const Token& t = Peek();
+    if (t.IsSymbol(symbol_or_keyword) || t.IsKeyword(symbol_or_keyword)) {
+      Advance();
+      return Status::OK();
+    }
+    return Status::InvalidArgument(std::string("expected '") + symbol_or_keyword +
+                                   "' at offset " + std::to_string(t.offset) +
+                                   ", found '" + t.text + "'");
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<ColumnRef> ParseColumnRef(TokenCursor& cur) {
+  const Token& first = cur.Peek();
+  if (first.type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected column name at offset " +
+                                   std::to_string(first.offset) + ", found '" +
+                                   first.text + "'");
+  }
+  cur.Advance();
+  ColumnRef ref;
+  if (cur.Peek().IsSymbol(".")) {
+    cur.Advance();
+    const Token& col = cur.Peek();
+    if (col.type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected column after '.' at offset " +
+                                     std::to_string(col.offset));
+    }
+    ref.table = first.text;
+    ref.column = col.text;
+    cur.Advance();
+  } else {
+    ref.column = first.text;
+  }
+  return ref;
+}
+
+Value LiteralFromToken(const Token& t) {
+  if (t.type == TokenType::kString) {
+    // Date-shaped strings become dates; anything else stays a string.
+    auto date = ParseDate(t.text);
+    if (date.ok()) return Value(*date);
+    return Value(t.text);
+  }
+  // Number.
+  if (t.text.find('.') != std::string::npos) {
+    return Value(std::stod(t.text));
+  }
+  int64_t v = 0;
+  std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+  return Value(v);
+}
+
+Result<CompareOp> ParseCompareOp(TokenCursor& cur) {
+  const Token& t = cur.Peek();
+  CompareOp op;
+  if (t.IsSymbol("<")) {
+    op = CompareOp::kLt;
+  } else if (t.IsSymbol("<=")) {
+    op = CompareOp::kLe;
+  } else if (t.IsSymbol(">")) {
+    op = CompareOp::kGt;
+  } else if (t.IsSymbol(">=")) {
+    op = CompareOp::kGe;
+  } else if (t.IsSymbol("=")) {
+    op = CompareOp::kEq;
+  } else {
+    return Status::InvalidArgument("expected comparison operator at offset " +
+                                   std::to_string(t.offset) + ", found '" +
+                                   t.text + "'");
+  }
+  cur.Advance();
+  return op;
+}
+
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+  }
+  return op;
+}
+
+Result<Condition> ParseCondition(TokenCursor& cur) {
+  Condition cond;
+  const Token& first = cur.Peek();
+  if (first.type == TokenType::kNumber || first.type == TokenType::kString) {
+    // literal OP col — normalize to col MirrorOp literal.
+    const Value lit = LiteralFromToken(first);
+    cur.Advance();
+    ASSIGN_OR_RETURN(const CompareOp op, ParseCompareOp(cur));
+    ASSIGN_OR_RETURN(cond.lhs, ParseColumnRef(cur));
+    cond.kind = Condition::Kind::kCompare;
+    cond.op = MirrorOp(op);
+    cond.literal = lit;
+    return cond;
+  }
+
+  ASSIGN_OR_RETURN(cond.lhs, ParseColumnRef(cur));
+  if (cur.Peek().IsKeyword("BETWEEN")) {
+    cur.Advance();
+    const Token& lo = cur.Peek();
+    if (lo.type != TokenType::kNumber && lo.type != TokenType::kString) {
+      return Status::InvalidArgument("expected literal after BETWEEN at offset " +
+                                     std::to_string(lo.offset));
+    }
+    cond.literal = LiteralFromToken(lo);
+    cur.Advance();
+    RETURN_NOT_OK(cur.Expect("AND"));
+    const Token& hi = cur.Peek();
+    if (hi.type != TokenType::kNumber && hi.type != TokenType::kString) {
+      return Status::InvalidArgument("expected literal after AND at offset " +
+                                     std::to_string(hi.offset));
+    }
+    cond.literal_hi = LiteralFromToken(hi);
+    cur.Advance();
+    cond.kind = Condition::Kind::kBetween;
+    return cond;
+  }
+
+  ASSIGN_OR_RETURN(cond.op, ParseCompareOp(cur));
+  const Token& rhs = cur.Peek();
+  if (rhs.type == TokenType::kIdentifier) {
+    if (cond.op != CompareOp::kEq) {
+      return Status::InvalidArgument(
+          "column-to-column comparison must be an equi-join ('='), at offset " +
+          std::to_string(rhs.offset));
+    }
+    ASSIGN_OR_RETURN(cond.rhs, ParseColumnRef(cur));
+    cond.kind = Condition::Kind::kJoin;
+    return cond;
+  }
+  if (rhs.type != TokenType::kNumber && rhs.type != TokenType::kString) {
+    return Status::InvalidArgument("expected literal or column at offset " +
+                                   std::to_string(rhs.offset) + ", found '" +
+                                   rhs.text + "'");
+  }
+  cond.literal = LiteralFromToken(rhs);
+  cur.Advance();
+  cond.kind = Condition::Kind::kCompare;
+  return cond;
+}
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  TokenCursor cur(std::move(tokens));
+  SelectStatement stmt;
+
+  RETURN_NOT_OK(cur.Expect("SELECT"));
+  if (cur.Peek().IsSymbol("*")) {
+    cur.Advance();
+  } else {
+    for (;;) {
+      ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef(cur));
+      stmt.projections.push_back(std::move(ref));
+      if (!cur.Peek().IsSymbol(",")) break;
+      cur.Advance();
+    }
+  }
+
+  RETURN_NOT_OK(cur.Expect("FROM"));
+  for (;;) {
+    const Token& t = cur.Peek();
+    if (t.type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name at offset " +
+                                     std::to_string(t.offset) + ", found '" +
+                                     t.text + "'");
+    }
+    stmt.tables.push_back(t.text);
+    cur.Advance();
+    if (!cur.Peek().IsSymbol(",")) break;
+    cur.Advance();
+  }
+
+  if (cur.Peek().IsKeyword("WHERE")) {
+    cur.Advance();
+    for (;;) {
+      ASSIGN_OR_RETURN(Condition cond, ParseCondition(cur));
+      stmt.conditions.push_back(std::move(cond));
+      if (!cur.Peek().IsKeyword("AND")) break;
+      cur.Advance();
+    }
+  }
+
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("unexpected trailing input at offset " +
+                                   std::to_string(cur.Peek().offset) + ": '" +
+                                   cur.Peek().text + "'");
+  }
+  return stmt;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the restricted SQL dialect (see ast.h).
+#ifndef P2PRANGE_QUERY_PARSER_H_
+#define P2PRANGE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace p2prange {
+
+/// \brief Parses one SELECT statement. String literals that look like
+/// dates ('YYYY-MM-DD') become Date values; bare numbers with a '.'
+/// become doubles, otherwise int64.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_QUERY_PARSER_H_

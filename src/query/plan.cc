@@ -1,0 +1,254 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace p2prange {
+
+const TableSelection* QueryPlan::LeafFor(const std::string& table) const {
+  for (const TableSelection& leaf : leaves) {
+    if (leaf.table == table) return &leaf;
+  }
+  return nullptr;
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out;
+  for (const TableSelection& leaf : leaves) {
+    out += "scan " + leaf.table;
+    for (const RangeSelection& sel : leaf.AllRanges()) {
+      out += " [" + sel.attribute + " in " + std::to_string(sel.lo) + ".." +
+             std::to_string(sel.hi) + "]";
+    }
+    for (const EqFilter& f : leaf.filters) {
+      out += " {" + f.attribute + " = " + f.value.ToString() + "}";
+    }
+    out += "\n";
+  }
+  for (const JoinEdge& j : joins) {
+    out += "join " + j.left_table + "." + j.left_column + " = " + j.right_table +
+           "." + j.right_column + "\n";
+  }
+  if (!projections.empty()) {
+    out += "project";
+    for (const ColumnRef& p : projections) out += " " + p.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Resolves a column reference to its owning table (validating that a
+/// qualified table is in the FROM list and actually has the column;
+/// that an unqualified column is unambiguous).
+Result<ColumnRef> Resolve(const ColumnRef& ref,
+                          const std::vector<std::string>& tables,
+                          const Catalog& catalog) {
+  if (!ref.table.empty()) {
+    if (std::find(tables.begin(), tables.end(), ref.table) == tables.end()) {
+      return Status::InvalidArgument("table '" + ref.table +
+                                     "' is not in the FROM clause");
+    }
+    ASSIGN_OR_RETURN(const Schema schema, catalog.GetSchema(ref.table));
+    if (!schema.HasField(ref.column)) {
+      return Status::InvalidArgument("relation '" + ref.table +
+                                     "' has no attribute '" + ref.column + "'");
+    }
+    return ref;
+  }
+  std::string owner;
+  for (const std::string& t : tables) {
+    ASSIGN_OR_RETURN(const Schema schema, catalog.GetSchema(t));
+    if (schema.HasField(ref.column)) {
+      if (!owner.empty()) {
+        return Status::InvalidArgument("column '" + ref.column +
+                                       "' is ambiguous between '" + owner +
+                                       "' and '" + t + "'");
+      }
+      owner = t;
+    }
+  }
+  if (owner.empty()) {
+    return Status::InvalidArgument("column '" + ref.column +
+                                   "' not found in any FROM table");
+  }
+  return ColumnRef{owner, ref.column};
+}
+
+/// Accumulated bounds for one table's ordinal attribute.
+struct Bounds {
+  std::string attribute;
+  int64_t lo;
+  int64_t hi;
+};
+
+Status TightenBounds(Bounds* b, CompareOp op, int64_t v) {
+  switch (op) {
+    case CompareOp::kLt:
+      b->hi = std::min(b->hi, v - 1);
+      break;
+    case CompareOp::kLe:
+      b->hi = std::min(b->hi, v);
+      break;
+    case CompareOp::kGt:
+      b->lo = std::max(b->lo, v + 1);
+      break;
+    case CompareOp::kGe:
+      b->lo = std::max(b->lo, v);
+      break;
+    case CompareOp::kEq:
+      b->lo = std::max(b->lo, v);
+      b->hi = std::min(b->hi, v);
+      break;
+  }
+  if (b->lo > b->hi) {
+    return Status::InvalidArgument("selection on '" + b->attribute +
+                                   "' is empty (contradictory bounds)");
+  }
+  return Status::OK();
+}
+
+/// The literal as an ordinal compatible with the field type.
+Result<int64_t> LiteralOrdinal(const Field& field, const Value& literal) {
+  if (field.type == ValueType::kInt64 && literal.is_int()) {
+    return literal.AsInt();
+  }
+  if (field.type == ValueType::kDate && literal.is_date()) {
+    return static_cast<int64_t>(literal.AsDate().days);
+  }
+  return Status::InvalidArgument("literal '" + literal.ToString() +
+                                 "' is not comparable with " +
+                                 ValueTypeName(field.type) + " attribute '" +
+                                 field.name + "'");
+}
+
+}  // namespace
+
+Result<QueryPlan> BuildPlan(const SelectStatement& stmt, const Catalog& catalog,
+                            const PlannerOptions& options) {
+  if (stmt.tables.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+  for (const std::string& t : stmt.tables) {
+    if (!catalog.HasRelation(t)) {
+      return Status::NotFound("relation '" + t + "' is not in the global schema");
+    }
+  }
+  if (std::set<std::string>(stmt.tables.begin(), stmt.tables.end()).size() !=
+      stmt.tables.size()) {
+    return Status::NotImplemented("self-joins (repeated FROM tables)");
+  }
+
+  QueryPlan plan;
+  // table -> accumulated bounds, one entry per range-selected
+  // attribute, in first-mention order.
+  std::map<std::string, std::vector<Bounds>> range_bounds;
+  std::map<std::string, std::vector<EqFilter>> eq_filters;
+
+  for (const Condition& cond : stmt.conditions) {
+    ASSIGN_OR_RETURN(const ColumnRef lhs, Resolve(cond.lhs, stmt.tables, catalog));
+    ASSIGN_OR_RETURN(const Schema schema, catalog.GetSchema(lhs.table));
+    ASSIGN_OR_RETURN(const size_t idx, schema.FieldIndex(lhs.column));
+    const Field& field = schema.field(idx);
+
+    switch (cond.kind) {
+      case Condition::Kind::kJoin: {
+        ASSIGN_OR_RETURN(const ColumnRef rhs, Resolve(cond.rhs, stmt.tables, catalog));
+        if (lhs.table == rhs.table) {
+          return Status::NotImplemented("intra-table column equality");
+        }
+        ASSIGN_OR_RETURN(const Schema rschema, catalog.GetSchema(rhs.table));
+        ASSIGN_OR_RETURN(const size_t ridx, rschema.FieldIndex(rhs.column));
+        if (rschema.field(ridx).type != field.type) {
+          return Status::InvalidArgument("join columns " + lhs.ToString() + " and " +
+                                         rhs.ToString() + " have different types");
+        }
+        plan.joins.push_back(JoinEdge{lhs.table, lhs.column, rhs.table, rhs.column});
+        break;
+      }
+      case Condition::Kind::kCompare:
+      case Condition::Kind::kBetween: {
+        const bool ordinal =
+            field.type == ValueType::kInt64 || field.type == ValueType::kDate;
+        if (!ordinal) {
+          if (cond.kind == Condition::Kind::kBetween ||
+              (cond.kind == Condition::Kind::kCompare && cond.op != CompareOp::kEq)) {
+            return Status::InvalidArgument("attribute '" + lhs.ToString() +
+                                           "' of type " + ValueTypeName(field.type) +
+                                           " does not support range predicates");
+          }
+          if (cond.literal.type() != field.type) {
+            return Status::InvalidArgument("literal '" + cond.literal.ToString() +
+                                           "' does not match type of " +
+                                           lhs.ToString());
+          }
+          eq_filters[lhs.table].push_back(EqFilter{lhs.column, cond.literal});
+          break;
+        }
+        // Ordinal attribute: fold into this table's bounds for that
+        // attribute.
+        auto& bounds_vec = range_bounds[lhs.table];
+        Bounds* bounds = nullptr;
+        for (Bounds& b : bounds_vec) {
+          if (b.attribute == lhs.column) {
+            bounds = &b;
+            break;
+          }
+        }
+        if (bounds == nullptr) {
+          if (!bounds_vec.empty() && !options.allow_multi_attribute) {
+            return Status::InvalidArgument(
+                "relation '" + lhs.table + "' has range selections on both '" +
+                bounds_vec.front().attribute + "' and '" + lhs.column +
+                "'; the paper's model allows one range attribute per relation "
+                "(enable PlannerOptions::allow_multi_attribute to lift this)");
+          }
+          if (!field.domain) {
+            return Status::InvalidArgument("attribute '" + lhs.ToString() +
+                                           "' has no declared ordered domain");
+          }
+          bounds_vec.push_back(
+              Bounds{lhs.column, field.domain->lo, field.domain->hi});
+          bounds = &bounds_vec.back();
+        }
+        if (cond.kind == Condition::Kind::kBetween) {
+          ASSIGN_OR_RETURN(const int64_t lo, LiteralOrdinal(field, cond.literal));
+          ASSIGN_OR_RETURN(const int64_t hi, LiteralOrdinal(field, cond.literal_hi));
+          RETURN_NOT_OK(TightenBounds(bounds, CompareOp::kGe, lo));
+          RETURN_NOT_OK(TightenBounds(bounds, CompareOp::kLe, hi));
+        } else {
+          ASSIGN_OR_RETURN(const int64_t v, LiteralOrdinal(field, cond.literal));
+          RETURN_NOT_OK(TightenBounds(bounds, cond.op, v));
+        }
+        break;
+      }
+    }
+  }
+
+  for (const std::string& t : stmt.tables) {
+    TableSelection leaf;
+    leaf.table = t;
+    auto rit = range_bounds.find(t);
+    if (rit != range_bounds.end()) {
+      const std::vector<Bounds>& bounds = rit->second;
+      leaf.range = RangeSelection{bounds[0].attribute, bounds[0].lo, bounds[0].hi};
+      for (size_t i = 1; i < bounds.size(); ++i) {
+        leaf.secondary_ranges.push_back(
+            RangeSelection{bounds[i].attribute, bounds[i].lo, bounds[i].hi});
+      }
+    }
+    auto fit = eq_filters.find(t);
+    if (fit != eq_filters.end()) leaf.filters = fit->second;
+    plan.leaves.push_back(std::move(leaf));
+  }
+
+  for (const ColumnRef& p : stmt.projections) {
+    ASSIGN_OR_RETURN(ColumnRef resolved, Resolve(p, stmt.tables, catalog));
+    plan.projections.push_back(std::move(resolved));
+  }
+  return plan;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,101 @@
+// Logical query plans with selections pushed to the leaves.
+//
+// BuildPlan turns a parsed statement into per-table leaf selections
+// (the data partitions the P2P layer will try to locate, per §2) plus
+// the equi-join edges and the projection list.
+#ifndef P2PRANGE_QUERY_PLAN_H_
+#define P2PRANGE_QUERY_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "rel/catalog.h"
+
+namespace p2prange {
+
+/// \brief The range selection of one leaf, in attribute-domain
+/// ordinals (already clamped to the declared domain).
+struct RangeSelection {
+  std::string attribute;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool operator==(const RangeSelection&) const = default;
+};
+
+/// \brief A non-range (equality) filter applied locally after fetch.
+struct EqFilter {
+  std::string attribute;
+  Value value;
+
+  bool operator==(const EqFilter&) const = default;
+};
+
+/// \brief One leaf of the plan: scan of `table` filtered by an
+/// optional range selection plus equality filters.
+///
+/// With PlannerOptions::allow_multi_attribute, further range
+/// selections on *other* ordinal attributes of the same relation land
+/// in `secondary_ranges` (the paper's §6 future-work extension); the
+/// P2P layer may resolve the leaf through the cache of whichever
+/// attribute matches best and apply the rest as local filters.
+struct TableSelection {
+  std::string table;
+  std::optional<RangeSelection> range;
+  std::vector<RangeSelection> secondary_ranges;
+  std::vector<EqFilter> filters;
+
+  /// All range selections, primary first.
+  std::vector<RangeSelection> AllRanges() const {
+    std::vector<RangeSelection> out;
+    if (range) out.push_back(*range);
+    out.insert(out.end(), secondary_ranges.begin(), secondary_ranges.end());
+    return out;
+  }
+};
+
+/// \brief An equi-join edge between two tables.
+struct JoinEdge {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+/// \brief A validated logical plan.
+struct QueryPlan {
+  std::vector<TableSelection> leaves;     ///< one per FROM table, in order
+  std::vector<JoinEdge> joins;
+  std::vector<ColumnRef> projections;     ///< fully qualified; empty = *
+
+  const TableSelection* LeafFor(const std::string& table) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Planner knobs.
+struct PlannerOptions {
+  /// The paper's base model (§2) allows one range-selected attribute
+  /// per relation; enabling this lifts the restriction (§6 extension)
+  /// and routes extra attributes into TableSelection::secondary_ranges.
+  bool allow_multi_attribute = false;
+};
+
+/// \brief Validates names/types against the catalog, resolves
+/// unqualified columns, merges comparison conjuncts into per-table
+/// range selections (pushdown), and (by default) enforces the paper's
+/// restriction of at most one range-selected attribute per relation.
+///
+/// One-sided predicates (e.g. age > 40) are completed with the
+/// attribute's declared domain bound. Equality on a non-ordinal
+/// attribute becomes an EqFilter; equality on an ordinal attribute
+/// becomes the degenerate range [v, v].
+Result<QueryPlan> BuildPlan(const SelectStatement& stmt, const Catalog& catalog,
+                            const PlannerOptions& options = PlannerOptions{});
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_QUERY_PLAN_H_

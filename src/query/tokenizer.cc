@@ -1,0 +1,90 @@
+#include "query/tokenizer.h"
+
+#include <cctype>
+
+namespace p2prange {
+
+namespace {
+bool IsKeywordWord(const std::string& upper) {
+  return upper == "SELECT" || upper == "FROM" || upper == "WHERE" ||
+         upper == "AND" || upper == "BETWEEN";
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        word.push_back(sql[i]);
+        ++i;
+      }
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      if (IsKeywordWord(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::string num;
+      if (c == '-') {
+        num.push_back(c);
+        ++i;
+      }
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot && i + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(sql[i + 1]))))) {
+        seen_dot = seen_dot || sql[i] == '.';
+        num.push_back(sql[i]);
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, num, start});
+    } else if (c == '\'') {
+      ++i;
+      std::string str;
+      while (i < n && sql[i] != '\'') {
+        str.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenType::kString, str, start});
+    } else if (c == '<' || c == '>') {
+      std::string sym(1, c);
+      ++i;
+      if (i < n && sql[i] == '=') {
+        sym.push_back('=');
+        ++i;
+      }
+      tokens.push_back({TokenType::kSymbol, sym, start});
+    } else if (c == '=' || c == ',' || c == '(' || c == ')' || c == '*' ||
+               c == '.') {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+    } else {
+      return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                     "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace p2prange

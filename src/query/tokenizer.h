@@ -1,0 +1,39 @@
+// Tokenizer for the restricted SQL dialect.
+#ifndef P2PRANGE_QUERY_TOKENIZER_H_
+#define P2PRANGE_QUERY_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace p2prange {
+
+enum class TokenType {
+  kKeyword,     // SELECT FROM WHERE AND BETWEEN (case-insensitive)
+  kIdentifier,  // relation / column names
+  kNumber,      // integer or decimal literal
+  kString,      // 'single quoted'
+  kSymbol,      // , ( ) * . < <= > >= =
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  ///< keywords upper-cased; others verbatim
+  size_t offset = 0; ///< position in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// \brief Splits `sql` into tokens; the final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_QUERY_TOKENIZER_H_

@@ -1,0 +1,104 @@
+#include "rel/catalog.h"
+
+namespace p2prange {
+
+Status Catalog::RegisterSchema(const std::string& relation, Schema schema) {
+  if (schemas_.contains(relation)) {
+    return Status::AlreadyExists("relation '" + relation + "' already registered");
+  }
+  schemas_.emplace(relation, std::move(schema));
+  return Status::OK();
+}
+
+Status Catalog::InstallBaseData(Relation relation) {
+  auto it = schemas_.find(relation.name());
+  if (it == schemas_.end()) {
+    return Status::NotFound("relation '" + relation.name() + "' is not registered");
+  }
+  if (!(it->second == relation.schema())) {
+    return Status::InvalidArgument("schema mismatch for relation '" +
+                                   relation.name() + "'");
+  }
+  base_data_[relation.name()] = std::move(relation);
+  return Status::OK();
+}
+
+Result<Schema> Catalog::GetSchema(const std::string& relation) const {
+  auto it = schemas_.find(relation);
+  if (it == schemas_.end()) {
+    return Status::NotFound("relation '" + relation + "' is not registered");
+  }
+  return it->second;
+}
+
+bool Catalog::HasRelation(const std::string& relation) const {
+  return schemas_.contains(relation);
+}
+
+Result<const Relation*> Catalog::GetBaseData(const std::string& relation) const {
+  auto it = base_data_.find(relation);
+  if (it == base_data_.end()) {
+    return Status::NotFound("no base data for relation '" + relation +
+                            "' at this catalog");
+  }
+  return &it->second;
+}
+
+Result<AttributeDomain> Catalog::GetDomain(const std::string& relation,
+                                           const std::string& attribute) const {
+  ASSIGN_OR_RETURN(const Schema schema, GetSchema(relation));
+  ASSIGN_OR_RETURN(const size_t idx, schema.FieldIndex(attribute));
+  const Field& field = schema.field(idx);
+  if (!field.domain) {
+    return Status::InvalidArgument("attribute '" + relation + "." + attribute +
+                                   "' has no declared ordered domain");
+  }
+  return *field.domain;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) names.push_back(name);
+  return names;
+}
+
+Catalog MakeMedicalCatalog() {
+  Catalog cat;
+  const AttributeDomain age_domain{0, 120};
+  const AttributeDomain id_domain{0, 1'000'000};
+  // Dates between 1990-01-01 and 2009-12-31, as day numbers.
+  const AttributeDomain date_domain{MakeDate(1990, 1, 1).days,
+                                    MakeDate(2009, 12, 31).days};
+
+  CHECK(cat.RegisterSchema(
+               "Patient",
+               Schema({Field{"patient_id", ValueType::kInt64, id_domain},
+                       Field{"name", ValueType::kString, std::nullopt},
+                       Field{"age", ValueType::kInt64, age_domain}}))
+            .ok());
+  CHECK(cat.RegisterSchema(
+               "Diagnosis",
+               Schema({Field{"patient_id", ValueType::kInt64, id_domain},
+                       Field{"diagnosis", ValueType::kString, std::nullopt},
+                       Field{"physician_id", ValueType::kInt64, id_domain},
+                       Field{"prescription_id", ValueType::kInt64, id_domain}}))
+            .ok());
+  CHECK(cat.RegisterSchema(
+               "Physician",
+               Schema({Field{"physician_id", ValueType::kInt64, id_domain},
+                       Field{"name", ValueType::kString, std::nullopt},
+                       Field{"age", ValueType::kInt64, age_domain},
+                       Field{"specialization", ValueType::kString, std::nullopt}}))
+            .ok());
+  CHECK(cat.RegisterSchema(
+               "Prescription",
+               Schema({Field{"prescription_id", ValueType::kInt64, id_domain},
+                       Field{"date", ValueType::kDate, date_domain},
+                       Field{"prescription", ValueType::kString, std::nullopt},
+                       Field{"comments", ValueType::kString, std::nullopt}}))
+            .ok());
+  return cat;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,57 @@
+// The global schema and the data sources.
+//
+// Per §2, every peer knows the global schema, and the base relations
+// live at source peers that are part of the system. The Catalog holds
+// both: schema metadata (always available) and, at source peers, the
+// base relation contents.
+#ifndef P2PRANGE_REL_CATALOG_H_
+#define P2PRANGE_REL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/relation.h"
+#include "rel/schema.h"
+
+namespace p2prange {
+
+/// \brief Registry of relation schemas plus (optionally) their base
+/// contents.
+class Catalog {
+ public:
+  /// Registers a schema; fails if the name is taken.
+  Status RegisterSchema(const std::string& relation, Schema schema);
+
+  /// Installs base contents for a registered relation (the relation
+  /// becomes a data source for it). The relation's schema must match.
+  Status InstallBaseData(Relation relation);
+
+  Result<Schema> GetSchema(const std::string& relation) const;
+  bool HasRelation(const std::string& relation) const;
+
+  /// The base contents; NotFound if this catalog is not a source for
+  /// the relation.
+  Result<const Relation*> GetBaseData(const std::string& relation) const;
+
+  /// The domain of a range-selectable attribute, or an error if the
+  /// attribute is untyped for selection.
+  Result<AttributeDomain> GetDomain(const std::string& relation,
+                                    const std::string& attribute) const;
+
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  std::map<std::string, Schema> schemas_;
+  std::map<std::string, Relation> base_data_;
+};
+
+/// \brief The paper's example global schema (§2): Patient, Diagnosis,
+/// Physician, Prescription — with range-selectable age and date
+/// attributes.
+Catalog MakeMedicalCatalog();
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_REL_CATALOG_H_

@@ -1,0 +1,178 @@
+#include "rel/csv.h"
+
+#include <charconv>
+
+namespace p2prange {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+void WriteField(const std::string& s, std::ostream* out) {
+  if (!NeedsQuoting(s)) {
+    *out << s;
+    return;
+  }
+  *out << '"';
+  for (char c : s) {
+    if (c == '"') *out << '"';
+    *out << c;
+  }
+  *out << '"';
+}
+
+/// Splits one logical CSV record (which may span physical lines when
+/// quoted fields contain newlines) into fields. Returns false at EOF
+/// with no data.
+Result<bool> ReadRecord(std::istream* in, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = in->get()) != EOF) {
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        const int next = in->peek();
+        if (next == '"') {
+          in->get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(static_cast<char>(c));
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument("csv: quote inside unquoted field");
+        }
+        in_quotes = true;
+        break;
+      case ',':
+        fields->push_back(std::move(field));
+        field.clear();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        fields->push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(static_cast<char>(c));
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("csv: unterminated quoted field");
+  }
+  if (!any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+Result<Value> ParseTyped(const std::string& raw, const Field& field, size_t line) {
+  const std::string where =
+      " for field '" + field.name + "' at data row " + std::to_string(line);
+  switch (field.type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      auto [p, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+      if (ec != std::errc() || p != raw.data() + raw.size()) {
+        return Status::InvalidArgument("csv: bad int64 '" + raw + "'" + where);
+      }
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      try {
+        size_t consumed = 0;
+        const double d = std::stod(raw, &consumed);
+        if (consumed != raw.size()) throw std::invalid_argument(raw);
+        return Value(d);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("csv: bad double '" + raw + "'" + where);
+      }
+    }
+    case ValueType::kDate: {
+      auto date = ParseDate(raw);
+      if (!date.ok()) {
+        return Status::InvalidArgument("csv: bad date '" + raw + "'" + where);
+      }
+      return Value(*date);
+    }
+    case ValueType::kString:
+      return Value(raw);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status WriteCsv(const Relation& rel, std::ostream* out) {
+  CHECK(out != nullptr);
+  const Schema& schema = rel.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) *out << ',';
+    WriteField(schema.field(c).name, out);
+  }
+  *out << '\n';
+  for (const Row& row : rel.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) *out << ',';
+      WriteField(row[c].ToString(), out);
+    }
+    *out << '\n';
+  }
+  if (!out->good()) return Status::IOError("csv: write failed");
+  return Status::OK();
+}
+
+Result<Relation> ReadCsv(const std::string& relation_name, const Schema& schema,
+                         std::istream* in) {
+  CHECK(in != nullptr);
+  std::vector<std::string> fields;
+  ASSIGN_OR_RETURN(const bool has_header, ReadRecord(in, &fields));
+  if (!has_header) return Status::InvalidArgument("csv: empty input");
+  if (fields.size() != schema.num_fields()) {
+    return Status::InvalidArgument(
+        "csv: header has " + std::to_string(fields.size()) + " columns, schema " +
+        std::to_string(schema.num_fields()));
+  }
+  for (size_t c = 0; c < fields.size(); ++c) {
+    if (fields[c] != schema.field(c).name) {
+      return Status::InvalidArgument("csv: header column '" + fields[c] +
+                                     "' does not match schema field '" +
+                                     schema.field(c).name + "'");
+    }
+  }
+
+  Relation out(relation_name, schema);
+  size_t line = 0;
+  for (;;) {
+    ASSIGN_OR_RETURN(const bool more, ReadRecord(in, &fields));
+    if (!more) break;
+    ++line;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "csv: row " + std::to_string(line) + " has " +
+          std::to_string(fields.size()) + " columns, expected " +
+          std::to_string(schema.num_fields()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      ASSIGN_OR_RETURN(Value v, ParseTyped(fields[c], schema.field(c), line));
+      row.push_back(std::move(v));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace p2prange

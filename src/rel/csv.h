@@ -1,0 +1,28 @@
+// CSV import/export for relations (RFC 4180 quoting), so external
+// data can be loaded into a catalog and query results exported.
+#ifndef P2PRANGE_REL_CSV_H_
+#define P2PRANGE_REL_CSV_H_
+
+#include <iostream>
+#include <string>
+
+#include "common/result.h"
+#include "rel/relation.h"
+
+namespace p2prange {
+
+/// \brief Writes `rel` as CSV: a header row of field names, then one
+/// row per tuple. Strings containing commas, quotes, or newlines are
+/// quoted with doubled inner quotes; dates print as YYYY-MM-DD.
+Status WriteCsv(const Relation& rel, std::ostream* out);
+
+/// \brief Parses CSV produced by WriteCsv (or any RFC 4180 file whose
+/// columns match `schema` in order). The header row is validated
+/// against the schema's field names. Values are typed by the schema:
+/// int64, double, date ("YYYY-MM-DD"), or string.
+Result<Relation> ReadCsv(const std::string& relation_name, const Schema& schema,
+                         std::istream* in);
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_REL_CSV_H_

@@ -1,0 +1,116 @@
+#include "rel/generator.h"
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+namespace {
+
+const char* kFirstNames[] = {"Alice", "Bob",  "Carol", "Dave",  "Erin",
+                             "Frank", "Grace", "Heidi", "Ivan", "Judy",
+                             "Mallory", "Niaj", "Olivia", "Peggy", "Rupert",
+                             "Sybil", "Trent", "Uma", "Victor", "Wendy"};
+const char* kLastNames[] = {"Adams",  "Brown",  "Clark", "Davis", "Evans",
+                            "Flores", "Garcia", "Hill",  "Irwin", "Jones",
+                            "King", "Lopez", "Moore", "Nguyen", "Ortiz",
+                            "Patel", "Quinn", "Reyes", "Smith", "Turner"};
+const char* kDiagnoses[] = {"Glaucoma",     "Diabetes",   "Hypertension",
+                            "Asthma",       "Arthritis",  "Migraine",
+                            "Bronchitis",   "Anemia",     "Cataract",
+                            "Dermatitis"};
+const char* kSpecializations[] = {"Ophthalmology", "Cardiology", "Neurology",
+                                  "Pediatrics",    "Oncology",   "Orthopedics"};
+const char* kDrugs[] = {"Timolol",    "Metformin", "Lisinopril", "Albuterol",
+                        "Ibuprofen",  "Sumatriptan", "Amoxicillin",
+                        "Ferrous sulfate", "Latanoprost", "Hydrocortisone"};
+
+std::string RandomName(Rng& rng) {
+  return std::string(kFirstNames[rng.NextBounded(std::size(kFirstNames))]) + " " +
+         kLastNames[rng.NextBounded(std::size(kLastNames))];
+}
+
+template <typename T, size_t N>
+const T& Pick(const T (&arr)[N], Rng& rng) {
+  return arr[rng.NextBounded(N)];
+}
+
+}  // namespace
+
+Status PopulateMedicalData(const MedicalDataSpec& spec, Catalog* catalog) {
+  CHECK(catalog != nullptr);
+  Rng rng(spec.seed);
+
+  ASSIGN_OR_RETURN(const Schema patient_schema, catalog->GetSchema("Patient"));
+  ASSIGN_OR_RETURN(const Schema physician_schema, catalog->GetSchema("Physician"));
+  ASSIGN_OR_RETURN(const Schema prescription_schema,
+                   catalog->GetSchema("Prescription"));
+  ASSIGN_OR_RETURN(const Schema diagnosis_schema, catalog->GetSchema("Diagnosis"));
+  ASSIGN_OR_RETURN(const AttributeDomain date_domain,
+                   catalog->GetDomain("Prescription", "date"));
+
+  Relation patients("Patient", patient_schema);
+  patients.Reserve(spec.num_patients);
+  for (size_t i = 0; i < spec.num_patients; ++i) {
+    RETURN_NOT_OK(patients.Append(
+        {Value(static_cast<int64_t>(i)), Value(RandomName(rng)),
+         Value(static_cast<int64_t>(rng.NextInRange(0, 100)))}));
+  }
+
+  Relation physicians("Physician", physician_schema);
+  physicians.Reserve(spec.num_physicians);
+  for (size_t i = 0; i < spec.num_physicians; ++i) {
+    RETURN_NOT_OK(physicians.Append(
+        {Value(static_cast<int64_t>(i)), Value("Dr. " + RandomName(rng)),
+         Value(static_cast<int64_t>(rng.NextInRange(28, 70))),
+         Value(Pick(kSpecializations, rng))}));
+  }
+
+  Relation prescriptions("Prescription", prescription_schema);
+  prescriptions.Reserve(spec.num_prescriptions);
+  for (size_t i = 0; i < spec.num_prescriptions; ++i) {
+    const int32_t day = static_cast<int32_t>(rng.NextInRange(
+        static_cast<uint64_t>(date_domain.lo), static_cast<uint64_t>(date_domain.hi)));
+    RETURN_NOT_OK(prescriptions.Append(
+        {Value(static_cast<int64_t>(i)), Value(Date{day}), Value(Pick(kDrugs, rng)),
+         Value(std::string("take as directed"))}));
+  }
+
+  Relation diagnoses("Diagnosis", diagnosis_schema);
+  diagnoses.Reserve(spec.num_diagnoses);
+  for (size_t i = 0; i < spec.num_diagnoses; ++i) {
+    RETURN_NOT_OK(diagnoses.Append(
+        {Value(static_cast<int64_t>(rng.NextBounded(spec.num_patients))),
+         Value(Pick(kDiagnoses, rng)),
+         Value(static_cast<int64_t>(rng.NextBounded(spec.num_physicians))),
+         Value(static_cast<int64_t>(rng.NextBounded(spec.num_prescriptions)))}));
+  }
+
+  RETURN_NOT_OK(catalog->InstallBaseData(std::move(patients)));
+  RETURN_NOT_OK(catalog->InstallBaseData(std::move(physicians)));
+  RETURN_NOT_OK(catalog->InstallBaseData(std::move(prescriptions)));
+  RETURN_NOT_OK(catalog->InstallBaseData(std::move(diagnoses)));
+  return Status::OK();
+}
+
+Catalog MakeNumbersCatalog(size_t n, int64_t domain_lo, int64_t domain_hi,
+                           uint64_t seed) {
+  CHECK_LE(domain_lo, domain_hi);
+  Catalog cat;
+  const AttributeDomain key_domain{domain_lo, domain_hi};
+  Schema schema({Field{"key", ValueType::kInt64, key_domain},
+                 Field{"payload", ValueType::kInt64, std::nullopt}});
+  CHECK(cat.RegisterSchema("Numbers", schema).ok());
+  Relation rows("Numbers", schema);
+  rows.Reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key =
+        domain_lo + static_cast<int64_t>(rng.NextBounded(
+                        static_cast<uint64_t>(domain_hi - domain_lo) + 1));
+    rows.AppendUnchecked({Value(key), Value(static_cast<int64_t>(i))});
+  }
+  CHECK(cat.InstallBaseData(std::move(rows)).ok());
+  return cat;
+}
+
+}  // namespace p2prange

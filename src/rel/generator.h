@@ -1,0 +1,41 @@
+// Synthetic data for the paper's medical schema.
+//
+// The paper does not publish a dataset; these generators produce
+// deterministic, referentially consistent relations (every Diagnosis
+// points at an existing Patient/Physician/Prescription) so the query
+// examples and integration tests exercise realistic multi-relation
+// plans.
+#ifndef P2PRANGE_REL_GENERATOR_H_
+#define P2PRANGE_REL_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "rel/catalog.h"
+#include "rel/relation.h"
+
+namespace p2prange {
+
+/// \brief Sizes for the generated medical dataset.
+struct MedicalDataSpec {
+  size_t num_patients = 1000;
+  size_t num_physicians = 50;
+  size_t num_prescriptions = 2000;
+  size_t num_diagnoses = 2000;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates all four relations and installs them as base data
+/// into `catalog` (which must already carry the medical schema).
+Status PopulateMedicalData(const MedicalDataSpec& spec, Catalog* catalog);
+
+/// \brief A single-relation integer table "Numbers(key, payload)" with
+/// `n` rows whose key is uniform in the declared domain — the neutral
+/// substrate for the §5 range-selection experiments.
+Catalog MakeNumbersCatalog(size_t n, int64_t domain_lo, int64_t domain_hi,
+                           uint64_t seed);
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_REL_GENERATOR_H_

@@ -1,0 +1,62 @@
+#include "rel/relation.h"
+
+#include <sstream>
+
+namespace p2prange {
+
+Status Relation::Append(Row row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_fields()) + " for relation " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.field(i).type) {
+      return Status::InvalidArgument(
+          "field '" + schema_.field(i).name + "' expects " +
+          ValueTypeName(schema_.field(i).type) + ", got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Relation> Relation::SelectOrdinalRange(const std::string& attribute,
+                                              int64_t sel_lo, int64_t sel_hi) const {
+  ASSIGN_OR_RETURN(const size_t idx, schema_.FieldIndex(attribute));
+  Relation out(name_, schema_);
+  for (const Row& row : rows_) {
+    ASSIGN_OR_RETURN(const int64_t ord, row[idx].Ordinal());
+    if (ord >= sel_lo && ord <= sel_hi) out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+Result<Relation> Relation::SelectEquals(const std::string& attribute,
+                                        const Value& v) const {
+  ASSIGN_OR_RETURN(const size_t idx, schema_.FieldIndex(attribute));
+  Relation out(name_, schema_);
+  for (const Row& row : rows_) {
+    if (row[idx] == v) out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << name_ << schema_.ToString() << ", " << rows_.size() << " rows\n";
+  const size_t limit = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < limit; ++r) {
+    os << "  ";
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) os << " | ";
+      os << rows_[r][c].ToString();
+    }
+    os << "\n";
+  }
+  if (rows_.size() > limit) os << "  ... (" << rows_.size() - limit << " more)\n";
+  return os.str();
+}
+
+}  // namespace p2prange

@@ -1,0 +1,64 @@
+// In-memory relations and horizontal partitions.
+#ifndef P2PRANGE_REL_RELATION_H_
+#define P2PRANGE_REL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hash/range.h"
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace p2prange {
+
+/// \brief One tuple; values are positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// \brief A named relation: schema + tuples.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row after checking arity and types.
+  Status Append(Row row);
+  /// Appends without checks (bulk internal use).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// \brief The tuples whose `attribute` ordinal lies in
+  /// [sel_lo, sel_hi] — a horizontal partition's contents.
+  Result<Relation> SelectOrdinalRange(const std::string& attribute, int64_t sel_lo,
+                                      int64_t sel_hi) const;
+
+  /// \brief The tuples whose `attribute` equals `v`.
+  Result<Relation> SelectEquals(const std::string& attribute, const Value& v) const;
+
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// \brief A materialized horizontal partition: the tuples of
+/// `relation` selected by `range` (domain-encoded) over `attribute`.
+struct HorizontalPartition {
+  std::string relation;
+  std::string attribute;
+  Range range;  ///< domain-encoded (see AttributeDomain)
+  Relation data;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_REL_RELATION_H_

@@ -1,0 +1,61 @@
+#include "rel/schema.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace p2prange {
+
+Result<Range> AttributeDomain::EncodeRange(int64_t sel_lo, int64_t sel_hi) const {
+  if (sel_lo > sel_hi) {
+    return Status::InvalidArgument("selection lo " + std::to_string(sel_lo) +
+                                   " exceeds hi " + std::to_string(sel_hi));
+  }
+  if (sel_lo < lo || sel_hi > hi) {
+    return Status::OutOfRange("selection [" + std::to_string(sel_lo) + ", " +
+                              std::to_string(sel_hi) + "] outside domain [" +
+                              std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  const uint64_t off_lo = static_cast<uint64_t>(sel_lo - lo);
+  const uint64_t off_hi = static_cast<uint64_t>(sel_hi - lo);
+  if (off_hi > std::numeric_limits<uint32_t>::max()) {
+    return Status::OutOfRange("attribute domain wider than the 32-bit hash space");
+  }
+  return Range(static_cast<uint32_t>(off_lo), static_cast<uint32_t>(off_hi));
+}
+
+Result<Range> AttributeDomain::EncodeClampedRange(int64_t sel_lo, int64_t sel_hi) const {
+  const int64_t clamped_lo = std::max(sel_lo, lo);
+  const int64_t clamped_hi = std::min(sel_hi, hi);
+  if (clamped_lo > clamped_hi) {
+    return Status::OutOfRange("selection [" + std::to_string(sel_lo) + ", " +
+                              std::to_string(sel_hi) +
+                              "] does not intersect the attribute domain");
+  }
+  return EncodeRange(clamped_lo, clamped_hi);
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return std::any_of(fields_.begin(), fields_.end(),
+                     [&](const Field& f) { return f.name == name; });
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += ValueTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace p2prange

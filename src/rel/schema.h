@@ -1,0 +1,78 @@
+// Relation schemas and attribute domains.
+//
+// The paper assumes a global schema known to every peer (§2). For each
+// range-selectable attribute the schema records its ordered domain
+// [lo, hi]; a selection range over the attribute is encoded into the
+// 32-bit hash domain as offsets from lo, so dates and negative
+// integers hash identically to small counting numbers.
+#ifndef P2PRANGE_REL_SCHEMA_H_
+#define P2PRANGE_REL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hash/range.h"
+#include "rel/value.h"
+
+namespace p2prange {
+
+/// \brief The ordered domain of a range-selectable attribute, as 64-bit
+/// ordinals (int value, or date day-number).
+struct AttributeDomain {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  /// Width must fit the 32-bit hash domain.
+  Result<Range> EncodeRange(int64_t sel_lo, int64_t sel_hi) const;
+
+  /// Clamps a selection to the domain before encoding; fails only if
+  /// the selection misses the domain entirely.
+  Result<Range> EncodeClampedRange(int64_t sel_lo, int64_t sel_hi) const;
+
+  int64_t DecodeLo(const Range& r) const { return lo + static_cast<int64_t>(r.lo()); }
+  int64_t DecodeHi(const Range& r) const { return lo + static_cast<int64_t>(r.hi()); }
+
+  uint64_t width() const { return static_cast<uint64_t>(hi - lo) + 1; }
+
+  bool operator==(const AttributeDomain&) const = default;
+};
+
+/// \brief One column: name, type, and (for range-selectable columns)
+/// its domain.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  std::optional<AttributeDomain> domain;  ///< set for selectable columns
+
+  bool operator==(const Field&) const = default;
+};
+
+/// \brief An ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the named field, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  bool HasField(const std::string& name) const;
+
+  bool operator==(const Schema&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_REL_SCHEMA_H_

@@ -1,0 +1,116 @@
+#include "rel/value.h"
+
+#include <charconv>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+namespace {
+// Howard Hinnant's days_from_civil algorithm.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = static_cast<int>((y >= 0 ? y : y - 399) / 400);
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* yy, int* mm, int* dd) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *yy = static_cast<int>(y + (m <= 2));
+  *mm = static_cast<int>(m);
+  *dd = static_cast<int>(d);
+}
+}  // namespace
+
+Date MakeDate(int year, int month, int day) {
+  return Date{static_cast<int32_t>(DaysFromCivil(year, month, day))};
+}
+
+void DateToCivil(Date d, int* year, int* month, int* day) {
+  CivilFromDays(d.days, year, month, day);
+}
+
+Result<Date> ParseDate(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') {
+    return Status::InvalidArgument("date must be YYYY-MM-DD, got '" + s + "'");
+  }
+  auto parse_int = [&](size_t pos, size_t len, int* out) {
+    auto [p, ec] = std::from_chars(s.data() + pos, s.data() + pos + len, *out);
+    return ec == std::errc() && p == s.data() + pos + len;
+  };
+  if (!parse_int(0, 4, &y) || !parse_int(5, 2, &m) || !parse_int(8, 2, &d)) {
+    return Status::InvalidArgument("date must be YYYY-MM-DD, got '" + s + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("date out of range: '" + s + "'");
+  }
+  return MakeDate(y, m, d);
+}
+
+std::string DateToString(Date d) {
+  int y, m, dd;
+  DateToCivil(d, &y, &m, &dd);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, dd);
+  return buf;
+}
+
+ValueType Value::type() const {
+  if (is_int()) return ValueType::kInt64;
+  if (is_double()) return ValueType::kDouble;
+  if (is_string()) return ValueType::kString;
+  return ValueType::kDate;
+}
+
+Result<int64_t> Value::Ordinal() const {
+  if (is_int()) return AsInt();
+  if (is_date()) return static_cast<int64_t>(AsDate().days);
+  return Status::InvalidArgument(std::string("type ") + ValueTypeName(type()) +
+                                 " has no ordinal (range selections need an "
+                                 "ordered discrete domain)");
+}
+
+bool Value::LessThan(const Value& other) const {
+  CHECK(type() == other.type())
+      << "comparing " << ValueTypeName(type()) << " with "
+      << ValueTypeName(other.type());
+  if (is_int()) return AsInt() < other.AsInt();
+  if (is_double()) return AsDouble() < other.AsDouble();
+  if (is_string()) return AsString() < other.AsString();
+  return AsDate() < other.AsDate();
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return std::to_string(AsDouble());
+  if (is_string()) return AsString();
+  return DateToString(AsDate());
+}
+
+}  // namespace p2prange

@@ -1,0 +1,98 @@
+// Typed values for the relational layer.
+//
+// The global schema of §2 needs integers (ids, ages), strings (names,
+// diagnoses), doubles, and dates. Dates are stored as days since
+// 1970-01-01 so that date ranges are integer ranges and hash exactly
+// like any other ordered attribute.
+#ifndef P2PRANGE_REL_VALUE_H_
+#define P2PRANGE_REL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace p2prange {
+
+enum class ValueType { kInt64, kDouble, kString, kDate };
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief Days since the Unix epoch; negative for earlier dates.
+struct Date {
+  int32_t days = 0;
+  bool operator==(const Date&) const = default;
+  auto operator<=>(const Date&) const = default;
+};
+
+/// \brief Civil-date helpers (proleptic Gregorian).
+Date MakeDate(int year, int month, int day);
+void DateToCivil(Date d, int* year, int* month, int* day);
+/// Parses "YYYY-MM-DD".
+Result<Date> ParseDate(const std::string& s);
+std::string DateToString(Date d);
+
+/// \brief A dynamically typed relational value.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(Date d) : v_(d) {}
+
+  ValueType type() const;
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_date() const { return std::holds_alternative<Date>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  Date AsDate() const { return std::get<Date>(v_); }
+
+  /// \brief For range-selectable (ordered integer-like) types, the
+  /// value as a signed 64-bit ordinal: int64 as-is, date as its day
+  /// number. Errors for doubles/strings (the paper's selections are
+  /// over ordered discrete domains).
+  Result<int64_t> Ordinal() const;
+
+  /// Three-way comparison between same-typed values; comparing values
+  /// of different types is an error surfaced as InvalidArgument by the
+  /// callers that need it. operator== is exact (type and payload).
+  bool operator==(const Value&) const = default;
+
+  /// True if *this < other; both must have the same type (CHECKed).
+  bool LessThan(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string, Date> v_;
+};
+
+/// \brief Hash functor so values can key hash-join tables.
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    switch (v.type()) {
+      case ValueType::kInt64:
+        return std::hash<int64_t>()(v.AsInt());
+      case ValueType::kDouble:
+        return std::hash<double>()(v.AsDouble());
+      case ValueType::kString:
+        return std::hash<std::string>()(v.AsString());
+      case ValueType::kDate:
+        return std::hash<int32_t>()(v.AsDate().days) * 1000003;
+    }
+    return 0;
+  }
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_REL_VALUE_H_

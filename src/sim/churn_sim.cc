@@ -1,0 +1,123 @@
+#include "sim/churn_sim.h"
+
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+namespace {
+/// Exponential inter-arrival time for a Poisson process of `rate_hz`.
+double NextArrival(Rng& rng, double rate_hz) {
+  if (rate_hz <= 0.0) return std::numeric_limits<double>::infinity();
+  return -std::log(1.0 - rng.NextDouble()) / rate_hz;
+}
+}  // namespace
+
+ChurnSimulator::ChurnSimulator(RangeCacheSystem* system,
+                               std::function<PartitionKey()> make_query,
+                               ChurnScenarioConfig config)
+    : system_(system), make_query_(std::move(make_query)), config_(config) {
+  CHECK(system_ != nullptr);
+  CHECK(make_query_ != nullptr);
+  rng_ = Rng(config.seed);
+}
+
+Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
+  if (num_slices < 1) {
+    return Status::InvalidArgument("num_slices must be >= 1");
+  }
+  struct Event {
+    double time;
+    EventType type;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  queue.push({NextArrival(rng_, config_.query_rate_hz), EventType::kQuery});
+  queue.push({NextArrival(rng_, config_.join_rate_hz), EventType::kJoin});
+  queue.push({NextArrival(rng_, config_.leave_rate_hz), EventType::kLeave});
+  if (config_.stabilize_period_s > 0) {
+    queue.push({config_.stabilize_period_s, EventType::kStabilize});
+  }
+
+  ChurnReport report;
+  report.slices.resize(num_slices);
+  const double slice_len = config_.duration_s / num_slices;
+  for (int s = 0; s < num_slices; ++s) {
+    report.slices[s].t_begin = s * slice_len;
+    report.slices[s].t_end = (s + 1) * slice_len;
+  }
+  std::vector<double> recall_sums(num_slices, 0.0);
+
+  int cur_slice = 0;
+  while (!queue.empty() && queue.top().time <= config_.duration_s) {
+    const Event ev = queue.top();
+    queue.pop();
+    int slice = static_cast<int>(ev.time / slice_len);
+    if (slice >= num_slices) slice = num_slices - 1;
+    // Crossing into a new slice: snapshot the overlay size at the end
+    // of every slice we just left.
+    while (cur_slice < slice) {
+      report.slices[cur_slice++].alive_at_end = system_->ring().num_alive();
+    }
+    ChurnTimeSlice& out = report.slices[slice];
+
+    switch (ev.type) {
+      case EventType::kQuery: {
+        auto outcome = system_->LookupRange(make_query_());
+        ++report.total_queries;
+        ++out.queries;
+        if (!outcome.ok()) {
+          ++report.protocol_errors;
+        } else {
+          const double recall =
+              outcome->match ? outcome->match->recall : 0.0;
+          out.matched += outcome->match.has_value();
+          out.complete += recall >= 1.0;
+          recall_sums[slice] += recall;
+        }
+        queue.push({ev.time + NextArrival(rng_, config_.query_rate_hz),
+                    EventType::kQuery});
+        break;
+      }
+      case EventType::kJoin: {
+        if (system_->AddPeer().ok()) ++out.joins;
+        queue.push({ev.time + NextArrival(rng_, config_.join_rate_hz),
+                    EventType::kJoin});
+        break;
+      }
+      case EventType::kLeave: {
+        if (system_->ring().num_alive() > config_.min_peers) {
+          auto victim = system_->ring().RandomAliveAddress();
+          if (victim.ok() && *victim != system_->source_address()) {
+            const bool graceful = !rng_.NextBernoulli(config_.fail_fraction);
+            if (system_->RemovePeer(*victim, graceful).ok()) ++out.departures;
+          }
+        }
+        queue.push({ev.time + NextArrival(rng_, config_.leave_rate_hz),
+                    EventType::kLeave});
+        break;
+      }
+      case EventType::kStabilize: {
+        system_->ring().StabilizeAll(1);
+        system_->ring().FixAllFingers();
+        queue.push({ev.time + config_.stabilize_period_s, EventType::kStabilize});
+        break;
+      }
+    }
+  }
+
+  // Slices the run ended in (or never reached) carry the final count.
+  while (cur_slice < num_slices) {
+    report.slices[cur_slice++].alive_at_end = system_->ring().num_alive();
+  }
+  for (int s = 0; s < num_slices; ++s) {
+    ChurnTimeSlice& out = report.slices[s];
+    out.mean_recall =
+        out.queries == 0 ? 0.0 : recall_sums[s] / static_cast<double>(out.queries);
+  }
+  return report;
+}
+
+}  // namespace p2prange

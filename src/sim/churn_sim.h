@@ -1,0 +1,85 @@
+// Discrete-event churn simulation.
+//
+// Drives a RangeCacheSystem through a timed scenario: queries, joins,
+// and departures arrive as independent Poisson processes; periodic
+// stabilization repairs the ring — the evaluation style of the DHT
+// papers' churn experiments, applied to the paper's range-cache
+// protocol. Produces a time series of cache effectiveness and overlay
+// size so the interplay of churn rate, descriptor replication, and
+// cache warm-up can be measured (bench/ablation_churn).
+#ifndef P2PRANGE_SIM_CHURN_SIM_H_
+#define P2PRANGE_SIM_CHURN_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/system.h"
+
+namespace p2prange {
+
+/// \brief Rates and shape of a churn scenario. All rates are events
+/// per simulated second; arrivals are Poisson.
+struct ChurnScenarioConfig {
+  double duration_s = 600.0;
+  double query_rate_hz = 2.0;
+  double join_rate_hz = 0.02;
+  double leave_rate_hz = 0.02;
+  /// Fraction of departures that are abrupt failures (no handoff).
+  double fail_fraction = 0.5;
+  /// Period of the maintenance sweep (stabilize + fix fingers).
+  double stabilize_period_s = 30.0;
+  /// Departures never shrink the overlay below this.
+  size_t min_peers = 8;
+  uint64_t seed = 1;
+};
+
+/// \brief Aggregates for one time slice of the run.
+struct ChurnTimeSlice {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  uint64_t queries = 0;
+  uint64_t matched = 0;        ///< queries with any cached match
+  uint64_t complete = 0;       ///< queries with recall == 1
+  double mean_recall = 0.0;
+  size_t alive_at_end = 0;
+  uint64_t joins = 0;
+  uint64_t departures = 0;
+};
+
+/// \brief Result of a scenario run.
+struct ChurnReport {
+  std::vector<ChurnTimeSlice> slices;
+  uint64_t total_queries = 0;
+  uint64_t protocol_errors = 0;  ///< lookups that failed outright
+};
+
+/// \brief Runs a churn scenario against `system`.
+///
+/// `make_query` supplies the next query range (called once per query
+/// event). The simulator owns event scheduling and membership changes;
+/// the system keeps all protocol behavior.
+class ChurnSimulator {
+ public:
+  ChurnSimulator(RangeCacheSystem* system,
+                 std::function<PartitionKey()> make_query,
+                 ChurnScenarioConfig config);
+
+  /// Runs the full scenario, splitting the duration into `num_slices`
+  /// equal reporting windows.
+  Result<ChurnReport> Run(int num_slices = 10);
+
+ private:
+  enum class EventType { kQuery, kJoin, kLeave, kStabilize };
+
+  RangeCacheSystem* system_;
+  std::function<PartitionKey()> make_query_;
+  ChurnScenarioConfig config_;
+  Rng rng_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_SIM_CHURN_SIM_H_

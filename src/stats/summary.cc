@@ -1,0 +1,100 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+void Summary::EnsureSorted() const {
+  if (!sorted_valid_ || sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Summary::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::Percentile(double q) const {
+  DCHECK_GE(q, 0.0);
+  DCHECK_LE(q, 100.0);
+  EnsureSorted();
+  if (sorted_.empty()) return 0.0;
+  // Nearest-rank: ceil(q/100 * N), 1-based.
+  const double rank = q / 100.0 * static_cast<double>(sorted_.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sorted_.size()) idx = sorted_.size() - 1;
+  return sorted_[idx];
+}
+
+void UnitHistogram::Add(double x) {
+  DCHECK_GE(x, 0.0);
+  DCHECK_LE(x, 1.0);
+  int bin = static_cast<int>(x * static_cast<double>(counts_.size()));
+  if (bin >= static_cast<int>(counts_.size())) bin = static_cast<int>(counts_.size()) - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+double UnitHistogram::Percentage(int i) const {
+  if (total_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<double, double>> FractionAtLeast(
+    const std::vector<double>& samples, int points) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points + 1);
+  for (int i = points; i >= 0; --i) {
+    const double threshold = static_cast<double>(i) / static_cast<double>(points);
+    uint64_t count = 0;
+    for (double s : samples) {
+      // Tolerate floating rounding right at the threshold.
+      if (s >= threshold - 1e-12) ++count;
+    }
+    const double pct = samples.empty()
+                           ? 0.0
+                           : 100.0 * static_cast<double>(count) /
+                                 static_cast<double>(samples.size());
+    out.emplace_back(threshold, pct);
+  }
+  return out;
+}
+
+std::vector<double> DiscretePdf(const std::vector<double>& samples) {
+  double max_val = 0.0;
+  for (double s : samples) max_val = std::max(max_val, s);
+  std::vector<double> pdf(static_cast<size_t>(max_val) + 1, 0.0);
+  if (samples.empty()) return pdf;
+  for (double s : samples) pdf[static_cast<size_t>(s)] += 1.0;
+  for (double& p : pdf) p /= static_cast<double>(samples.size());
+  return pdf;
+}
+
+}  // namespace p2prange

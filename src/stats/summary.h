@@ -1,0 +1,81 @@
+// Descriptive statistics for experiment harnesses: means, percentiles,
+// fixed-bin histograms over [0, 1], and the "fraction of queries
+// answered up to x" reverse-CDF series the paper plots.
+#ifndef P2PRANGE_STATS_SUMMARY_H_
+#define P2PRANGE_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2prange {
+
+/// \brief Accumulates samples; computes order statistics on demand.
+class Summary {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void AddCount(uint64_t x) { samples_.push_back(static_cast<double>(x)); }
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+
+  /// \brief The q-th percentile (q in [0, 100]) by nearest-rank on the
+  /// sorted samples. Percentile(1) / Percentile(99) are the paper's
+  /// whiskers in Figures 11-12.
+  double Percentile(double q) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// \brief Histogram with `bins` equal bins over [0, 1]; values at 1.0
+/// land in the last bin.
+class UnitHistogram {
+ public:
+  explicit UnitHistogram(int bins) : counts_(bins, 0) {}
+
+  void Add(double x);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  uint64_t bin_count(int i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+
+  /// Percentage of samples in bin i (0 if empty histogram).
+  double Percentage(int i) const;
+
+  /// Inclusive lower edge of bin i.
+  double BinLo(int i) const {
+    return static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+  double BinHi(int i) const {
+    return static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+  }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// \brief The paper's recall plots (Figures 8-10): for thresholds x
+/// descending from 1 to 0, the percentage of samples with value >= x.
+///
+/// Returned as (threshold, percentage) pairs at `points`+1 thresholds.
+std::vector<std::pair<double, double>> FractionAtLeast(
+    const std::vector<double>& samples, int points = 20);
+
+/// \brief Discrete PDF of integer samples (Figure 12(b)): for each
+/// value v in [0, max], the fraction of samples equal to v.
+std::vector<double> DiscretePdf(const std::vector<double>& samples);
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_STATS_SUMMARY_H_

@@ -1,0 +1,34 @@
+// Fixed-width text tables for the figure-regeneration harnesses.
+#ifndef P2PRANGE_STATS_TABLE_PRINTER_H_
+#define P2PRANGE_STATS_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace p2prange {
+
+/// \brief Collects rows of string cells and prints them with aligned
+/// columns, a header rule, and an optional title.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience for numeric rows.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(uint64_t v) { return std::to_string(v); }
+  static std::string Fmt(int v) { return std::to_string(v); }
+
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_STATS_TABLE_PRINTER_H_

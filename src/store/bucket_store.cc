@@ -1,0 +1,146 @@
+#include "store/bucket_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+const char* MatchCriterionName(MatchCriterion c) {
+  switch (c) {
+    case MatchCriterion::kJaccard:
+      return "jaccard";
+    case MatchCriterion::kContainment:
+      return "containment";
+  }
+  return "unknown";
+}
+
+double BucketStore::Score(const Range& query, const Range& stored,
+                          MatchCriterion criterion) {
+  switch (criterion) {
+    case MatchCriterion::kJaccard:
+      return query.Jaccard(stored);
+    case MatchCriterion::kContainment:
+      return query.ContainmentIn(stored);
+  }
+  return 0.0;
+}
+
+bool BucketStore::Insert(chord::ChordId id, const PartitionDescriptor& descriptor) {
+  auto& bucket = buckets_[id];
+  for (auto it : bucket) {
+    if (it->descriptor.key == descriptor.key) {
+      // Refresh: move to the front of the recency list, adopt the
+      // (possibly new) holder.
+      it->descriptor.holder = descriptor.holder;
+      recency_.splice(recency_.begin(), recency_, it);
+      return false;
+    }
+  }
+  recency_.push_front(Entry{id, descriptor});
+  bucket.push_back(recency_.begin());
+  index_.Insert(descriptor);
+  ++key_refs_[descriptor.key];
+  EvictIfNeeded();
+  return true;
+}
+
+void BucketStore::DropIndexReference(const PartitionKey& key) {
+  auto it = key_refs_.find(key);
+  DCHECK(it != key_refs_.end());
+  if (it == key_refs_.end()) return;
+  if (--it->second == 0) {
+    key_refs_.erase(it);
+    index_.Erase(key);
+  }
+}
+
+void BucketStore::EvictIfNeeded() {
+  if (max_descriptors_ == 0) return;
+  while (recency_.size() > max_descriptors_) {
+    const Entry& victim = recency_.back();
+    auto bucket_it = buckets_.find(victim.bucket);
+    DCHECK(bucket_it != buckets_.end());
+    auto& vec = bucket_it->second;
+    auto last = std::prev(recency_.end());
+    std::erase_if(vec, [&](const RecencyList::iterator& it) { return it == last; });
+    if (vec.empty()) buckets_.erase(bucket_it);
+    DropIndexReference(victim.descriptor.key);
+    recency_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::optional<MatchCandidate> BucketStore::BestMatch(chord::ChordId id,
+                                                     const PartitionKey& query,
+                                                     MatchCriterion criterion) const {
+  auto it = buckets_.find(id);
+  if (it == buckets_.end()) return std::nullopt;
+  std::optional<MatchCandidate> best;
+  for (const auto& entry_it : it->second) {
+    const PartitionDescriptor& d = entry_it->descriptor;
+    if (!d.key.SameColumn(query)) continue;
+    const double score = Score(query.range, d.key.range, criterion);
+    if (!best || score > best->similarity) {
+      best = MatchCandidate{d, score, d.key.range == query.range};
+    }
+  }
+  return best;
+}
+
+std::optional<MatchCandidate> BucketStore::BestMatchAnywhere(
+    const PartitionKey& query, MatchCriterion criterion) const {
+  // Only overlapping ranges can score above zero under either
+  // criterion, so the interval index enumerates exactly the candidates
+  // that matter in O(log n + k).
+  std::optional<MatchCandidate> best;
+  index_.ForEachOverlapping(query, [&](const PartitionDescriptor& d) {
+    const double score = Score(query.range, d.key.range, criterion);
+    if (!best || score > best->similarity) {
+      best = MatchCandidate{d, score, d.key.range == query.range};
+    }
+  });
+  if (!best) {
+    // Zero-similarity fallback: the §4 protocol still reports the best
+    // (here: any) same-column partition when nothing overlaps.
+    const PartitionDescriptor* any = index_.AnyOfColumn(query);
+    if (any != nullptr) best = MatchCandidate{*any, 0.0, false};
+  }
+  return best;
+}
+
+std::vector<MatchCandidate> BucketStore::OverlappingCandidates(
+    chord::ChordId id, const PartitionKey& query, MatchCriterion criterion) const {
+  std::vector<MatchCandidate> out;
+  auto it = buckets_.find(id);
+  if (it == buckets_.end()) return out;
+  for (const auto& entry_it : it->second) {
+    const PartitionDescriptor& d = entry_it->descriptor;
+    if (!d.key.SameColumn(query)) continue;
+    if (!query.range.Overlaps(d.key.range)) continue;
+    out.push_back(MatchCandidate{d, Score(query.range, d.key.range, criterion),
+                                 d.key.range == query.range});
+  }
+  return out;
+}
+
+bool BucketStore::ContainsExact(chord::ChordId id, const PartitionKey& key) const {
+  auto it = buckets_.find(id);
+  if (it == buckets_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const RecencyList::iterator& e) {
+                       return e->descriptor.key == key;
+                     });
+}
+
+std::vector<PartitionDescriptor> BucketStore::BucketContents(chord::ChordId id) const {
+  std::vector<PartitionDescriptor> out;
+  auto it = buckets_.find(id);
+  if (it == buckets_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& entry_it : it->second) out.push_back(entry_it->descriptor);
+  return out;
+}
+
+}  // namespace p2prange

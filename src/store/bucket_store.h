@@ -1,0 +1,113 @@
+// The per-peer store of partition descriptors, keyed by DHT identifier.
+//
+// A peer owns a slice of the identifier ring; every identifier in that
+// slice is a *bucket* that may hold descriptors of several partitions
+// (distinct ranges can collide on an identifier, and one range is
+// published under l identifiers). A lookup probes one bucket and
+// returns the best match under the chosen similarity; §5.3's extension
+// instead searches an index over all buckets the peer holds.
+#ifndef P2PRANGE_STORE_BUCKET_STORE_H_
+#define P2PRANGE_STORE_BUCKET_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/id.h"
+#include "common/result.h"
+#include "store/interval_index.h"
+#include "store/partition_key.h"
+
+namespace p2prange {
+
+/// \brief How a bucket picks its best match for a query range (§5.2).
+enum class MatchCriterion {
+  kJaccard,      ///< maximize |Q∩R| / |Q∪R| (what the hashing optimizes)
+  kContainment,  ///< maximize |Q∩R| / |Q| (what the user actually wants)
+};
+
+const char* MatchCriterionName(MatchCriterion c);
+
+/// \brief A candidate answer: a stored descriptor plus its score
+/// against the query range under the criterion used.
+struct MatchCandidate {
+  PartitionDescriptor descriptor;
+  double similarity = 0.0;  ///< score under the criterion that selected it
+  bool exact = false;       ///< stored range equals the query range
+};
+
+/// \brief Capacity-bounded descriptor store of one peer.
+class BucketStore {
+ public:
+  /// `max_descriptors` == 0 means unbounded; otherwise least-recently-
+  /// used descriptors are evicted once the total exceeds the bound.
+  explicit BucketStore(size_t max_descriptors = 0)
+      : max_descriptors_(max_descriptors) {}
+
+  /// Inserts a descriptor into bucket `id`. Duplicate (bucket, key)
+  /// pairs refresh recency and update the holder instead of growing
+  /// the bucket. Returns true on a fresh insert, false on a refresh.
+  bool Insert(chord::ChordId id, const PartitionDescriptor& descriptor);
+
+  /// \brief Best match for `query` among the descriptors of bucket
+  /// `id` over the same relation+attribute. nullopt if the bucket is
+  /// empty (or holds only other columns).
+  std::optional<MatchCandidate> BestMatch(chord::ChordId id,
+                                          const PartitionKey& query,
+                                          MatchCriterion criterion) const;
+
+  /// \brief §5.3 extension: best match across *all* buckets this peer
+  /// holds, via a per-column index rather than one bucket's list.
+  std::optional<MatchCandidate> BestMatchAnywhere(const PartitionKey& query,
+                                                  MatchCriterion criterion) const;
+
+  /// \brief All same-column candidates of bucket `id` that overlap the
+  /// query range, scored under `criterion` (for multi-partition
+  /// coverage assembly).
+  std::vector<MatchCandidate> OverlappingCandidates(chord::ChordId id,
+                                                    const PartitionKey& query,
+                                                    MatchCriterion criterion) const;
+
+  /// True if bucket `id` holds exactly `key`.
+  bool ContainsExact(chord::ChordId id, const PartitionKey& key) const;
+
+  size_t num_descriptors() const { return recency_.size(); }
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t max_descriptors() const { return max_descriptors_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// All descriptors in bucket `id` (diagnostics/tests).
+  std::vector<PartitionDescriptor> BucketContents(chord::ChordId id) const;
+
+ private:
+  struct Entry {
+    chord::ChordId bucket;
+    PartitionDescriptor descriptor;
+  };
+  using RecencyList = std::list<Entry>;
+
+  static double Score(const Range& query, const Range& stored,
+                      MatchCriterion criterion);
+
+  void EvictIfNeeded();
+
+  /// Removes one (bucket, key) reference from the peer-wide index,
+  /// erasing the index entry when no bucket holds the key anymore.
+  void DropIndexReference(const PartitionKey& key);
+
+  size_t max_descriptors_;
+  uint64_t evictions_ = 0;
+  // LRU order: front = most recent. Buckets point into the list.
+  RecencyList recency_;
+  std::unordered_map<chord::ChordId, std::vector<RecencyList::iterator>> buckets_;
+  // §5.3 peer-wide index: one entry per distinct key, reference-counted
+  // across buckets.
+  IntervalIndex index_;
+  std::unordered_map<PartitionKey, size_t, PartitionKeyHash> key_refs_;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_STORE_BUCKET_STORE_H_

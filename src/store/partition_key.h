@@ -1,0 +1,60 @@
+// Identity of a cached horizontal partition.
+//
+// A partition is the set of tuples of one relation selected by a range
+// over one attribute (§2's "data partition"); its identity is the
+// (relation, attribute, range) triple. The bytes of the partition live
+// wherever a peer materialized them; descriptors of the partition are
+// what the DHT stores.
+#ifndef P2PRANGE_STORE_PARTITION_KEY_H_
+#define P2PRANGE_STORE_PARTITION_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hash/range.h"
+#include "net/address.h"
+
+namespace p2prange {
+
+/// \brief (relation, attribute, range): the identity of a partition.
+struct PartitionKey {
+  std::string relation;
+  std::string attribute;
+  Range range;
+
+  bool operator==(const PartitionKey&) const = default;
+
+  /// True if the other key selects over the same relation/attribute
+  /// (only then are the ranges comparable).
+  bool SameColumn(const PartitionKey& other) const {
+    return relation == other.relation && attribute == other.attribute;
+  }
+
+  /// "relation.attribute[lo, hi]"
+  std::string ToString() const {
+    return relation + "." + attribute + range.ToString();
+  }
+};
+
+struct PartitionKeyHash {
+  size_t operator()(const PartitionKey& k) const {
+    size_t h = std::hash<std::string>()(k.relation);
+    h = h * 1000003 ^ std::hash<std::string>()(k.attribute);
+    h = h * 1000003 ^ std::hash<uint64_t>()(
+            (static_cast<uint64_t>(k.range.lo()) << 32) | k.range.hi());
+    return h;
+  }
+};
+
+/// \brief What the DHT stores in a bucket: which peer holds the bytes
+/// of which partition.
+struct PartitionDescriptor {
+  PartitionKey key;
+  NetAddress holder;  ///< peer that materialized the tuples
+
+  bool operator==(const PartitionDescriptor&) const = default;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_STORE_PARTITION_KEY_H_

@@ -1,0 +1,169 @@
+#include "tapestry/tapestry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "hash/sha1.h"
+
+namespace p2prange {
+namespace tapestry {
+
+void TapestryNode::ClearTable() {
+  for (auto& level : table_) level.fill(std::nullopt);
+}
+
+size_t TapestryNode::PopulatedSlots() const {
+  size_t n = 0;
+  for (const auto& level : table_) {
+    for (const auto& slot : level) n += slot.has_value();
+  }
+  return n;
+}
+
+TapestryMesh::TapestryMesh(uint64_t seed)
+    : rng_(seed),
+      net_(std::make_unique<SimNetwork>(LatencyModel{}, seed ^ 0x7A9E57)) {}
+
+Result<TapestryMesh> TapestryMesh::Make(size_t num_nodes, uint64_t seed) {
+  if (num_nodes == 0) {
+    return Status::InvalidArgument("a mesh needs at least one node");
+  }
+  TapestryMesh mesh(seed);
+  while (mesh.nodes_.size() < num_nodes) {
+    NetAddress addr;
+    addr.host = mesh.rng_.Next32();
+    addr.port = static_cast<uint16_t>(1024 + mesh.rng_.NextBounded(60000));
+    if (mesh.nodes_.contains(addr)) continue;
+    const uint32_t id = Sha1::Hash32(addr.ToString());
+    bool id_taken = false;
+    for (const auto& [a, n] : mesh.nodes_) id_taken |= (n->id() == id);
+    if (id_taken) continue;
+    mesh.net_->Register(addr);
+    mesh.nodes_.emplace(addr, std::make_unique<TapestryNode>(id, addr));
+  }
+  mesh.RebuildRoutingTables();
+  return mesh;
+}
+
+std::vector<MeshNodeInfo> TapestryMesh::AliveInfos() const {
+  std::vector<MeshNodeInfo> out;
+  out.reserve(nodes_.size());
+  for (const auto& [addr, node] : nodes_) {
+    if (net_->IsAlive(addr)) out.push_back(node->info());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MeshNodeInfo& a, const MeshNodeInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+void TapestryMesh::RebuildRoutingTables() {
+  const std::vector<MeshNodeInfo> alive = AliveInfos();
+  for (const auto& [addr, node] : nodes_) {
+    if (!net_->IsAlive(addr)) continue;
+    node->ClearTable();
+    for (const MeshNodeInfo& cand : alive) {  // ascending id = min-id fill
+      if (cand.id == node->id()) continue;
+      const int level = SharedPrefixLen(node->id(), cand.id);
+      if (level == kDigits) continue;  // duplicate id (excluded at Make)
+      const int digit = Digit(cand.id, level);
+      if (!node->slot(level, digit)) {
+        node->set_slot(level, digit, cand);
+      }
+    }
+  }
+}
+
+size_t TapestryMesh::num_alive() const {
+  size_t n = 0;
+  for (const auto& [addr, node] : nodes_) n += net_->IsAlive(addr);
+  return n;
+}
+
+Result<NetAddress> TapestryMesh::RandomAliveAddress() {
+  std::vector<NetAddress> alive;
+  for (const auto& [addr, node] : nodes_) {
+    if (net_->IsAlive(addr)) alive.push_back(addr);
+  }
+  if (alive.empty()) return Status::NotFound("no live mesh nodes");
+  return alive[rng_.NextBounded(alive.size())];
+}
+
+const TapestryNode* TapestryMesh::node(const NetAddress& addr) const {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<size_t> TapestryMesh::StateSizes() const {
+  std::vector<size_t> out;
+  for (const auto& [addr, node] : nodes_) {
+    if (net_->IsAlive(addr)) out.push_back(node->PopulatedSlots());
+  }
+  return out;
+}
+
+Status TapestryMesh::Fail(const NetAddress& addr) {
+  if (!nodes_.contains(addr)) return Status::NotFound("unknown mesh node");
+  return net_->SetAlive(addr, false);
+}
+
+Result<MeshLookupResult> TapestryMesh::Lookup(const NetAddress& from,
+                                              uint32_t target) {
+  const TapestryNode* cur = node(from);
+  if (cur == nullptr || !net_->IsAlive(from)) {
+    return Status::InvalidArgument("lookup origin " + from.ToString() +
+                                   " is not a live mesh node");
+  }
+  MeshLookupResult result;
+  // At most kDigits levels are resolved, and each hop strictly
+  // increases the shared-prefix length or terminates, so kDigits * 2
+  // bounds the loop generously.
+  for (int step = 0; step < 4 * kDigits; ++step) {
+    int level = SharedPrefixLen(cur->id(), target);
+    if (level == kDigits) {
+      return MeshLookupResult{cur->info(), result.hops, result.latency_ms};
+    }
+    // Surrogate scan: from the desired digit upward (mod base), take
+    // the first digit with a candidate; if the first hit is this
+    // node's own digit, the node is the best at this level — continue
+    // at the next level ("self counts for its own slot").
+    const MeshNodeInfo* next = nullptr;
+    bool advanced = false;
+    while (level < kDigits && next == nullptr) {
+      const int desired = Digit(target, level);
+      const int own = Digit(cur->id(), level);
+      for (int k = 0; k < kBase; ++k) {
+        const int d = (desired + k) % kBase;
+        if (d == own) {
+          // This node occupies the scanned slot: climb a level.
+          ++level;
+          advanced = true;
+          break;
+        }
+        const auto& slot = cur->slot(level, d);
+        if (slot && net_->IsAlive(slot->addr)) {
+          next = &*slot;
+          break;
+        }
+      }
+      if (!advanced && next == nullptr) {
+        // Neither a live candidate nor our own digit: the level is
+        // empty of live nodes; this node is the surrogate root.
+        return MeshLookupResult{cur->info(), result.hops, result.latency_ms};
+      }
+      advanced = false;
+    }
+    if (level == kDigits || next == nullptr) {
+      return MeshLookupResult{cur->info(), result.hops, result.latency_ms};
+    }
+    auto latency = net_->Deliver(from, next->addr);
+    RETURN_NOT_OK(latency.status());
+    ++result.hops;
+    result.latency_ms += *latency;
+    cur = node(next->addr);
+    DCHECK(cur != nullptr);
+  }
+  return Status::Internal("tapestry routing did not converge");
+}
+
+}  // namespace tapestry
+}  // namespace p2prange

@@ -1,0 +1,133 @@
+// Tapestry-style prefix routing — the third DHT family the paper's
+// introduction surveys (Zhao, Kubiatowicz, Joseph; tech report
+// UCB/CSD-01-1141).
+//
+// Identifiers are 8 hex digits (32 bits, MSB first). Each node keeps a
+// routing table of kDigits levels x kBase slots; slot (i, d) points at
+// a node sharing the first i digits of this node's identifier and
+// having digit d at position i. A lookup fixes one digit of the target
+// per hop (O(log16 N) hops), and *surrogate routing* — deterministic
+// next-available-digit scanning — resolves identifiers whose exact
+// slots are empty to a unique root node.
+//
+// Slots are filled globally and deterministically (minimum identifier
+// among candidates), which makes the surrogate root of every
+// identifier consistent across all starting points; the test suite
+// checks this root-consistency property explicitly.
+#ifndef P2PRANGE_TAPESTRY_TAPESTRY_H_
+#define P2PRANGE_TAPESTRY_TAPESTRY_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "net/sim_network.h"
+
+namespace p2prange {
+namespace tapestry {
+
+inline constexpr int kDigits = 8;  // 32 bits / 4 bits per digit
+inline constexpr int kBase = 16;
+
+/// Hex digit `level` of `id`, most significant first.
+inline int Digit(uint32_t id, int level) {
+  return static_cast<int>((id >> (4 * (kDigits - 1 - level))) & 0xF);
+}
+
+/// Number of leading hex digits `a` and `b` share.
+inline int SharedPrefixLen(uint32_t a, uint32_t b) {
+  for (int i = 0; i < kDigits; ++i) {
+    if (Digit(a, i) != Digit(b, i)) return i;
+  }
+  return kDigits;
+}
+
+/// \brief A routing handle.
+struct MeshNodeInfo {
+  uint32_t id = 0;
+  NetAddress addr;
+
+  bool operator==(const MeshNodeInfo&) const = default;
+};
+
+/// \brief One Tapestry node: identifier plus routing table.
+class TapestryNode {
+ public:
+  TapestryNode(uint32_t id, NetAddress addr) : id_(id), addr_(addr) {}
+
+  uint32_t id() const { return id_; }
+  const NetAddress& addr() const { return addr_; }
+  MeshNodeInfo info() const { return MeshNodeInfo{id_, addr_}; }
+
+  const std::optional<MeshNodeInfo>& slot(int level, int digit) const {
+    return table_[level][digit];
+  }
+  void set_slot(int level, int digit, MeshNodeInfo info) {
+    table_[level][digit] = info;
+  }
+  void ClearTable();
+
+  /// Number of populated slots (routing-state metric).
+  size_t PopulatedSlots() const;
+
+ private:
+  uint32_t id_;
+  NetAddress addr_;
+  std::array<std::array<std::optional<MeshNodeInfo>, kBase>, kDigits> table_{};
+};
+
+/// \brief Outcome of one lookup.
+struct MeshLookupResult {
+  MeshNodeInfo owner;  ///< the surrogate root of the identifier
+  int hops = 0;
+  double latency_ms = 0.0;
+};
+
+/// \brief A simulated Tapestry mesh.
+class TapestryMesh {
+ public:
+  static Result<TapestryMesh> Make(size_t num_nodes, uint64_t seed);
+
+  TapestryMesh(TapestryMesh&&) noexcept = default;
+  TapestryMesh& operator=(TapestryMesh&&) noexcept = default;
+
+  /// Prefix-routes `target` from `from` to its surrogate root.
+  Result<MeshLookupResult> Lookup(const NetAddress& from, uint32_t target);
+
+  /// Marks a node down; call RebuildRoutingTables to repair the mesh
+  /// (this substrate models steady state, not Tapestry's incremental
+  /// repair protocol).
+  Status Fail(const NetAddress& addr);
+
+  /// Recomputes every live node's routing table from global knowledge
+  /// with the deterministic minimum-identifier fill.
+  void RebuildRoutingTables();
+
+  size_t num_alive() const;
+  Result<NetAddress> RandomAliveAddress();
+  const TapestryNode* node(const NetAddress& addr) const;
+
+  /// Routing-table occupancy per node (state metric).
+  std::vector<size_t> StateSizes() const;
+
+  SimNetwork& network() { return *net_; }
+
+ private:
+  explicit TapestryMesh(uint64_t seed);
+
+  std::vector<MeshNodeInfo> AliveInfos() const;
+
+  Rng rng_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unordered_map<NetAddress, std::unique_ptr<TapestryNode>, NetAddressHash>
+      nodes_;
+};
+
+}  // namespace tapestry
+}  // namespace p2prange
+
+#endif  // P2PRANGE_TAPESTRY_TAPESTRY_H_

@@ -1,0 +1,71 @@
+#include "workload/range_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+Range UniformRangeGenerator::Next() {
+  uint32_t a = static_cast<uint32_t>(rng_.NextInRange(lo_, hi_));
+  uint32_t b = static_cast<uint32_t>(rng_.NextInRange(lo_, hi_));
+  if (a > b) std::swap(a, b);
+  return Range(a, b);
+}
+
+FixedSizeRangeGenerator::FixedSizeRangeGenerator(uint32_t domain_lo,
+                                                 uint32_t domain_hi, uint32_t size,
+                                                 uint64_t seed)
+    : lo_(domain_lo), size_(size), rng_(seed) {
+  CHECK_GE(size, 1u);
+  CHECK_LE(domain_lo, domain_hi);
+  CHECK_LE(static_cast<uint64_t>(size),
+           static_cast<uint64_t>(domain_hi) - domain_lo + 1)
+      << "range size exceeds the domain";
+  max_start_ = domain_hi - (size - 1);
+}
+
+Range FixedSizeRangeGenerator::Next() {
+  const uint32_t start = static_cast<uint32_t>(rng_.NextInRange(lo_, max_start_));
+  return Range(start, start + size_ - 1);
+}
+
+ZipfRangeGenerator::ZipfRangeGenerator(uint32_t domain_lo, uint32_t domain_hi,
+                                       double theta, double mean_width, uint64_t seed)
+    : lo_(domain_lo),
+      hi_(domain_hi),
+      mean_width_(mean_width),
+      zipf_(static_cast<uint64_t>(domain_hi) - domain_lo + 1, theta),
+      rng_(seed) {
+  CHECK_GE(mean_width, 1.0);
+}
+
+Range ZipfRangeGenerator::Next() {
+  const uint32_t center = lo_ + static_cast<uint32_t>(zipf_.Next(rng_));
+  // Geometric width with the requested mean (at least 1).
+  const double u = rng_.NextDouble();
+  const uint64_t width =
+      1 + static_cast<uint64_t>(-std::log(1.0 - u) * (mean_width_ - 1.0) + 0.5);
+  const uint64_t half = width / 2;
+  const uint32_t start =
+      center >= lo_ + half ? static_cast<uint32_t>(center - half) : lo_;
+  uint64_t end64 = static_cast<uint64_t>(start) + width - 1;
+  const uint32_t end = end64 > hi_ ? hi_ : static_cast<uint32_t>(end64);
+  return Range(std::min(start, end), std::max(start, end));
+}
+
+double RepetitionRate(const std::vector<Range>& ranges) {
+  if (ranges.empty()) return 0.0;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(ranges.size());
+  size_t repeats = 0;
+  for (const Range& r : ranges) {
+    const uint64_t key = (static_cast<uint64_t>(r.lo()) << 32) | r.hi();
+    if (!seen.insert(key).second) ++repeats;
+  }
+  return static_cast<double>(repeats) / static_cast<double>(ranges.size());
+}
+
+}  // namespace p2prange

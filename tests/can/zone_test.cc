@@ -1,0 +1,164 @@
+#include "can/zone.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace can {
+namespace {
+
+constexpr uint32_t kHalf = 0x80000000u;
+constexpr uint32_t kQuarter = 0x40000000u;
+
+Point P2(uint32_t x, uint32_t y) {
+  Point p;
+  p.coords[0] = x;
+  p.coords[1] = y;
+  return p;
+}
+
+TEST(ZoneTest, RootCoversEverything) {
+  const Zone root = Zone::Root(2);
+  EXPECT_DOUBLE_EQ(root.Volume(), 1.0);
+  EXPECT_TRUE(root.Contains(P2(0, 0)));
+  EXPECT_TRUE(root.Contains(P2(0xFFFFFFFF, 0xFFFFFFFF)));
+  EXPECT_TRUE(root.Contains(P2(kHalf, kQuarter)));
+}
+
+TEST(ZoneTest, SplitHalvesTheVolume) {
+  const Zone root = Zone::Root(2);
+  auto [lower, upper] = root.Split(0);
+  EXPECT_DOUBLE_EQ(lower.Volume(), 0.5);
+  EXPECT_DOUBLE_EQ(upper.Volume(), 0.5);
+  EXPECT_TRUE(lower.Contains(P2(0, 0)));
+  EXPECT_FALSE(lower.Contains(P2(kHalf, 0)));
+  EXPECT_TRUE(upper.Contains(P2(kHalf, 0)));
+  EXPECT_FALSE(upper.Contains(P2(kHalf - 1, 0)));
+}
+
+TEST(ZoneTest, SplitBoundariesAreExclusive) {
+  auto [lower, upper] = Zone::Root(1).Split(0);
+  // Every point is in exactly one half.
+  for (uint32_t x : {0u, kHalf - 1, kHalf, kHalf + 1, 0xFFFFFFFFu}) {
+    Point p;
+    p.coords[0] = x;
+    EXPECT_NE(lower.Contains(p), upper.Contains(p)) << x;
+  }
+}
+
+TEST(ZoneTest, WidestDimAfterSplits) {
+  const Zone root = Zone::Root(3);
+  EXPECT_EQ(root.WidestDim(), 0);  // ties -> lowest index
+  auto [a, b] = root.Split(0);
+  EXPECT_EQ(a.WidestDim(), 1);
+  auto [c, d] = a.Split(1);
+  EXPECT_EQ(c.WidestDim(), 2);
+}
+
+TEST(ZoneTest, NeighborsShareAFace) {
+  auto [left, right] = Zone::Root(2).Split(0);
+  EXPECT_TRUE(left.IsNeighbor(right));
+  EXPECT_TRUE(right.IsNeighbor(left));
+  // Quarter zones: diagonal pieces are NOT neighbors (corner contact).
+  auto [ll, lu] = left.Split(1);
+  auto [rl, ru] = right.Split(1);
+  EXPECT_TRUE(ll.IsNeighbor(rl));
+  EXPECT_TRUE(ll.IsNeighbor(lu));
+  EXPECT_FALSE(ll.IsNeighbor(ru)) << "diagonal corner contact only";
+  EXPECT_FALSE(lu.IsNeighbor(rl));
+}
+
+TEST(ZoneTest, NeighborsWrapAroundTheTorus) {
+  // Left edge zone and right edge zone abut through the wrap.
+  auto [left, right] = Zone::Root(2).Split(0);
+  auto [leftmost, mid_l] = left.Split(0);
+  auto [mid_r, rightmost] = right.Split(0);
+  EXPECT_TRUE(leftmost.IsNeighbor(rightmost));
+  EXPECT_FALSE(leftmost.IsNeighbor(mid_r));
+}
+
+TEST(ZoneTest, SelfAndContainedAreNotNeighbors) {
+  const Zone root = Zone::Root(2);
+  auto [left, right] = root.Split(0);
+  EXPECT_FALSE(left.IsNeighbor(left));
+  EXPECT_FALSE(root.IsNeighbor(left)) << "overlapping zones are not neighbors";
+}
+
+TEST(ZoneTest, MergeRestoresTheParent) {
+  const Zone root = Zone::Root(2);
+  auto [left, right] = root.Split(0);
+  int dim = -1;
+  ASSERT_TRUE(left.CanMergeWith(right, &dim));
+  EXPECT_EQ(dim, 0);
+  EXPECT_EQ(left.MergeWith(right), root);
+  EXPECT_EQ(right.MergeWith(left), root);
+}
+
+TEST(ZoneTest, MergeRejectsNonSiblings) {
+  auto [left, right] = Zone::Root(2).Split(0);
+  auto [ll, lu] = left.Split(1);
+  // ll and right abut but have different extents along dim 1... no:
+  // right spans the full dim-1 axis while ll spans half of it.
+  EXPECT_FALSE(ll.CanMergeWith(right, nullptr));
+  // Diagonal pieces never merge.
+  auto [rl, ru] = right.Split(1);
+  EXPECT_FALSE(ll.CanMergeWith(ru, nullptr));
+  // Identical zones never merge.
+  EXPECT_FALSE(ll.CanMergeWith(ll, nullptr));
+}
+
+TEST(ZoneTest, MergeDoesNotCrossTheWrapBoundary) {
+  auto [left, right] = Zone::Root(1).Split(0);
+  auto [leftmost, l2] = left.Split(0);
+  auto [r2, rightmost] = right.Split(0);
+  // Adjacent through the wrap, but the merged box would wrap: refuse.
+  EXPECT_FALSE(leftmost.CanMergeWith(rightmost, nullptr));
+}
+
+TEST(ZoneTest, DistanceZeroInside) {
+  auto [left, right] = Zone::Root(2).Split(0);
+  EXPECT_DOUBLE_EQ(left.DistanceTo(P2(1, 1)), 0.0);
+  EXPECT_GT(left.DistanceTo(P2(kHalf + kQuarter, 0)), 0.0);
+}
+
+TEST(ZoneTest, DistanceUsesTorusMetric) {
+  // Zone occupying [0, 0.25) in 1-D; a point at 0.9 is 0.1 away around
+  // the wrap, not 0.65 away.
+  auto [left, right] = Zone::Root(1).Split(0);
+  auto [zone, rest] = left.Split(0);  // [0, 0.25)
+  Point p;
+  p.coords[0] = static_cast<uint32_t>(0.9 * 4294967296.0);
+  EXPECT_NEAR(zone.DistanceTo(p), 0.1, 1e-6);
+}
+
+TEST(ZoneTest, VolumeComposesOverSplits) {
+  Zone z = Zone::Root(3);
+  double expected = 1.0;
+  for (int i = 0; i < 12; ++i) {
+    auto [a, b] = z.Split(z.WidestDim());
+    z = a;
+    expected /= 2;
+    EXPECT_DOUBLE_EQ(z.Volume(), expected);
+  }
+}
+
+TEST(IdentifierToPointTest, DeterministicAndSpread) {
+  const Point p1 = IdentifierToPoint(12345, 3);
+  const Point p2 = IdentifierToPoint(12345, 3);
+  EXPECT_EQ(p1, p2);
+  const Point q = IdentifierToPoint(12346, 3);
+  EXPECT_NE(p1, q);
+  // Coordinates of nearby identifiers decorrelate (SplitMix64).
+  int close = 0;
+  for (uint32_t id = 0; id < 100; ++id) {
+    const Point a = IdentifierToPoint(id, 2);
+    const Point b = IdentifierToPoint(id + 1, 2);
+    if (std::abs(static_cast<int64_t>(a.coords[0]) - b.coords[0]) < (1 << 24)) {
+      ++close;
+    }
+  }
+  EXPECT_LT(close, 10);
+}
+
+}  // namespace
+}  // namespace can
+}  // namespace p2prange

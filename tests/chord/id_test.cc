@@ -1,0 +1,87 @@
+#include "chord/id.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace chord {
+namespace {
+
+TEST(ChordIdTest, ClockwiseDistanceWraps) {
+  EXPECT_EQ(ClockwiseDistance(10, 20), 10u);
+  EXPECT_EQ(ClockwiseDistance(20, 10), 0xFFFFFFF6u);  // 2^32 - 10
+  EXPECT_EQ(ClockwiseDistance(5, 5), 0u);
+  EXPECT_EQ(ClockwiseDistance(0xFFFFFFFF, 0), 1u);
+}
+
+TEST(ChordIdTest, InOpenClosedLinear) {
+  EXPECT_TRUE(InOpenClosed(10, 20, 15));
+  EXPECT_TRUE(InOpenClosed(10, 20, 20));   // closed at b
+  EXPECT_FALSE(InOpenClosed(10, 20, 10));  // open at a
+  EXPECT_FALSE(InOpenClosed(10, 20, 21));
+  EXPECT_FALSE(InOpenClosed(10, 20, 5));
+}
+
+TEST(ChordIdTest, InOpenClosedWrapsAroundZero) {
+  // Interval (0xFFFFFF00, 0x100]: crosses the origin.
+  EXPECT_TRUE(InOpenClosed(0xFFFFFF00, 0x100, 0xFFFFFFFF));
+  EXPECT_TRUE(InOpenClosed(0xFFFFFF00, 0x100, 0));
+  EXPECT_TRUE(InOpenClosed(0xFFFFFF00, 0x100, 0x100));
+  EXPECT_FALSE(InOpenClosed(0xFFFFFF00, 0x100, 0x101));
+  EXPECT_FALSE(InOpenClosed(0xFFFFFF00, 0x100, 0xFFFFFF00));
+  EXPECT_FALSE(InOpenClosed(0xFFFFFF00, 0x100, 0x7FFFFFFF));
+}
+
+TEST(ChordIdTest, InOpenClosedDegenerateIsFullRing) {
+  // Chord convention: (a, a] covers the whole ring (single-node ring
+  // owns everything).
+  EXPECT_TRUE(InOpenClosed(42, 42, 0));
+  EXPECT_TRUE(InOpenClosed(42, 42, 42));
+  EXPECT_TRUE(InOpenClosed(42, 42, 0xFFFFFFFF));
+}
+
+TEST(ChordIdTest, InOpenOpen) {
+  EXPECT_TRUE(InOpenOpen(10, 20, 15));
+  EXPECT_FALSE(InOpenOpen(10, 20, 20));
+  EXPECT_FALSE(InOpenOpen(10, 20, 10));
+  // Wrap.
+  EXPECT_TRUE(InOpenOpen(0xFFFFFFF0, 5, 0));
+  EXPECT_FALSE(InOpenOpen(0xFFFFFFF0, 5, 5));
+  // Degenerate: everything except a.
+  EXPECT_TRUE(InOpenOpen(7, 7, 8));
+  EXPECT_FALSE(InOpenOpen(7, 7, 7));
+}
+
+TEST(ChordIdTest, InClosedOpen) {
+  EXPECT_TRUE(InClosedOpen(10, 20, 10));
+  EXPECT_FALSE(InClosedOpen(10, 20, 20));
+  EXPECT_TRUE(InClosedOpen(0xFFFFFFF0, 5, 0xFFFFFFF0));
+  EXPECT_TRUE(InClosedOpen(0xFFFFFFF0, 5, 2));
+  EXPECT_FALSE(InClosedOpen(0xFFFFFFF0, 5, 5));
+}
+
+TEST(ChordIdTest, FingerStartPowersOfTwo) {
+  EXPECT_EQ(FingerStart(100, 0), 101u);
+  EXPECT_EQ(FingerStart(100, 1), 102u);
+  EXPECT_EQ(FingerStart(100, 10), 100u + 1024u);
+  EXPECT_EQ(FingerStart(100, 31), 100u + 0x80000000u);
+  // Wraparound.
+  EXPECT_EQ(FingerStart(0xFFFFFFFF, 0), 0u);
+  EXPECT_EQ(FingerStart(0xFFFFFFFF, 31), 0x7FFFFFFFu);
+}
+
+TEST(ChordIdTest, IntervalComplementarity) {
+  // For any a != b, x != a: x in (a,b] xor x in (b,a]... they partition
+  // the ring minus {a} boundaries; property-check on a grid.
+  const ChordId a = 1000, b = 4000000000u;
+  for (uint64_t step = 0; step < 64; ++step) {
+    const ChordId x = static_cast<ChordId>(step * 67108864ULL + 17);
+    if (x == a || x == b) continue;
+    const bool in_ab = InOpenOpen(a, b, x);
+    const bool in_ba = InOpenOpen(b, a, x);
+    EXPECT_NE(in_ab, in_ba) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace chord
+}  // namespace p2prange

@@ -1,0 +1,81 @@
+#include "common/bit_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace p2prange {
+namespace {
+
+TEST(BitUtilsTest, ExtractBitsBasic) {
+  // mask selects bits 1 and 3; x = 0b1010 has both set.
+  EXPECT_EQ(bits::ExtractBits(0b1010, 0b1010), 0b11u);
+  EXPECT_EQ(bits::ExtractBits(0b0000, 0b1010), 0b00u);
+  EXPECT_EQ(bits::ExtractBits(0b1000, 0b1010), 0b10u);
+  EXPECT_EQ(bits::ExtractBits(0b0010, 0b1010), 0b01u);
+}
+
+TEST(BitUtilsTest, ExtractBitsFullMaskIsIdentity) {
+  EXPECT_EQ(bits::ExtractBits(0xDEADBEEF, ~0ULL), 0xDEADBEEFull);
+}
+
+TEST(BitUtilsTest, ExtractBitsEmptyMaskIsZero) {
+  EXPECT_EQ(bits::ExtractBits(0xDEADBEEF, 0), 0u);
+}
+
+TEST(BitUtilsTest, DepositInvertsExtract) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t mask = rng.Next();
+    const uint64_t x = rng.Next() & mask;  // only bits under the mask
+    EXPECT_EQ(bits::DepositBits(bits::ExtractBits(x, mask), mask), x);
+  }
+}
+
+TEST(BitUtilsTest, ExtractInvertsDeposit) {
+  Rng rng(6);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint64_t mask = rng.Next();
+    const uint64_t packed = rng.Next() & bits::LowMask(bits::PopCount(mask));
+    EXPECT_EQ(bits::ExtractBits(bits::DepositBits(packed, mask), mask), packed);
+  }
+}
+
+TEST(BitUtilsTest, ExtractPopcountBound) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t mask = rng.Next();
+    const uint64_t out = bits::ExtractBits(rng.Next(), mask);
+    EXPECT_EQ(out & ~bits::LowMask(bits::PopCount(mask)), 0u);
+  }
+}
+
+TEST(BitUtilsTest, CeilLog2) {
+  EXPECT_EQ(bits::CeilLog2(1), 0);
+  EXPECT_EQ(bits::CeilLog2(2), 1);
+  EXPECT_EQ(bits::CeilLog2(3), 2);
+  EXPECT_EQ(bits::CeilLog2(4), 2);
+  EXPECT_EQ(bits::CeilLog2(5), 3);
+  EXPECT_EQ(bits::CeilLog2(1024), 10);
+  EXPECT_EQ(bits::CeilLog2(1025), 11);
+}
+
+TEST(BitUtilsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(bits::IsPowerOfTwo(0));
+  EXPECT_TRUE(bits::IsPowerOfTwo(1));
+  EXPECT_TRUE(bits::IsPowerOfTwo(2));
+  EXPECT_FALSE(bits::IsPowerOfTwo(3));
+  EXPECT_TRUE(bits::IsPowerOfTwo(1ULL << 63));
+  EXPECT_FALSE(bits::IsPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(BitUtilsTest, LowMask) {
+  EXPECT_EQ(bits::LowMask(0), 0u);
+  EXPECT_EQ(bits::LowMask(1), 1u);
+  EXPECT_EQ(bits::LowMask(8), 0xFFu);
+  EXPECT_EQ(bits::LowMask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(bits::LowMask(64), ~0ULL);
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,150 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bit_utils.h"
+
+namespace p2prange {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BalancedMaskHasExactPopcount) {
+  Rng rng(17);
+  for (int width : {2, 4, 8, 16, 32, 64}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const uint64_t mask = rng.NextBalancedMask(width, width / 2);
+      EXPECT_EQ(bits::PopCount(mask), width / 2);
+      if (width < 64) {
+        EXPECT_EQ(mask & ~bits::LowMask(width), 0u) << "mask exceeds width";
+      }
+    }
+  }
+}
+
+TEST(RngTest, BalancedMaskCoversAllPositions) {
+  Rng rng(19);
+  uint64_t seen = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    seen |= rng.NextBalancedMask(16, 8);
+  }
+  EXPECT_EQ(seen, bits::LowMask(16));
+}
+
+TEST(RngTest, BalancedMaskEdgeCases) {
+  Rng rng(23);
+  EXPECT_EQ(rng.NextBalancedMask(8, 0), 0u);
+  EXPECT_EQ(rng.NextBalancedMask(8, 8), 0xFFu);
+  EXPECT_EQ(rng.NextBalancedMask(64, 64), ~0ULL);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(31);
+  parent_copy.Next();  // advance past the fork draw
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.Next() == parent_copy.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ZipfTest, RanksWithinDomain) {
+  Rng rng(37);
+  ZipfGenerator zipf(100, 0.9);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, LowRanksDominate) {
+  Rng rng(41);
+  ZipfGenerator zipf(1000, 0.99);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (zipf.Next(rng) < 10) ++low;
+  }
+  // With theta=0.99 over 1000 ranks, the top-10 hold a large share.
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(total), 0.3);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(43);
+  ZipfGenerator zipf(1, 0.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,129 @@
+#include "core/column_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "rel/generator.h"
+#include "workload/range_workload.h"
+
+namespace p2prange {
+namespace {
+
+TEST(ColumnStatsTest, OptimisticUntilObserved) {
+  ColumnStats stats;
+  EXPECT_DOUBLE_EQ(stats.ExpectedRecall("T.a"), 1.0);
+  EXPECT_EQ(stats.Probes("T.a"), 0u);
+}
+
+TEST(ColumnStatsTest, AlwaysProbesDuringExploration) {
+  StatsPlanningConfig cfg;
+  cfg.min_probes = 5;
+  ColumnStats stats(cfg);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(stats.ShouldProbe("T.a"));
+    stats.Observe("T.a", 0.0);
+  }
+  // After min_probes of zero recall, probing stops.
+  EXPECT_FALSE(stats.ShouldProbe("T.a"));
+}
+
+TEST(ColumnStatsTest, EmaTracksObservations) {
+  StatsPlanningConfig cfg;
+  cfg.alpha = 0.5;
+  ColumnStats stats(cfg);
+  stats.Observe("T.a", 1.0);
+  EXPECT_DOUBLE_EQ(stats.ExpectedRecall("T.a"), 1.0);
+  stats.Observe("T.a", 0.0);
+  EXPECT_DOUBLE_EQ(stats.ExpectedRecall("T.a"), 0.5);
+  stats.Observe("T.a", 0.0);
+  EXPECT_DOUBLE_EQ(stats.ExpectedRecall("T.a"), 0.25);
+}
+
+TEST(ColumnStatsTest, GoodColumnsKeepProbing) {
+  StatsPlanningConfig cfg;
+  cfg.min_probes = 3;
+  ColumnStats stats(cfg);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(stats.ShouldProbe("T.a"));
+    stats.Observe("T.a", 0.95);
+  }
+}
+
+TEST(ColumnStatsTest, ExplorationResumesPeriodically) {
+  StatsPlanningConfig cfg;
+  cfg.min_probes = 2;
+  cfg.explore_every = 4;
+  ColumnStats stats(cfg);
+  stats.Observe("T.a", 0.0);
+  stats.Observe("T.a", 0.0);
+  int probes = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (stats.ShouldProbe("T.a")) ++probes;
+  }
+  EXPECT_EQ(probes, 4) << "every 4th decision explores";
+}
+
+TEST(ColumnStatsTest, RecoveryAfterCacheWarmsUp) {
+  StatsPlanningConfig cfg;
+  cfg.min_probes = 2;
+  cfg.explore_every = 3;
+  cfg.alpha = 0.5;
+  ColumnStats stats(cfg);
+  stats.Observe("T.a", 0.0);
+  stats.Observe("T.a", 0.0);
+  EXPECT_FALSE(stats.ShouldProbe("T.a"));
+  // Exploration probes find a warm cache now:
+  for (int i = 0; i < 12; ++i) {
+    if (stats.ShouldProbe("T.a")) stats.Observe("T.a", 1.0);
+  }
+  EXPECT_GT(stats.ExpectedRecall("T.a"), cfg.skip_threshold);
+  EXPECT_TRUE(stats.ShouldProbe("T.a")) << "column rehabilitated";
+}
+
+TEST(StatsPlanningSystemTest, SkipsProbesForColdColumnOnly) {
+  Catalog cat = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 200;
+  CHECK(PopulateMedicalData(spec, &cat).ok());
+  SystemConfig cfg;
+  cfg.num_peers = 32;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, 33);
+  cfg.criterion = MatchCriterion::kContainment;
+  cfg.stats_planning = true;
+  cfg.stats.min_probes = 10;
+  cfg.seed = 33;
+  auto sys = RangeCacheSystem::Make(cfg, std::move(cat));
+  ASSERT_TRUE(sys.ok());
+
+  // Hot column: the same age band over and over -> cache always hits
+  // after the first -> probing continues.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        sys->ExecuteQuery("SELECT * FROM Patient WHERE age >= 30 AND age <= 50")
+            .ok());
+  }
+  EXPECT_EQ(sys->metrics().lookups_skipped, 0u);
+  EXPECT_GT(sys->column_stats().ExpectedRecall("Patient.age"), 0.5);
+
+  // Cold column: every query asks a fresh disjoint id band; the cache
+  // never helps, so after min_probes the system stops probing (except
+  // exploration).
+  for (int i = 0; i < 40; ++i) {
+    const int lo = (i * 20000) % 900000;
+    const std::string sql = "SELECT * FROM Patient WHERE patient_id >= " +
+                            std::to_string(lo) + " AND patient_id <= " +
+                            std::to_string(lo + 1000);
+    ASSERT_TRUE(sys->ExecuteQuery(sql).ok());
+  }
+  EXPECT_GT(sys->metrics().lookups_skipped, 15u);
+  EXPECT_LT(sys->column_stats().ExpectedRecall("Patient.patient_id"),
+            cfg.stats.skip_threshold);
+  // Answers remain correct even when probes are skipped.
+  auto outcome = sys->ExecuteQuery(
+      "SELECT * FROM Patient WHERE patient_id >= 0 AND patient_id <= 1000000");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.num_rows(), 200u);
+}
+
+}  // namespace
+}  // namespace p2prange

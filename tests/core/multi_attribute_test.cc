@@ -1,0 +1,185 @@
+// The §6 multi-attribute extension: selections on several ordinal
+// attributes of one relation, resolved through per-attribute caches.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "rel/generator.h"
+
+namespace p2prange {
+namespace {
+
+TEST(MultiAttributePlanTest, DisabledByDefault) {
+  const Catalog cat = MakeMedicalCatalog();
+  auto stmt = ParseSelect(
+      "SELECT * FROM Patient WHERE age > 30 AND patient_id < 100");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(BuildPlan(*stmt, cat).status().IsInvalidArgument());
+}
+
+TEST(MultiAttributePlanTest, EnabledSplitsPrimaryAndSecondary) {
+  const Catalog cat = MakeMedicalCatalog();
+  auto stmt = ParseSelect(
+      "SELECT * FROM Patient WHERE age > 30 AND patient_id < 100 AND age < 60");
+  ASSERT_TRUE(stmt.ok());
+  PlannerOptions opts;
+  opts.allow_multi_attribute = true;
+  auto plan = BuildPlan(*stmt, cat, opts);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const TableSelection& leaf = plan->leaves[0];
+  ASSERT_TRUE(leaf.range.has_value());
+  EXPECT_EQ(leaf.range->attribute, "age");  // first mentioned = primary
+  EXPECT_EQ(leaf.range->lo, 31);
+  EXPECT_EQ(leaf.range->hi, 59);  // both age bounds folded together
+  ASSERT_EQ(leaf.secondary_ranges.size(), 1u);
+  EXPECT_EQ(leaf.secondary_ranges[0].attribute, "patient_id");
+  EXPECT_EQ(leaf.secondary_ranges[0].hi, 99);
+  EXPECT_EQ(leaf.AllRanges().size(), 2u);
+}
+
+TEST(MultiAttributePlanTest, ToStringShowsAllRanges) {
+  const Catalog cat = MakeMedicalCatalog();
+  auto stmt = ParseSelect(
+      "SELECT * FROM Patient WHERE age > 30 AND patient_id < 100");
+  ASSERT_TRUE(stmt.ok());
+  PlannerOptions opts;
+  opts.allow_multi_attribute = true;
+  auto plan = BuildPlan(*stmt, cat, opts);
+  ASSERT_TRUE(plan.ok());
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("age in 31"), std::string::npos);
+  EXPECT_NE(s.find("patient_id in 0..99"), std::string::npos);
+}
+
+TEST(MultiAttributeExecutorTest, AppliesAllRanges) {
+  Catalog cat = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 400;
+  ASSERT_TRUE(PopulateMedicalData(spec, &cat).ok());
+  auto stmt = ParseSelect(
+      "SELECT * FROM Patient WHERE age BETWEEN 20 AND 60 AND "
+      "patient_id BETWEEN 100 AND 250");
+  ASSERT_TRUE(stmt.ok());
+  PlannerOptions opts;
+  opts.allow_multi_attribute = true;
+  auto plan = BuildPlan(*stmt, cat, opts);
+  ASSERT_TRUE(plan.ok());
+  std::map<std::string, Relation> inputs;
+  inputs.emplace("Patient", **cat.GetBaseData("Patient"));
+  auto result = ExecutePlan(*plan, inputs);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(result->num_rows(), 0u);
+  for (const Row& row : result->rows()) {
+    EXPECT_GE(row[0].AsInt(), 100);
+    EXPECT_LE(row[0].AsInt(), 250);
+    EXPECT_GE(row[2].AsInt(), 20);
+    EXPECT_LE(row[2].AsInt(), 60);
+  }
+}
+
+class MultiAttributeE2eTest : public ::testing::Test {
+ protected:
+  MultiAttributeE2eTest() {
+    catalog_ = MakeMedicalCatalog();
+    MedicalDataSpec spec;
+    spec.num_patients = 500;
+    CHECK(PopulateMedicalData(spec, &catalog_).ok());
+  }
+
+  RangeCacheSystem MakeSystem(uint64_t seed) {
+    SystemConfig cfg;
+    cfg.num_peers = 32;
+    cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, seed);
+    cfg.criterion = MatchCriterion::kContainment;
+    cfg.multi_attribute = true;
+    cfg.seed = seed;
+    auto sys = RangeCacheSystem::Make(cfg, catalog_);
+    CHECK(sys.ok()) << sys.status();
+    return std::move(sys).ValueUnsafe();
+  }
+
+  size_t ReferenceCount(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    CHECK(stmt.ok());
+    PlannerOptions opts;
+    opts.allow_multi_attribute = true;
+    auto plan = BuildPlan(*stmt, catalog_, opts);
+    CHECK(plan.ok()) << plan.status();
+    std::map<std::string, Relation> inputs;
+    for (const TableSelection& leaf : plan->leaves) {
+      inputs.emplace(leaf.table, **catalog_.GetBaseData(leaf.table));
+    }
+    auto result = ExecutePlan(*plan, inputs);
+    CHECK(result.ok());
+    return result->num_rows();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(MultiAttributeE2eTest, ColdQueryMatchesReference) {
+  auto sys = MakeSystem(61);
+  const std::string sql =
+      "SELECT * FROM Patient WHERE age BETWEEN 25 AND 65 AND "
+      "patient_id BETWEEN 50 AND 400";
+  auto outcome = sys.ExecuteQuery(sql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->result.num_rows(), ReferenceCount(sql));
+  EXPECT_FALSE(outcome->approximate);
+  EXPECT_TRUE(outcome->leaves[0].from_source);
+}
+
+TEST_F(MultiAttributeE2eTest, WarmQueryServedFromEitherAttributeCache) {
+  auto sys = MakeSystem(67);
+  const std::string sql =
+      "SELECT * FROM Patient WHERE age BETWEEN 25 AND 65 AND "
+      "patient_id BETWEEN 50 AND 400";
+  ASSERT_TRUE(sys.ExecuteQuery(sql).ok());
+  const uint64_t source_before = sys.metrics().source_fetches;
+  auto warm = sys.ExecuteQuery(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->leaves[0].used_cache);
+  EXPECT_EQ(sys.metrics().source_fetches, source_before);
+  EXPECT_EQ(warm->result.num_rows(), ReferenceCount(sql));
+}
+
+TEST_F(MultiAttributeE2eTest, SecondaryAttributeCacheCanServeTheLeaf) {
+  auto sys = MakeSystem(71);
+  // Warm the patient_id cache with a single-attribute query.
+  ASSERT_TRUE(
+      sys.ExecuteQuery("SELECT * FROM Patient WHERE patient_id BETWEEN 50 AND 400")
+          .ok());
+  // A multi-attribute query mentioning age FIRST (so age is the
+  // primary attribute and patient_id only a secondary): the cached
+  // patient_id partition fully covers its selection, so the leaf is
+  // served from the *secondary* attribute's cache even though no age
+  // partition exists.
+  const std::string sql =
+      "SELECT * FROM Patient WHERE age BETWEEN 25 AND 65 AND "
+      "patient_id BETWEEN 50 AND 400";
+  auto outcome = sys.ExecuteQuery(sql);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->leaves[0].used_cache);
+  EXPECT_EQ(outcome->result.num_rows(), ReferenceCount(sql));
+  ASSERT_TRUE(outcome->leaves[0].lookup.has_value());
+  EXPECT_EQ(outcome->leaves[0].lookup->match->matched.attribute, "patient_id");
+}
+
+TEST_F(MultiAttributeE2eTest, JoinQueryWithTwoMultiAttributeLeaves) {
+  auto sys = MakeSystem(73);
+  const std::string sql =
+      "SELECT Patient.name FROM Patient, Diagnosis "
+      "WHERE age BETWEEN 20 AND 70 AND Patient.patient_id BETWEEN 0 AND 450 "
+      "AND diagnosis = 'Diabetes' "
+      "AND Patient.patient_id = Diagnosis.patient_id";
+  auto cold = sys.ExecuteQuery(sql);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->result.num_rows(), ReferenceCount(sql));
+  auto warm = sys.ExecuteQuery(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->result.num_rows(), ReferenceCount(sql));
+}
+
+}  // namespace
+}  // namespace p2prange

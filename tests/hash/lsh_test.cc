@@ -1,0 +1,129 @@
+#include "hash/lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p2prange {
+namespace {
+
+TEST(LshParamsTest, PaperConfiguration) {
+  const LshParams p = LshParams::Paper(HashFamilyType::kApproxMinwise);
+  EXPECT_EQ(p.k, 20);
+  EXPECT_EQ(p.l, 5);
+  EXPECT_EQ(p.family, HashFamilyType::kApproxMinwise);
+}
+
+TEST(LshSchemeTest, RejectsInvalidParams) {
+  LshParams p;
+  p.k = 0;
+  EXPECT_TRUE(LshScheme::Make(p).status().IsInvalidArgument());
+  p.k = 5;
+  p.l = 0;
+  EXPECT_TRUE(LshScheme::Make(p).status().IsInvalidArgument());
+}
+
+TEST(LshSchemeTest, ProducesLIdentifiers) {
+  LshParams p;
+  p.k = 4;
+  p.l = 7;
+  auto scheme = LshScheme::Make(p);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->Identifiers(Range(0, 10)).size(), 7u);
+  EXPECT_EQ(scheme->num_functions(), 28);
+}
+
+TEST(LshSchemeTest, DeterministicForSeed) {
+  LshParams p = LshParams::Paper(HashFamilyType::kApproxMinwise, /*seed=*/99);
+  auto s1 = LshScheme::Make(p);
+  auto s2 = LshScheme::Make(p);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->Identifiers(Range(30, 50)), s2->Identifiers(Range(30, 50)));
+}
+
+TEST(LshSchemeTest, DifferentSeedsGiveDifferentIdentifiers) {
+  auto s1 = LshScheme::Make(LshParams::Paper(HashFamilyType::kApproxMinwise, 1));
+  auto s2 = LshScheme::Make(LshParams::Paper(HashFamilyType::kApproxMinwise, 2));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE(s1->Identifiers(Range(30, 50)), s2->Identifiers(Range(30, 50)));
+}
+
+TEST(LshSchemeTest, IdenticalRangesShareAllIdentifiers) {
+  auto scheme = LshScheme::Make(LshParams::Paper(HashFamilyType::kMinwise, 3));
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->Identifiers(Range(100, 200)),
+            scheme->Identifiers(Range(100, 200)));
+}
+
+TEST(LshSchemeTest, GroupIdentifierMatchesIdentifiersVector) {
+  auto scheme = LshScheme::Make(LshParams::Paper(HashFamilyType::kLinear, 5));
+  ASSERT_TRUE(scheme.ok());
+  const Range q(10, 90);
+  const auto ids = scheme->Identifiers(q);
+  for (int g = 0; g < scheme->l(); ++g) {
+    EXPECT_EQ(scheme->GroupIdentifier(g, q), ids[g]);
+  }
+}
+
+TEST(LshSchemeTest, CollisionProbabilityFormula) {
+  // 1 - (1 - p^k)^l at known points.
+  EXPECT_DOUBLE_EQ(LshScheme::CollisionProbability(1.0, 20, 5), 1.0);
+  EXPECT_DOUBLE_EQ(LshScheme::CollisionProbability(0.0, 20, 5), 0.0);
+  const double p9 = LshScheme::CollisionProbability(0.9, 20, 5);
+  EXPECT_NEAR(p9, 1.0 - std::pow(1.0 - std::pow(0.9, 20), 5), 1e-12);
+  // The paper's (k=20, l=5) choice approximates a step at 0.9:
+  // clearly separated outcomes on either side of the step.
+  EXPECT_GT(LshScheme::CollisionProbability(0.95, 20, 5), 0.85);
+  EXPECT_LT(LshScheme::CollisionProbability(0.7, 20, 5), 0.01);
+}
+
+TEST(LshSchemeTest, CollisionProbabilityIsMonotoneInSimilarity) {
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double sim = static_cast<double>(i) / 100.0;
+    const double p = LshScheme::CollisionProbability(sim, 20, 5);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(LshSchemeTest, LargerKSharpensTheStep) {
+  // At sub-threshold similarity, larger k suppresses collisions.
+  EXPECT_GT(LshScheme::CollisionProbability(0.8, 5, 5),
+            LshScheme::CollisionProbability(0.8, 40, 5));
+  // At high similarity, larger l compensates.
+  EXPECT_LT(LshScheme::CollisionProbability(0.95, 20, 1),
+            LshScheme::CollisionProbability(0.95, 20, 10));
+}
+
+// Statistical: similar ranges share an identifier far more often than
+// dissimilar ones, across independently seeded schemes.
+TEST(LshSchemeTest, SimilarRangesCollideMoreOften) {
+  int similar_hits = 0, dissimilar_hits = 0;
+  const int kTrials = 60;
+  for (int seed = 0; seed < kTrials; ++seed) {
+    auto scheme =
+        LshScheme::Make(LshParams::Paper(HashFamilyType::kMinwise, 1000 + seed));
+    ASSERT_TRUE(scheme.ok());
+    const auto q = scheme->Identifiers(Range(0, 999));
+    const auto similar = scheme->Identifiers(Range(0, 979));    // sim ~0.98
+    const auto dissimilar = scheme->Identifiers(Range(300, 699));  // sim 0.4
+    auto shares_any = [](const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == b[i]) return true;  // same group, same identifier
+      }
+      return false;
+    };
+    if (shares_any(q, similar)) ++similar_hits;
+    if (shares_any(q, dissimilar)) ++dissimilar_hits;
+  }
+  // sim 0.98: 1-(1-0.98^20)^5 ~= 0.92; sim 0.4: ~= 5.5e-8.
+  EXPECT_GT(similar_hits, kTrials / 2);
+  EXPECT_LE(dissimilar_hits, 1);
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,196 @@
+#include "hash/minwise.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace p2prange {
+namespace {
+
+class MinwiseFamilyTest : public ::testing::TestWithParam<HashFamilyType> {};
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, MinwiseFamilyTest,
+                         ::testing::Values(HashFamilyType::kMinwise,
+                                           HashFamilyType::kApproxMinwise,
+                                           HashFamilyType::kLinear),
+                         [](const auto& name_info) {
+                           switch (name_info.param) {
+                             case HashFamilyType::kMinwise:
+                               return "Minwise";
+                             case HashFamilyType::kApproxMinwise:
+                               return "ApproxMinwise";
+                             case HashFamilyType::kLinear:
+                               return "Linear";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(MinwiseFamilyTest, HashRangeIsMinOverElements) {
+  Rng rng(11);
+  auto fn = MakeHashFunction(GetParam(), rng);
+  const Range q(100, 180);
+  uint32_t expected = std::numeric_limits<uint32_t>::max();
+  for (uint32_t x = q.lo(); x <= q.hi(); ++x) {
+    expected = std::min(expected, fn->Permute(x));
+  }
+  EXPECT_EQ(fn->HashRange(q), expected);
+}
+
+TEST_P(MinwiseFamilyTest, HashSetMatchesHashRangeOnContiguousSets) {
+  Rng rng(13);
+  auto fn = MakeHashFunction(GetParam(), rng);
+  const Range q(40, 60);
+  std::vector<uint32_t> elements;
+  for (uint32_t x = q.lo(); x <= q.hi(); ++x) elements.push_back(x);
+  EXPECT_EQ(fn->HashSet(elements), fn->HashRange(q));
+}
+
+TEST_P(MinwiseFamilyTest, SingletonRangeHashesToPermutedElement) {
+  Rng rng(17);
+  auto fn = MakeHashFunction(GetParam(), rng);
+  EXPECT_EQ(fn->HashRange(Range(42, 42)), fn->Permute(42));
+}
+
+TEST_P(MinwiseFamilyTest, DeterministicForSameSeed) {
+  Rng a(19), b(19);
+  auto f1 = MakeHashFunction(GetParam(), a);
+  auto f2 = MakeHashFunction(GetParam(), b);
+  for (uint32_t x = 0; x < 500; ++x) EXPECT_EQ(f1->Permute(x), f2->Permute(x));
+}
+
+TEST_P(MinwiseFamilyTest, PermuteIsInjectiveOnSample) {
+  Rng rng(23);
+  auto fn = MakeHashFunction(GetParam(), rng);
+  std::set<uint32_t> images;
+  for (uint32_t x = 0; x < 5000; ++x) images.insert(fn->Permute(x));
+  EXPECT_EQ(images.size(), 5000u);
+}
+
+TEST_P(MinwiseFamilyTest, IdenticalRangesAlwaysCollide) {
+  Rng rng(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto fn = MakeHashFunction(GetParam(), rng);
+    EXPECT_EQ(fn->HashRange(Range(30, 50)), fn->HashRange(Range(30, 50)));
+  }
+}
+
+TEST_P(MinwiseFamilyTest, FamilyAccessorMatches) {
+  Rng rng(31);
+  auto fn = MakeHashFunction(GetParam(), rng);
+  EXPECT_EQ(fn->family(), GetParam());
+}
+
+// The defining min-wise property is Pr[h(Q) = h(R)] = Jaccard(Q, R).
+// Only an ideal family achieves it exactly. Broder's linear
+// permutations come close for contiguous ranges; the paper's §3.3
+// bit-shuffle families are GF(2)-linear bit-position permutations and
+// only track Jaccard *monotonically* (they are heuristics — the very
+// reason the paper evaluates all three). The test pins down exactly
+// that: linear ~= Jaccard; all families monotone in Jaccard with the
+// right endpoints.
+TEST_P(MinwiseFamilyTest, CollisionProbabilityTracksJaccard) {
+  Rng rng(37);
+  struct Case {
+    Range q, r;
+  };
+  // Note: ranges deliberately avoid element 0 — every bit-position
+  // permutation (the paper's §3.3 construction) fixes 0, so a range
+  // containing 0 always hashes to 0. See the FixedPointArtifact test.
+  const Case cases[] = {
+      {Range(100, 199), Range(100, 199)},  // sim 1.0
+      {Range(100, 199), Range(110, 209)},  // sim 90/110 ~= 0.818
+      {Range(100, 199), Range(150, 249)},  // sim 50/150 ~= 0.333
+      {Range(100, 199), Range(300, 399)},  // sim 0
+  };
+  const int kTrials = 400;
+  std::vector<double> measured;
+  for (const Case& c : cases) {
+    int collisions = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto fn = MakeHashFunction(GetParam(), rng);
+      if (fn->HashRange(c.q) == fn->HashRange(c.r)) ++collisions;
+    }
+    measured.push_back(static_cast<double>(collisions) / kTrials);
+    if (GetParam() == HashFamilyType::kLinear) {
+      // A proper (approximately) min-wise family: near-Jaccard.
+      EXPECT_NEAR(measured.back(), c.q.Jaccard(c.r), 0.1)
+          << "Q=" << c.q.ToString() << " R=" << c.r.ToString();
+    }
+  }
+  // All families: exact endpoints and monotone decrease with Jaccard.
+  EXPECT_DOUBLE_EQ(measured[0], 1.0);           // identical ranges
+  EXPECT_LE(measured[3], 0.01);                 // disjoint ranges
+  EXPECT_GE(measured[1], measured[2]);          // sim 0.82 >= sim 0.33
+  EXPECT_GT(measured[1], measured[3] + 0.1);    // high sim clearly above zero
+}
+
+// Documents a real property of the paper's §3.3 construction: a bit-
+// position permutation maps 0 to 0, so every range containing 0 hashes
+// to 0 under every function of the (approx) min-wise families. Linear
+// permutations do not share the artifact (π(0) = b).
+TEST(MinwiseTest, FixedPointArtifactAtZero) {
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    MinwiseHashFunction full(rng);
+    ApproxMinwiseHashFunction approx(rng);
+    EXPECT_EQ(full.Permute(0), 0u);
+    EXPECT_EQ(approx.Permute(0), 0u);
+    EXPECT_EQ(full.HashRange(Range(0, 500)), 0u);
+    EXPECT_EQ(approx.HashRange(Range(0, 73)), 0u);
+  }
+  Rng lin_rng(47);
+  int nonzero = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    LinearHashFunction linear(lin_rng);
+    if (linear.Permute(0) != 0u) ++nonzero;
+  }
+  EXPECT_GE(nonzero, 9);
+}
+
+TEST(LinearHashTest, KnownCoefficients) {
+  const LinearHashFunction fn(/*a=*/3, /*b=*/10);
+  EXPECT_EQ(fn.Permute(0), 10u);
+  EXPECT_EQ(fn.Permute(1), 13u);
+  EXPECT_EQ(fn.Permute(100), 310u);
+}
+
+TEST(LinearHashTest, WrapsModulo32BitPrime) {
+  // a = p-1, x = 2: (p-1)*2 + 0 = 2p - 2 ≡ p - 2 (mod p).
+  const LinearHashFunction fn(LinearHashFunction::kPrime - 1, 0);
+  EXPECT_EQ(fn.Permute(2), static_cast<uint32_t>(LinearHashFunction::kPrime - 2));
+}
+
+TEST(LinearHashTest, NoOverflowAtDomainExtremes) {
+  const LinearHashFunction fn(LinearHashFunction::kPrime - 1,
+                              LinearHashFunction::kPrime - 1);
+  // Exercise the largest products; result must stay below the prime.
+  const uint32_t max32 = std::numeric_limits<uint32_t>::max();
+  EXPECT_LT(fn.Permute(max32), LinearHashFunction::kPrime);
+  EXPECT_LT(fn.Permute(max32 - 1), LinearHashFunction::kPrime);
+}
+
+TEST(LinearHashTest, MinOverRangeBeatsNaiveScan) {
+  Rng rng(41);
+  const LinearHashFunction fn(rng.NextInRange(1, LinearHashFunction::kPrime - 1),
+                              rng.NextInRange(0, LinearHashFunction::kPrime - 1));
+  const Range q(500, 700);
+  uint32_t expected = std::numeric_limits<uint32_t>::max();
+  for (uint32_t x = q.lo(); x <= q.hi(); ++x) {
+    expected = std::min(expected, fn.Permute(x));
+  }
+  EXPECT_EQ(fn.HashRange(q), expected);
+}
+
+TEST(HashFamilyNameTest, NamesMatchPaperLegends) {
+  EXPECT_STREQ(HashFamilyName(HashFamilyType::kMinwise), "min-wise independent");
+  EXPECT_STREQ(HashFamilyName(HashFamilyType::kApproxMinwise),
+               "approx. min-wise independent");
+  EXPECT_STREQ(HashFamilyName(HashFamilyType::kLinear), "linear");
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,92 @@
+#include "hash/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace p2prange {
+namespace {
+
+// FIPS 180-1 Appendix A/B test vectors plus widely published digests.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, FipsTwoBlockMessage) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, QuickBrownFox) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash("The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(Sha1::ToHex(h.Finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "peer-to-peer systems with approximate range selection queries";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), Sha1::Hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, ByteAtATimeMatchesOneShot) {
+  const std::string msg(129, 'x');  // crosses two block boundaries
+  Sha1 h;
+  for (char c : msg) h.Update(&c, 1);
+  EXPECT_EQ(h.Finish(), Sha1::Hash(msg));
+}
+
+TEST(Sha1Test, ExactBlockSizedInputs) {
+  // 55/56/63/64/65 bytes hit every padding branch.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 128u}) {
+    const std::string msg(len, 'q');
+    Sha1 incremental;
+    incremental.Update(msg.substr(0, len / 2));
+    incremental.Update(msg.substr(len / 2));
+    EXPECT_EQ(incremental.Finish(), Sha1::Hash(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 h;
+  h.Update("first message");
+  (void)h.Finish();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(Sha1::ToHex(h.Finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, Hash32IsLeading32BitsBigEndian) {
+  // SHA-1("abc") = a9993e36...; leading 32 bits = 0xa9993e36.
+  EXPECT_EQ(Sha1::Hash32("abc"), 0xa9993e36u);
+  EXPECT_EQ(Sha1::Hash32(""), 0xda39a3eeu);
+}
+
+TEST(Sha1Test, DistinctAddressesGetDistinctIds) {
+  // Smoke check that node-id derivation separates similar addresses.
+  EXPECT_NE(Sha1::Hash32("10.0.0.1:5000"), Sha1::Hash32("10.0.0.1:5001"));
+  EXPECT_NE(Sha1::Hash32("10.0.0.1:5000"), Sha1::Hash32("10.0.0.2:5000"));
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,148 @@
+// Property sweep over the system's configuration space: every
+// combination must satisfy the same cross-cutting invariants
+// regardless of how it trades recall for cost.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/system.h"
+#include "rel/generator.h"
+#include "workload/range_workload.h"
+
+namespace p2prange {
+namespace {
+
+using MatrixParam = std::tuple<HashFamilyType, MatchCriterion, double /*padding*/,
+                               bool /*peer_index*/, int /*replication*/>;
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(HashFamilyType::kMinwise, HashFamilyType::kApproxMinwise,
+                          HashFamilyType::kLinear),
+        ::testing::Values(MatchCriterion::kJaccard, MatchCriterion::kContainment),
+        ::testing::Values(0.0, 0.2),
+        ::testing::Values(false, true),
+        ::testing::Values(1, 3)),
+    [](const auto& name_info) {
+      // Note: no structured bindings here — commas inside the binding
+      // list would split the INSTANTIATE macro's arguments.
+      const HashFamilyType family = std::get<0>(name_info.param);
+      const MatchCriterion criterion = std::get<1>(name_info.param);
+      const double padding = std::get<2>(name_info.param);
+      const bool index = std::get<3>(name_info.param);
+      const int repl = std::get<4>(name_info.param);
+      std::string name;
+      switch (family) {
+        case HashFamilyType::kMinwise:
+          name += "Minwise";
+          break;
+        case HashFamilyType::kApproxMinwise:
+          name += "Approx";
+          break;
+        case HashFamilyType::kLinear:
+          name += "Linear";
+          break;
+      }
+      name += criterion == MatchCriterion::kJaccard ? "Jaccard" : "Containment";
+      name += padding > 0 ? "Padded" : "Unpadded";
+      name += index ? "Index" : "Bucket";
+      name += "R" + std::to_string(repl);
+      return name;
+    });
+
+TEST_P(ConfigMatrixTest, ProtocolInvariantsHold) {
+  const auto& [family, criterion, padding, peer_index, replication] = GetParam();
+  SystemConfig cfg;
+  cfg.num_peers = 32;
+  cfg.lsh = LshParams::Paper(family, 5);
+  cfg.lsh.k = 10;  // cheaper sweep; the k/l ablation covers parameters
+  cfg.criterion = criterion;
+  cfg.padding = padding;
+  cfg.use_peer_index = peer_index;
+  cfg.descriptor_replication = replication;
+  cfg.seed = 5;
+  auto sys = RangeCacheSystem::Make(cfg, MakeNumbersCatalog(10, 0, 1000, 1));
+  ASSERT_TRUE(sys.ok()) << sys.status();
+
+  UniformRangeGenerator gen(0, 1000, 6);
+  uint64_t lookups = 0;
+  for (int i = 0; i < 150; ++i) {
+    const Range q = gen.Next();
+    auto outcome = sys->LookupRange(PartitionKey{"Numbers", "key", q});
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ++lookups;
+
+    // Identifier and padding invariants.
+    ASSERT_EQ(outcome->identifiers.size(), 5u);
+    EXPECT_TRUE(outcome->effective_query.Contains(q));
+    if (padding == 0.0) {
+      EXPECT_EQ(outcome->effective_query, q);
+    }
+
+    // Match invariants.
+    if (outcome->match) {
+      const RangeMatch& m = outcome->match.value();
+      EXPECT_GE(m.recall, 0.0);
+      EXPECT_LE(m.recall, 1.0);
+      EXPECT_GE(m.jaccard, 0.0);
+      EXPECT_LE(m.jaccard, 1.0);
+      EXPECT_EQ(m.matched.relation, "Numbers");
+      EXPECT_EQ(m.matched.attribute, "key");
+      if (m.exact) {
+        EXPECT_EQ(m.matched.range, outcome->effective_query);
+        EXPECT_DOUBLE_EQ(m.recall, 1.0);
+      }
+      // The matched holder must be a known peer.
+      EXPECT_NE(sys->peer(m.holder), nullptr);
+    }
+    EXPECT_GE(outcome->peers_contacted, 1);
+    EXPECT_LE(outcome->peers_contacted, 5);
+  }
+
+  // Metrics consistency.
+  const SystemMetrics& m = sys->metrics();
+  EXPECT_EQ(m.range_lookups, lookups);
+  EXPECT_EQ(m.exact_hits + m.approx_hits + m.misses, lookups);
+  EXPECT_EQ(m.partitions_published, m.misses + m.approx_hits)
+      << "every non-exact outcome publishes";
+  // Replication stores up to R copies per identifier.
+  EXPECT_LE(m.descriptors_stored,
+            m.partitions_published * 5 * static_cast<uint64_t>(replication));
+  // Stored descriptors live somewhere.
+  size_t total = 0;
+  for (size_t c : sys->DescriptorCountsPerPeer()) total += c;
+  EXPECT_EQ(total, m.descriptors_stored);
+}
+
+TEST_P(ConfigMatrixTest, DeterministicAcrossRuns) {
+  const auto& [family, criterion, padding, peer_index, replication] = GetParam();
+  auto run = [&] {
+    SystemConfig cfg;
+    cfg.num_peers = 16;
+    cfg.lsh = LshParams::Paper(family, 9);
+    cfg.lsh.k = 5;
+    cfg.criterion = criterion;
+    cfg.padding = padding;
+    cfg.use_peer_index = peer_index;
+    cfg.descriptor_replication = replication;
+    cfg.seed = 9;
+    auto sys = RangeCacheSystem::Make(cfg, MakeNumbersCatalog(10, 0, 1000, 1));
+    CHECK(sys.ok());
+    UniformRangeGenerator gen(0, 1000, 10);
+    std::string transcript;
+    for (int i = 0; i < 40; ++i) {
+      auto outcome = sys->LookupRange(PartitionKey{"Numbers", "key", gen.Next()});
+      CHECK(outcome.ok());
+      transcript += outcome->match ? outcome->match->matched.ToString() : "none";
+      transcript += ";";
+    }
+    return transcript;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace p2prange

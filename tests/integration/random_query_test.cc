@@ -1,0 +1,206 @@
+// Randomized differential testing: random conjunctive queries over the
+// medical schema are answered (a) by an independent nested-loop
+// evaluator over the base relations and (b) through the full P2P
+// system, cold and warm. Results must agree exactly — the cache layer
+// may change *where* data comes from, never *what* the answer is
+// (partial acceptance is off here).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "core/system.h"
+#include "rel/generator.h"
+
+namespace p2prange {
+namespace {
+
+struct GeneratedQuery {
+  std::string sql;
+  std::vector<std::string> tables;
+};
+
+/// Connected table subsets of the medical schema and the join edges
+/// that connect them (Diagnosis is the hub).
+struct Shape {
+  std::vector<const char*> tables;
+  std::vector<const char*> join_conds;
+};
+
+const Shape kShapes[] = {
+    {{"Patient"}, {}},
+    {{"Prescription"}, {}},
+    {{"Patient", "Diagnosis"},
+     {"Patient.patient_id = Diagnosis.patient_id"}},
+    {{"Diagnosis", "Prescription"},
+     {"Diagnosis.prescription_id = Prescription.prescription_id"}},
+    {{"Physician", "Diagnosis"},
+     {"Physician.physician_id = Diagnosis.physician_id"}},
+    {{"Patient", "Diagnosis", "Prescription"},
+     {"Patient.patient_id = Diagnosis.patient_id",
+      "Diagnosis.prescription_id = Prescription.prescription_id"}},
+    {{"Patient", "Diagnosis", "Physician"},
+     {"Patient.patient_id = Diagnosis.patient_id",
+      "Physician.physician_id = Diagnosis.physician_id"}},
+};
+
+const char* kDiagnosisValues[] = {"Glaucoma", "Diabetes", "Asthma", "Migraine"};
+
+GeneratedQuery GenerateQuery(Rng& rng) {
+  const Shape& shape = kShapes[rng.NextBounded(std::size(kShapes))];
+  std::vector<std::string> conds(shape.join_conds.begin(), shape.join_conds.end());
+
+  auto has = [&](const char* t) {
+    return std::find_if(shape.tables.begin(), shape.tables.end(), [&](const char* x) {
+             return std::string(x) == t;
+           }) != shape.tables.end();
+  };
+
+  // Range predicate on Patient.age (usually).
+  if (has("Patient") && rng.NextBernoulli(0.8)) {
+    const uint64_t lo = rng.NextBounded(80);
+    const uint64_t hi = lo + 1 + rng.NextBounded(40);
+    conds.push_back("age >= " + std::to_string(lo) + " AND age <= " +
+                    std::to_string(hi));
+  }
+  // Range predicate on Prescription.date.
+  if (has("Prescription") && rng.NextBernoulli(0.7)) {
+    const int y1 = 1992 + static_cast<int>(rng.NextBounded(14));
+    const int y2 = y1 + static_cast<int>(rng.NextBounded(4));
+    conds.push_back("date >= '" + std::to_string(y1) + "-01-01' AND date <= '" +
+                    std::to_string(std::min(y2, 2009)) + "-12-28'");
+  }
+  // Equality on Diagnosis.diagnosis.
+  if (has("Diagnosis") && rng.NextBernoulli(0.6)) {
+    conds.push_back(std::string("diagnosis = '") +
+                    kDiagnosisValues[rng.NextBounded(std::size(kDiagnosisValues))] +
+                    "'");
+  }
+
+  std::string sql = "SELECT * FROM ";
+  for (size_t i = 0; i < shape.tables.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += shape.tables[i];
+  }
+  if (!conds.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < conds.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += conds[i];
+    }
+  }
+  GeneratedQuery q;
+  q.sql = std::move(sql);
+  q.tables.assign(shape.tables.begin(), shape.tables.end());
+  return q;
+}
+
+/// Canonical multiset fingerprint of a relation's rows (order-free).
+std::multiset<std::string> Fingerprint(const Relation& rel) {
+  std::multiset<std::string> rows;
+  for (const Row& row : rel.rows()) {
+    std::string s;
+    for (const Value& v : row) {
+      s += v.ToString();
+      s += '|';
+    }
+    rows.insert(std::move(s));
+  }
+  return rows;
+}
+
+TEST(RandomQueryTest, SystemAnswersMatchDirectExecutionColdAndWarm) {
+  Catalog catalog = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 250;
+  spec.num_physicians = 12;
+  spec.num_prescriptions = 300;
+  spec.num_diagnoses = 350;
+  ASSERT_TRUE(PopulateMedicalData(spec, &catalog).ok());
+
+  SystemConfig cfg;
+  cfg.num_peers = 48;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, 7);
+  cfg.criterion = MatchCriterion::kContainment;
+  cfg.seed = 7;
+  auto sys = RangeCacheSystem::Make(cfg, catalog);
+  ASSERT_TRUE(sys.ok());
+
+  Rng rng(12345);
+  int nonempty = 0;
+  for (int i = 0; i < 40; ++i) {
+    const GeneratedQuery q = GenerateQuery(rng);
+    SCOPED_TRACE(q.sql);
+
+    // Independent reference: direct plan execution over base data.
+    auto stmt = ParseSelect(q.sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status();
+    auto plan = BuildPlan(*stmt, catalog);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    std::map<std::string, Relation> inputs;
+    for (const std::string& t : q.tables) {
+      inputs.emplace(t, **catalog.GetBaseData(t));
+    }
+    auto reference = ExecutePlan(*plan, inputs);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    const auto expected = Fingerprint(*reference);
+    if (!expected.empty()) ++nonempty;
+
+    // Through the system, twice: cold path (likely source) and warm
+    // path (likely caches).
+    for (int run = 0; run < 2; ++run) {
+      auto outcome = sys->ExecuteQuery(q.sql);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      EXPECT_FALSE(outcome->approximate);
+      EXPECT_EQ(Fingerprint(outcome->result), expected) << "run " << run;
+    }
+  }
+  // The generator must produce substantial queries, not a pile of
+  // empty results.
+  EXPECT_GT(nonempty, 20);
+}
+
+TEST(RandomQueryTest, AcceptPartialNeverProducesFalsePositives) {
+  Catalog catalog = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 250;
+  ASSERT_TRUE(PopulateMedicalData(spec, &catalog).ok());
+
+  SystemConfig cfg;
+  cfg.num_peers = 48;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, 11);
+  cfg.criterion = MatchCriterion::kContainment;
+  cfg.accept_partial_answers = true;
+  cfg.seed = 11;
+  auto sys = RangeCacheSystem::Make(cfg, catalog);
+  ASSERT_TRUE(sys.ok());
+
+  Rng rng(54321);
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t lo = rng.NextBounded(80);
+    const uint64_t hi = lo + 1 + rng.NextBounded(30);
+    const std::string sql = "SELECT * FROM Patient WHERE age >= " +
+                            std::to_string(lo) + " AND age <= " +
+                            std::to_string(hi);
+    SCOPED_TRACE(sql);
+    auto outcome = sys->ExecuteQuery(sql);
+    ASSERT_TRUE(outcome.ok());
+    // Subset property: every row satisfies the predicate.
+    auto idx = outcome->result.schema().FieldIndex("Patient.age");
+    ASSERT_TRUE(idx.ok());
+    for (const Row& row : outcome->result.rows()) {
+      EXPECT_GE(row[*idx].AsInt(), static_cast<int64_t>(lo));
+      EXPECT_LE(row[*idx].AsInt(), static_cast<int64_t>(hi));
+    }
+    // And the count never exceeds the true answer.
+    auto reference = (*catalog.GetBaseData("Patient"))
+                         ->SelectOrdinalRange("age", static_cast<int64_t>(lo),
+                                              static_cast<int64_t>(hi));
+    ASSERT_TRUE(reference.ok());
+    EXPECT_LE(outcome->result.num_rows(), reference->num_rows());
+  }
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,134 @@
+#include "net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/address.h"
+
+namespace p2prange {
+namespace {
+
+NetAddress Addr(uint32_t host, uint16_t port) { return NetAddress{host, port}; }
+
+TEST(NetAddressTest, ToStringDottedQuad) {
+  EXPECT_EQ(Addr(0x0A000001, 7000).ToString(), "10.0.0.1:7000");
+  EXPECT_EQ(Addr(0xC0A80164, 80).ToString(), "192.168.1.100:80");
+  EXPECT_EQ(Addr(0, 0).ToString(), "0.0.0.0:0");
+  EXPECT_EQ(Addr(0xFFFFFFFF, 65535).ToString(), "255.255.255.255:65535");
+}
+
+TEST(NetAddressTest, EqualityAndOrdering) {
+  EXPECT_EQ(Addr(1, 2), Addr(1, 2));
+  EXPECT_NE(Addr(1, 2), Addr(1, 3));
+  EXPECT_LT(Addr(1, 2), Addr(2, 0));
+  EXPECT_LT(Addr(1, 2), Addr(1, 3));
+}
+
+TEST(NetAddressTest, HashSeparatesHostAndPort) {
+  NetAddressHash h;
+  EXPECT_NE(h(Addr(1, 2)), h(Addr(2, 1)));
+}
+
+TEST(SimNetworkTest, RegisterAndLiveness) {
+  SimNetwork net;
+  const NetAddress a = Addr(1, 1000);
+  EXPECT_FALSE(net.IsRegistered(a));
+  EXPECT_FALSE(net.IsAlive(a));
+  net.Register(a);
+  EXPECT_TRUE(net.IsRegistered(a));
+  EXPECT_TRUE(net.IsAlive(a));
+  ASSERT_TRUE(net.SetAlive(a, false).ok());
+  EXPECT_TRUE(net.IsRegistered(a));
+  EXPECT_FALSE(net.IsAlive(a));
+  ASSERT_TRUE(net.SetAlive(a, true).ok());
+  EXPECT_TRUE(net.IsAlive(a));
+}
+
+TEST(SimNetworkTest, SetAliveUnknownAddressFails) {
+  SimNetwork net;
+  EXPECT_TRUE(net.SetAlive(Addr(9, 9), true).IsNotFound());
+}
+
+TEST(SimNetworkTest, DeliverChargesMessage) {
+  SimNetwork net(LatencyModel{10.0, 5.0}, /*seed=*/1);
+  const NetAddress a = Addr(1, 1), b = Addr(2, 2);
+  net.Register(a);
+  net.Register(b);
+  auto lat = net.Deliver(a, b);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_GE(*lat, 10.0);
+  EXPECT_LE(*lat, 15.0);
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_DOUBLE_EQ(net.stats().total_latency_ms, *lat);
+}
+
+TEST(SimNetworkTest, LocalDeliveryIsFree) {
+  SimNetwork net;
+  const NetAddress a = Addr(1, 1);
+  net.Register(a);
+  auto lat = net.Deliver(a, a);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_DOUBLE_EQ(*lat, 0.0);
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+TEST(SimNetworkTest, DeliveryToDeadPeerFails) {
+  SimNetwork net;
+  const NetAddress a = Addr(1, 1), b = Addr(2, 2);
+  net.Register(a);
+  net.Register(b);
+  ASSERT_TRUE(net.SetAlive(b, false).ok());
+  EXPECT_TRUE(net.Deliver(a, b).status().IsUnavailable());
+  EXPECT_EQ(net.stats().failed_deliveries, 1u);
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+TEST(SimNetworkTest, DeliveryToUnknownPeerFails) {
+  SimNetwork net;
+  const NetAddress a = Addr(1, 1);
+  net.Register(a);
+  EXPECT_TRUE(net.Deliver(a, Addr(5, 5)).status().IsUnavailable());
+}
+
+TEST(SimNetworkTest, ResetStatsClearsCounters) {
+  SimNetwork net;
+  const NetAddress a = Addr(1, 1), b = Addr(2, 2);
+  net.Register(a);
+  net.Register(b);
+  ASSERT_TRUE(net.Deliver(a, b).ok());
+  net.ResetStats();
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_DOUBLE_EQ(net.stats().total_latency_ms, 0.0);
+}
+
+TEST(SimNetworkTest, DeliverBytesChargesPayloadAndBandwidth) {
+  SimNetwork net(LatencyModel{10.0, 0.0, /*per_kib_ms=*/1.0}, 1);
+  const NetAddress a = Addr(1, 1), b = Addr(2, 2);
+  net.Register(a);
+  net.Register(b);
+  auto lat = net.DeliverBytes(a, b, 4096);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_DOUBLE_EQ(*lat, 10.0 + 4.0);  // base + 4 KiB * 1 ms/KiB
+  EXPECT_EQ(net.stats().bytes, SimNetwork::kControlBytes + 4096);
+}
+
+TEST(SimNetworkTest, ControlMessagesCostFixedOverhead) {
+  SimNetwork net;
+  const NetAddress a = Addr(1, 1), b = Addr(2, 2);
+  net.Register(a);
+  net.Register(b);
+  ASSERT_TRUE(net.Deliver(a, b).ok());
+  ASSERT_TRUE(net.Deliver(b, a).ok());
+  EXPECT_EQ(net.stats().bytes, 2 * SimNetwork::kControlBytes);
+}
+
+TEST(SimNetworkTest, RegisterIsIdempotent) {
+  SimNetwork net;
+  const NetAddress a = Addr(1, 1);
+  net.Register(a);
+  ASSERT_TRUE(net.SetAlive(a, false).ok());
+  net.Register(a);  // must not resurrect the peer
+  EXPECT_FALSE(net.IsAlive(a));
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,152 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/tokenizer.h"
+
+namespace p2prange {
+namespace {
+
+TEST(TokenizerTest, SplitsKeywordsIdentifiersAndSymbols) {
+  auto tokens = Tokenize("SELECT a.b FROM T WHERE x <= 5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE((*tokens)[2].IsSymbol("."));
+  EXPECT_TRUE((*tokens)[4].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[8].IsSymbol("<="));
+  EXPECT_EQ((*tokens)[9].type, TokenType::kNumber);
+  EXPECT_EQ((*tokens).back().type, TokenType::kEnd);
+}
+
+TEST(TokenizerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select x from t where y = 1 and z = 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[4].IsKeyword("WHERE"));
+}
+
+TEST(TokenizerTest, StringLiteralsAndNegativeNumbers) {
+  auto tokens = Tokenize("x = 'Glaucoma' and y = -12 and z = 3.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[2].text, "Glaucoma");
+  EXPECT_EQ((*tokens)[6].text, "-12");
+  EXPECT_EQ((*tokens)[10].text, "3.5");
+}
+
+TEST(TokenizerTest, RejectsUnterminatedString) {
+  EXPECT_TRUE(Tokenize("x = 'oops").status().IsInvalidArgument());
+}
+
+TEST(TokenizerTest, RejectsStrayCharacters) {
+  EXPECT_TRUE(Tokenize("x # y").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, SimpleSelectStar) {
+  auto stmt = ParseSelect("SELECT * FROM Patient WHERE age = 30");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->projections.empty());
+  ASSERT_EQ(stmt->tables.size(), 1u);
+  EXPECT_EQ(stmt->tables[0], "Patient");
+  ASSERT_EQ(stmt->conditions.size(), 1u);
+  EXPECT_EQ(stmt->conditions[0].kind, Condition::Kind::kCompare);
+  EXPECT_EQ(stmt->conditions[0].op, CompareOp::kEq);
+  EXPECT_EQ(stmt->conditions[0].literal, Value(int64_t{30}));
+}
+
+TEST(ParserTest, ThePaperExampleQuery) {
+  // §2's motivating query, verbatim in spirit.
+  auto stmt = ParseSelect(
+      "Select Prescription.prescription "
+      "from Patient, Diagnosis, Prescription "
+      "where 30 < age and age < 50 "
+      "and diagnosis = 'Glaucoma' "
+      "and Patient.patient_id = Diagnosis.patient_id "
+      "and '2000-01-01' <= date and date <= '2002-12-31' "
+      "and Diagnosis.prescription_id = Prescription.prescription_id");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->projections.size(), 1u);
+  EXPECT_EQ(stmt->projections[0].ToString(), "Prescription.prescription");
+  EXPECT_EQ(stmt->tables.size(), 3u);
+  ASSERT_EQ(stmt->conditions.size(), 7u);
+  // "30 < age" must be normalized to age > 30.
+  EXPECT_EQ(stmt->conditions[0].lhs.column, "age");
+  EXPECT_EQ(stmt->conditions[0].op, CompareOp::kGt);
+  // Date literals parse as dates.
+  EXPECT_TRUE(stmt->conditions[4].literal.is_date());
+  // Join conditions are recognized.
+  EXPECT_EQ(stmt->conditions[3].kind, Condition::Kind::kJoin);
+  EXPECT_EQ(stmt->conditions[6].kind, Condition::Kind::kJoin);
+}
+
+TEST(ParserTest, BetweenCondition) {
+  auto stmt = ParseSelect("SELECT * FROM T WHERE age BETWEEN 30 AND 50");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->conditions.size(), 1u);
+  EXPECT_EQ(stmt->conditions[0].kind, Condition::Kind::kBetween);
+  EXPECT_EQ(stmt->conditions[0].literal, Value(int64_t{30}));
+  EXPECT_EQ(stmt->conditions[0].literal_hi, Value(int64_t{50}));
+}
+
+TEST(ParserTest, BetweenThenAndChain) {
+  auto stmt =
+      ParseSelect("SELECT * FROM T WHERE age BETWEEN 30 AND 50 AND x = 'y'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->conditions.size(), 2u);
+}
+
+TEST(ParserTest, ProjectionList) {
+  auto stmt = ParseSelect("SELECT a, T.b, c FROM T");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->projections.size(), 3u);
+  EXPECT_EQ(stmt->projections[0].ToString(), "a");
+  EXPECT_EQ(stmt->projections[1].ToString(), "T.b");
+}
+
+TEST(ParserTest, NonDateStringsStayStrings) {
+  auto stmt = ParseSelect("SELECT * FROM T WHERE d = '2002-13-45'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->conditions[0].literal.is_string());
+}
+
+TEST(ParserTest, DoublesParse) {
+  auto stmt = ParseSelect("SELECT * FROM T WHERE score = 2.5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->conditions[0].literal.is_double());
+}
+
+TEST(ParserTest, RejectsMissingFrom) {
+  EXPECT_FALSE(ParseSelect("SELECT *").ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM T extra").ok());
+}
+
+TEST(ParserTest, RejectsNonEqJoinComparison) {
+  EXPECT_TRUE(ParseSelect("SELECT * FROM T, U WHERE T.a < U.b")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParserTest, RejectsEmptyTableName) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM WHERE x = 1").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const std::string sql =
+      "SELECT T.a FROM T, U WHERE T.a = U.b AND a BETWEEN 1 AND 5 AND name = 'x'";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  // Reparsing the printed form yields the same structure.
+  auto again = ParseSelect(stmt->ToString());
+  ASSERT_TRUE(again.ok()) << stmt->ToString();
+  EXPECT_EQ(again->tables, stmt->tables);
+  EXPECT_EQ(again->conditions.size(), stmt->conditions.size());
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,207 @@
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "rel/catalog.h"
+#include "rel/generator.h"
+
+namespace p2prange {
+namespace {
+
+QueryPlan MustPlan(const std::string& sql, const Catalog& cat) {
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  auto plan = BuildPlan(*stmt, cat);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return *plan;
+}
+
+Status PlanError(const std::string& sql, const Catalog& cat) {
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  return BuildPlan(*stmt, cat).status();
+}
+
+TEST(PlanTest, PushesRangeToLeaf) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan =
+      MustPlan("SELECT * FROM Patient WHERE age > 30 AND age < 50", cat);
+  ASSERT_EQ(plan.leaves.size(), 1u);
+  ASSERT_TRUE(plan.leaves[0].range.has_value());
+  EXPECT_EQ(plan.leaves[0].range->attribute, "age");
+  EXPECT_EQ(plan.leaves[0].range->lo, 31);
+  EXPECT_EQ(plan.leaves[0].range->hi, 49);
+}
+
+TEST(PlanTest, OneSidedRangeUsesDomainBound) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan = MustPlan("SELECT * FROM Patient WHERE age >= 65", cat);
+  ASSERT_TRUE(plan.leaves[0].range.has_value());
+  EXPECT_EQ(plan.leaves[0].range->lo, 65);
+  EXPECT_EQ(plan.leaves[0].range->hi, 120);  // domain hi
+}
+
+TEST(PlanTest, EqualityOnOrdinalBecomesDegenerateRange) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan = MustPlan("SELECT * FROM Patient WHERE age = 30", cat);
+  ASSERT_TRUE(plan.leaves[0].range.has_value());
+  EXPECT_EQ(plan.leaves[0].range->lo, 30);
+  EXPECT_EQ(plan.leaves[0].range->hi, 30);
+}
+
+TEST(PlanTest, BetweenFoldsIntoRange) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan =
+      MustPlan("SELECT * FROM Patient WHERE age BETWEEN 30 AND 50", cat);
+  ASSERT_TRUE(plan.leaves[0].range.has_value());
+  EXPECT_EQ(plan.leaves[0].range->lo, 30);
+  EXPECT_EQ(plan.leaves[0].range->hi, 50);
+}
+
+TEST(PlanTest, MultipleBoundsIntersect) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan = MustPlan(
+      "SELECT * FROM Patient WHERE age >= 20 AND age >= 30 AND age <= 60 "
+      "AND age < 55",
+      cat);
+  EXPECT_EQ(plan.leaves[0].range->lo, 30);
+  EXPECT_EQ(plan.leaves[0].range->hi, 54);
+}
+
+TEST(PlanTest, StringEqualityBecomesFilter) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan =
+      MustPlan("SELECT * FROM Diagnosis WHERE diagnosis = 'Glaucoma'", cat);
+  EXPECT_FALSE(plan.leaves[0].range.has_value());
+  ASSERT_EQ(plan.leaves[0].filters.size(), 1u);
+  EXPECT_EQ(plan.leaves[0].filters[0].attribute, "diagnosis");
+  EXPECT_EQ(plan.leaves[0].filters[0].value, Value("Glaucoma"));
+}
+
+TEST(PlanTest, DateRangeOnPrescription) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan = MustPlan(
+      "SELECT * FROM Prescription WHERE date >= '2000-01-01' AND "
+      "date <= '2002-12-31'",
+      cat);
+  ASSERT_TRUE(plan.leaves[0].range.has_value());
+  EXPECT_EQ(plan.leaves[0].range->lo, MakeDate(2000, 1, 1).days);
+  EXPECT_EQ(plan.leaves[0].range->hi, MakeDate(2002, 12, 31).days);
+}
+
+TEST(PlanTest, PaperExampleFullPlan) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan = MustPlan(
+      "Select Prescription.prescription "
+      "from Patient, Diagnosis, Prescription "
+      "where 30 < age and age < 50 "
+      "and diagnosis = 'Glaucoma' "
+      "and Patient.patient_id = Diagnosis.patient_id "
+      "and '2000-01-01' < date and date < '2002-12-31' "
+      "and Diagnosis.prescription_id = Prescription.prescription_id",
+      cat);
+  ASSERT_EQ(plan.leaves.size(), 3u);
+  const TableSelection* patient = plan.LeafFor("Patient");
+  ASSERT_NE(patient, nullptr);
+  EXPECT_EQ(patient->range->lo, 31);
+  EXPECT_EQ(patient->range->hi, 49);
+  const TableSelection* diagnosis = plan.LeafFor("Diagnosis");
+  ASSERT_NE(diagnosis, nullptr);
+  EXPECT_FALSE(diagnosis->range.has_value());
+  EXPECT_EQ(diagnosis->filters.size(), 1u);
+  const TableSelection* prescription = plan.LeafFor("Prescription");
+  ASSERT_NE(prescription, nullptr);
+  EXPECT_EQ(prescription->range->attribute, "date");
+  ASSERT_EQ(plan.joins.size(), 2u);
+  ASSERT_EQ(plan.projections.size(), 1u);
+  EXPECT_EQ(plan.projections[0].ToString(), "Prescription.prescription");
+}
+
+TEST(PlanTest, ResolvesUnqualifiedColumnsUniquely) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan =
+      MustPlan("SELECT * FROM Patient, Diagnosis WHERE diagnosis = 'X' "
+               "AND Patient.patient_id = Diagnosis.patient_id",
+               cat);
+  EXPECT_EQ(plan.leaves[1].filters[0].attribute, "diagnosis");
+}
+
+TEST(PlanTest, RejectsAmbiguousColumn) {
+  const Catalog cat = MakeMedicalCatalog();
+  // "age" exists in both Patient and Physician.
+  EXPECT_TRUE(PlanError("SELECT * FROM Patient, Physician WHERE age > 30 AND "
+                        "Patient.name = Physician.name",
+                        cat)
+                  .IsInvalidArgument());
+}
+
+TEST(PlanTest, RejectsUnknownTableAndColumn) {
+  const Catalog cat = MakeMedicalCatalog();
+  EXPECT_TRUE(PlanError("SELECT * FROM Nothing", cat).IsNotFound());
+  EXPECT_TRUE(
+      PlanError("SELECT * FROM Patient WHERE height > 3", cat).IsInvalidArgument());
+  EXPECT_TRUE(PlanError("SELECT * FROM Patient WHERE Diagnosis.diagnosis = 'X'",
+                        cat)
+                  .IsInvalidArgument());
+}
+
+TEST(PlanTest, RejectsTwoRangeAttributesPerRelation) {
+  // The paper's restriction (§2): one range-selected attribute per
+  // relation. patient_id and age are both ordinal in Patient.
+  const Catalog cat = MakeMedicalCatalog();
+  EXPECT_TRUE(PlanError("SELECT * FROM Patient WHERE age > 30 AND "
+                        "patient_id < 100",
+                        cat)
+                  .IsInvalidArgument());
+}
+
+TEST(PlanTest, RejectsEmptyRange) {
+  const Catalog cat = MakeMedicalCatalog();
+  EXPECT_TRUE(PlanError("SELECT * FROM Patient WHERE age > 50 AND age < 40", cat)
+                  .IsInvalidArgument());
+}
+
+TEST(PlanTest, RejectsRangePredicateOnString) {
+  const Catalog cat = MakeMedicalCatalog();
+  EXPECT_TRUE(
+      PlanError("SELECT * FROM Patient WHERE name > 'Bob'", cat).IsInvalidArgument());
+}
+
+TEST(PlanTest, RejectsTypeMismatchedLiteral) {
+  const Catalog cat = MakeMedicalCatalog();
+  EXPECT_TRUE(PlanError("SELECT * FROM Patient WHERE age > '2000-01-01'", cat)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PlanError("SELECT * FROM Patient WHERE name = 3", cat)
+                  .IsInvalidArgument());
+}
+
+TEST(PlanTest, RejectsJoinTypeMismatch) {
+  const Catalog cat = MakeMedicalCatalog();
+  EXPECT_TRUE(PlanError("SELECT * FROM Patient, Diagnosis WHERE "
+                        "Patient.name = Diagnosis.patient_id",
+                        cat)
+                  .IsInvalidArgument());
+}
+
+TEST(PlanTest, RejectsSelfJoin) {
+  const Catalog cat = MakeMedicalCatalog();
+  auto stmt = ParseSelect("SELECT * FROM Patient, Patient");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(BuildPlan(*stmt, cat).status().IsNotImplemented());
+}
+
+TEST(PlanTest, ToStringMentionsEveryPiece) {
+  const Catalog cat = MakeMedicalCatalog();
+  const QueryPlan plan = MustPlan(
+      "SELECT Patient.name FROM Patient, Diagnosis WHERE age > 30 "
+      "AND Patient.patient_id = Diagnosis.patient_id",
+      cat);
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("scan Patient"), std::string::npos);
+  EXPECT_NE(s.find("join"), std::string::npos);
+  EXPECT_NE(s.find("project"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2prange

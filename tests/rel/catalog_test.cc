@@ -1,0 +1,141 @@
+#include "rel/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/generator.h"
+
+namespace p2prange {
+namespace {
+
+TEST(CatalogTest, RegisterAndGetSchema) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterSchema("T", Schema({Field{"a", ValueType::kInt64,
+                                                    AttributeDomain{0, 9}}}))
+                  .ok());
+  EXPECT_TRUE(cat.HasRelation("T"));
+  EXPECT_FALSE(cat.HasRelation("U"));
+  auto schema = cat.GetSchema("T");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_fields(), 1u);
+  EXPECT_TRUE(cat.GetSchema("U").status().IsNotFound());
+  EXPECT_TRUE(cat.RegisterSchema("T", Schema()).IsAlreadyExists());
+}
+
+TEST(CatalogTest, InstallBaseDataValidatesSchema) {
+  Catalog cat;
+  const Schema schema({Field{"a", ValueType::kInt64, AttributeDomain{0, 9}}});
+  ASSERT_TRUE(cat.RegisterSchema("T", schema).ok());
+  EXPECT_TRUE(cat.InstallBaseData(Relation("U", schema)).IsNotFound());
+  EXPECT_TRUE(
+      cat.InstallBaseData(Relation("T", Schema())).IsInvalidArgument());
+  ASSERT_TRUE(cat.InstallBaseData(Relation("T", schema)).ok());
+  auto data = cat.GetBaseData("T");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)->num_rows(), 0u);
+}
+
+TEST(CatalogTest, GetDomainRequiresDeclaredDomain) {
+  Catalog cat = MakeMedicalCatalog();
+  auto age = cat.GetDomain("Patient", "age");
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(age->lo, 0);
+  EXPECT_EQ(age->hi, 120);
+  EXPECT_TRUE(cat.GetDomain("Patient", "name").status().IsInvalidArgument());
+  EXPECT_TRUE(cat.GetDomain("Patient", "nope").status().IsNotFound());
+  EXPECT_TRUE(cat.GetDomain("Nope", "x").status().IsNotFound());
+}
+
+TEST(CatalogTest, MedicalCatalogHasPaperSchema) {
+  Catalog cat = MakeMedicalCatalog();
+  for (const char* rel : {"Patient", "Diagnosis", "Physician", "Prescription"}) {
+    EXPECT_TRUE(cat.HasRelation(rel)) << rel;
+  }
+  auto diag = cat.GetSchema("Diagnosis");
+  ASSERT_TRUE(diag.ok());
+  EXPECT_TRUE(diag->HasField("patient_id"));
+  EXPECT_TRUE(diag->HasField("diagnosis"));
+  EXPECT_TRUE(diag->HasField("physician_id"));
+  EXPECT_TRUE(diag->HasField("prescription_id"));
+  auto date = cat.GetDomain("Prescription", "date");
+  ASSERT_TRUE(date.ok());
+  EXPECT_EQ(date->lo, MakeDate(1990, 1, 1).days);
+}
+
+TEST(GeneratorTest, PopulatesAllRelationsWithRequestedSizes) {
+  Catalog cat = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 100;
+  spec.num_physicians = 10;
+  spec.num_prescriptions = 150;
+  spec.num_diagnoses = 200;
+  ASSERT_TRUE(PopulateMedicalData(spec, &cat).ok());
+  EXPECT_EQ((*cat.GetBaseData("Patient"))->num_rows(), 100u);
+  EXPECT_EQ((*cat.GetBaseData("Physician"))->num_rows(), 10u);
+  EXPECT_EQ((*cat.GetBaseData("Prescription"))->num_rows(), 150u);
+  EXPECT_EQ((*cat.GetBaseData("Diagnosis"))->num_rows(), 200u);
+}
+
+TEST(GeneratorTest, DiagnosesAreReferentiallyConsistent) {
+  Catalog cat = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 50;
+  spec.num_physicians = 5;
+  spec.num_prescriptions = 60;
+  spec.num_diagnoses = 100;
+  ASSERT_TRUE(PopulateMedicalData(spec, &cat).ok());
+  const Relation* diag = *cat.GetBaseData("Diagnosis");
+  for (const Row& row : diag->rows()) {
+    EXPECT_GE(row[0].AsInt(), 0);
+    EXPECT_LT(row[0].AsInt(), 50);  // patient_id
+    EXPECT_GE(row[2].AsInt(), 0);
+    EXPECT_LT(row[2].AsInt(), 5);  // physician_id
+    EXPECT_GE(row[3].AsInt(), 0);
+    EXPECT_LT(row[3].AsInt(), 60);  // prescription_id
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Catalog a = MakeMedicalCatalog(), b = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 20;
+  spec.num_diagnoses = 20;
+  spec.num_prescriptions = 20;
+  spec.num_physicians = 4;
+  ASSERT_TRUE(PopulateMedicalData(spec, &a).ok());
+  ASSERT_TRUE(PopulateMedicalData(spec, &b).ok());
+  const Relation* pa = *a.GetBaseData("Patient");
+  const Relation* pb = *b.GetBaseData("Patient");
+  ASSERT_EQ(pa->num_rows(), pb->num_rows());
+  for (size_t i = 0; i < pa->num_rows(); ++i) {
+    EXPECT_EQ(pa->rows()[i], pb->rows()[i]);
+  }
+}
+
+TEST(GeneratorTest, PatientAgesWithinDomain) {
+  Catalog cat = MakeMedicalCatalog();
+  ASSERT_TRUE(PopulateMedicalData(MedicalDataSpec{}, &cat).ok());
+  auto domain = cat.GetDomain("Patient", "age");
+  ASSERT_TRUE(domain.ok());
+  const Relation* patients = *cat.GetBaseData("Patient");
+  for (const Row& row : patients->rows()) {
+    EXPECT_GE(row[2].AsInt(), domain->lo);
+    EXPECT_LE(row[2].AsInt(), domain->hi);
+  }
+}
+
+TEST(GeneratorTest, NumbersCatalog) {
+  Catalog cat = MakeNumbersCatalog(500, 0, 1000, 3);
+  ASSERT_TRUE(cat.HasRelation("Numbers"));
+  const Relation* rows = *cat.GetBaseData("Numbers");
+  EXPECT_EQ(rows->num_rows(), 500u);
+  for (const Row& row : rows->rows()) {
+    EXPECT_GE(row[0].AsInt(), 0);
+    EXPECT_LE(row[0].AsInt(), 1000);
+  }
+  auto domain = cat.GetDomain("Numbers", "key");
+  ASSERT_TRUE(domain.ok());
+  EXPECT_EQ(domain->hi, 1000);
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,108 @@
+#include "rel/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rel/generator.h"
+
+namespace p2prange {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"id", ValueType::kInt64, AttributeDomain{0, 1000}},
+                 Field{"name", ValueType::kString, std::nullopt},
+                 Field{"score", ValueType::kDouble, std::nullopt},
+                 Field{"when", ValueType::kDate, std::nullopt}});
+}
+
+TEST(CsvTest, RoundTripsTypedRows) {
+  Relation rel("T", TestSchema());
+  ASSERT_TRUE(rel.Append({Value(int64_t{1}), Value("plain"), Value(2.5),
+                          Value(MakeDate(2001, 2, 3))})
+                  .ok());
+  ASSERT_TRUE(rel.Append({Value(int64_t{-7}), Value("comma, inside"),
+                          Value(-0.125), Value(MakeDate(1999, 12, 31))})
+                  .ok());
+  ASSERT_TRUE(rel.Append({Value(int64_t{0}), Value("quote \" and\nnewline"),
+                          Value(0.0), Value(MakeDate(1970, 1, 1))})
+                  .ok());
+  std::stringstream buf;
+  ASSERT_TRUE(WriteCsv(rel, &buf).ok());
+  auto back = ReadCsv("T", TestSchema(), &buf);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), rel.num_rows());
+  for (size_t i = 0; i < rel.num_rows(); ++i) {
+    EXPECT_EQ(back->rows()[i], rel.rows()[i]) << "row " << i;
+  }
+}
+
+TEST(CsvTest, RoundTripsGeneratedMedicalData) {
+  Catalog cat = MakeMedicalCatalog();
+  MedicalDataSpec spec;
+  spec.num_patients = 80;
+  ASSERT_TRUE(PopulateMedicalData(spec, &cat).ok());
+  const Relation* patients = *cat.GetBaseData("Patient");
+  std::stringstream buf;
+  ASSERT_TRUE(WriteCsv(*patients, &buf).ok());
+  auto back = ReadCsv("Patient", patients->schema(), &buf);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), patients->num_rows());
+  for (size_t i = 0; i < back->num_rows(); ++i) {
+    EXPECT_EQ(back->rows()[i], patients->rows()[i]);
+  }
+}
+
+TEST(CsvTest, HeaderIsValidated) {
+  std::stringstream wrong_name("id,WRONG,score,when\n");
+  EXPECT_TRUE(
+      ReadCsv("T", TestSchema(), &wrong_name).status().IsInvalidArgument());
+  std::stringstream wrong_arity("id,name\n");
+  EXPECT_TRUE(
+      ReadCsv("T", TestSchema(), &wrong_arity).status().IsInvalidArgument());
+  std::stringstream empty("");
+  EXPECT_TRUE(ReadCsv("T", TestSchema(), &empty).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, TypeErrorsAreReported) {
+  const std::string header = "id,name,score,when\n";
+  std::stringstream bad_int(header + "xx,a,1.0,2001-01-01\n");
+  EXPECT_TRUE(ReadCsv("T", TestSchema(), &bad_int).status().IsInvalidArgument());
+  std::stringstream bad_double(header + "1,a,nope,2001-01-01\n");
+  EXPECT_TRUE(
+      ReadCsv("T", TestSchema(), &bad_double).status().IsInvalidArgument());
+  std::stringstream bad_date(header + "1,a,1.0,not-a-date!!\n");
+  EXPECT_TRUE(ReadCsv("T", TestSchema(), &bad_date).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ArityErrorsAreReported) {
+  std::stringstream bad("id,name,score,when\n1,a,1.0\n");
+  EXPECT_TRUE(ReadCsv("T", TestSchema(), &bad).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  std::stringstream bad("id,name,score,when\n1,\"oops,1.0,2001-01-01\n");
+  EXPECT_TRUE(ReadCsv("T", TestSchema(), &bad).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ToleratesCrLfAndMissingTrailingNewline) {
+  std::stringstream input("id,name,score,when\r\n5,bob,1.5,2002-02-02");
+  auto rel = ReadCsv("T", TestSchema(), &input);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  ASSERT_EQ(rel->num_rows(), 1u);
+  EXPECT_EQ(rel->rows()[0][0].AsInt(), 5);
+  EXPECT_EQ(rel->rows()[0][3], Value(MakeDate(2002, 2, 2)));
+}
+
+TEST(CsvTest, EmptyRelationWritesHeaderOnly) {
+  Relation rel("T", TestSchema());
+  std::stringstream buf;
+  ASSERT_TRUE(WriteCsv(rel, &buf).ok());
+  EXPECT_EQ(buf.str(), "id,name,score,when\n");
+  auto back = ReadCsv("T", TestSchema(), &buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace p2prange

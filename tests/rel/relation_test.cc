@@ -1,0 +1,78 @@
+#include "rel/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace {
+
+Relation People() {
+  Schema schema({Field{"id", ValueType::kInt64, AttributeDomain{0, 100}},
+                 Field{"name", ValueType::kString, std::nullopt},
+                 Field{"age", ValueType::kInt64, AttributeDomain{0, 120}}});
+  Relation r("People", schema);
+  EXPECT_TRUE(r.Append({Value(int64_t{1}), Value("ann"), Value(int64_t{30})}).ok());
+  EXPECT_TRUE(r.Append({Value(int64_t{2}), Value("bob"), Value(int64_t{45})}).ok());
+  EXPECT_TRUE(r.Append({Value(int64_t{3}), Value("cal"), Value(int64_t{30})}).ok());
+  EXPECT_TRUE(r.Append({Value(int64_t{4}), Value("dee"), Value(int64_t{60})}).ok());
+  return r;
+}
+
+TEST(RelationTest, AppendChecksArity) {
+  Relation r = People();
+  EXPECT_TRUE(r.Append({Value(int64_t{9})}).IsInvalidArgument());
+}
+
+TEST(RelationTest, AppendChecksTypes) {
+  Relation r = People();
+  EXPECT_TRUE(
+      r.Append({Value("wrong"), Value("x"), Value(int64_t{1})}).IsInvalidArgument());
+}
+
+TEST(RelationTest, SelectOrdinalRangeInclusive) {
+  const Relation r = People();
+  auto sel = r.SelectOrdinalRange("age", 30, 45);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->num_rows(), 3u);
+  auto none = r.SelectOrdinalRange("age", 90, 100);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->num_rows(), 0u);
+}
+
+TEST(RelationTest, SelectOrdinalRangeUnknownAttribute) {
+  EXPECT_TRUE(
+      People().SelectOrdinalRange("height", 0, 1).status().IsNotFound());
+}
+
+TEST(RelationTest, SelectOrdinalRangeOnStringFails) {
+  EXPECT_TRUE(
+      People().SelectOrdinalRange("name", 0, 1).status().IsInvalidArgument());
+}
+
+TEST(RelationTest, SelectEquals) {
+  const Relation r = People();
+  auto sel = r.SelectEquals("name", Value("bob"));
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->num_rows(), 1u);
+  EXPECT_EQ(sel->rows()[0][0].AsInt(), 2);
+  auto ages = r.SelectEquals("age", Value(int64_t{30}));
+  ASSERT_TRUE(ages.ok());
+  EXPECT_EQ(ages->num_rows(), 2u);
+}
+
+TEST(RelationTest, SelectionPreservesSchemaAndName) {
+  const Relation r = People();
+  auto sel = r.SelectOrdinalRange("age", 0, 120);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->name(), "People");
+  EXPECT_EQ(sel->schema(), r.schema());
+  EXPECT_EQ(sel->num_rows(), r.num_rows());
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  const std::string s = People().ToString(/*max_rows=*/2);
+  EXPECT_NE(s.find("People"), std::string::npos);
+  EXPECT_NE(s.find("... (2 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,98 @@
+#include "rel/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"id", ValueType::kInt64, AttributeDomain{0, 1000}},
+                 Field{"name", ValueType::kString, std::nullopt},
+                 Field{"when", ValueType::kDate,
+                       AttributeDomain{MakeDate(2000, 1, 1).days,
+                                       MakeDate(2003, 1, 1).days}}});
+}
+
+TEST(SchemaTest, FieldIndexLookups) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  auto idx = s.FieldIndex("name");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(s.FieldIndex("missing").status().IsNotFound());
+  EXPECT_TRUE(s.HasField("when"));
+  EXPECT_FALSE(s.HasField("nope"));
+}
+
+TEST(SchemaTest, EqualityIncludesDomains) {
+  EXPECT_EQ(TestSchema(), TestSchema());
+  Schema other({Field{"id", ValueType::kInt64, AttributeDomain{0, 999}}});
+  EXPECT_NE(TestSchema(), other);
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  EXPECT_EQ(TestSchema().ToString(), "(id: int64, name: string, when: date)");
+}
+
+TEST(AttributeDomainTest, EncodeRangeOffsetsFromDomainLo) {
+  const AttributeDomain d{100, 300};
+  auto r = d.EncodeRange(150, 250);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Range(50, 150));
+  EXPECT_EQ(d.DecodeLo(*r), 150);
+  EXPECT_EQ(d.DecodeHi(*r), 250);
+}
+
+TEST(AttributeDomainTest, EncodeHandlesNegativeDomains) {
+  const AttributeDomain d{-500, 500};
+  auto r = d.EncodeRange(-100, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Range(400, 600));
+  EXPECT_EQ(d.DecodeLo(*r), -100);
+  EXPECT_EQ(d.DecodeHi(*r), 100);
+}
+
+TEST(AttributeDomainTest, EncodeRejectsOutOfDomain) {
+  const AttributeDomain d{0, 100};
+  EXPECT_TRUE(d.EncodeRange(-1, 50).status().IsOutOfRange());
+  EXPECT_TRUE(d.EncodeRange(50, 101).status().IsOutOfRange());
+  EXPECT_TRUE(d.EncodeRange(60, 50).status().IsInvalidArgument());
+}
+
+TEST(AttributeDomainTest, EncodeClampedRange) {
+  const AttributeDomain d{0, 100};
+  auto r = d.EncodeClampedRange(-50, 150);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Range(0, 100));
+  auto partial = d.EncodeClampedRange(90, 200);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(*partial, Range(90, 100));
+  EXPECT_TRUE(d.EncodeClampedRange(200, 300).status().IsOutOfRange());
+}
+
+TEST(AttributeDomainTest, RejectsDomainsWiderThan32Bits) {
+  const AttributeDomain d{0, 1LL << 40};
+  EXPECT_TRUE(d.EncodeRange(0, 1LL << 33).status().IsOutOfRange());
+  // Narrow selections near the low end still work... they must not:
+  // the encoding must be stable for the whole domain, so any range
+  // whose offset exceeds 32 bits fails, and small ones succeed.
+  EXPECT_TRUE(d.EncodeRange(0, 10).ok());
+}
+
+TEST(AttributeDomainTest, WidthAndFullDomainEncoding) {
+  const AttributeDomain d{1, 1001};
+  EXPECT_EQ(d.width(), 1001u);
+  auto full = d.EncodeRange(1, 1001);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, Range(0, 1000));
+}
+
+TEST(AttributeDomainTest, DateDomainEncodesDayOffsets) {
+  const AttributeDomain d{MakeDate(2000, 1, 1).days, MakeDate(2002, 12, 31).days};
+  auto r = d.EncodeRange(MakeDate(2000, 1, 1).days, MakeDate(2000, 1, 31).days);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Range(0, 30));
+}
+
+}  // namespace
+}  // namespace p2prange

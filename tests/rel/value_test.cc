@@ -1,0 +1,119 @@
+#include "rel/value.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace {
+
+TEST(DateTest, KnownEpochDays) {
+  EXPECT_EQ(MakeDate(1970, 1, 1).days, 0);
+  EXPECT_EQ(MakeDate(1970, 1, 2).days, 1);
+  EXPECT_EQ(MakeDate(1969, 12, 31).days, -1);
+  EXPECT_EQ(MakeDate(2000, 1, 1).days, 10957);
+  EXPECT_EQ(MakeDate(2000, 3, 1).days, 11017);  // 2000 was a leap year
+}
+
+TEST(DateTest, CivilRoundTripAcrossDecades) {
+  // Property: ToCivil(FromCivil(y,m,d)) is the identity, including
+  // leap days and month boundaries.
+  for (int year : {1900, 1970, 1999, 2000, 2001, 2004, 2100}) {
+    for (int month : {1, 2, 3, 12}) {
+      for (int day : {1, 28, 29}) {
+        if (month == 2 && day == 29) {
+          const bool leap =
+              (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+          if (!leap) continue;
+        }
+        const Date d = MakeDate(year, month, day);
+        int y, m, dd;
+        DateToCivil(d, &y, &m, &dd);
+        EXPECT_EQ(y, year);
+        EXPECT_EQ(m, month);
+        EXPECT_EQ(dd, day);
+      }
+    }
+  }
+}
+
+TEST(DateTest, ConsecutiveDaysAreConsecutive) {
+  // Sweep four years around a leap boundary one day at a time.
+  Date d = MakeDate(1999, 1, 1);
+  int y, m, dd;
+  for (int i = 0; i < 1500; ++i) {
+    DateToCivil(Date{d.days + i}, &y, &m, &dd);
+    EXPECT_EQ(MakeDate(y, m, dd).days, d.days + i);
+  }
+}
+
+TEST(DateTest, ParseValid) {
+  auto d = ParseDate("2002-12-31");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, MakeDate(2002, 12, 31));
+  EXPECT_EQ(DateToString(*d), "2002-12-31");
+}
+
+TEST(DateTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseDate("").ok());
+  EXPECT_FALSE(ParseDate("2002/12/31").ok());
+  EXPECT_FALSE(ParseDate("02-12-31").ok());
+  EXPECT_FALSE(ParseDate("2002-13-01").ok());
+  EXPECT_FALSE(ParseDate("2002-00-10").ok());
+  EXPECT_FALSE(ParseDate("2002-12-32").ok());
+  EXPECT_FALSE(ParseDate("2002-12-3x").ok());
+  EXPECT_FALSE(ParseDate("not-a-date!").ok());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(MakeDate(2000, 1, 1)).type(), ValueType::kDate);
+  EXPECT_EQ(Value(int64_t{5}).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, OrdinalForIntAndDate) {
+  auto i = Value(int64_t{-7}).Ordinal();
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, -7);
+  auto d = Value(MakeDate(1970, 1, 11)).Ordinal();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 10);
+  EXPECT_TRUE(Value("x").Ordinal().status().IsInvalidArgument());
+  EXPECT_TRUE(Value(1.5).Ordinal().status().IsInvalidArgument());
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // int vs double
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_EQ(Value(MakeDate(2000, 1, 1)), Value(MakeDate(2000, 1, 1)));
+}
+
+TEST(ValueTest, LessThanSameType) {
+  EXPECT_TRUE(Value(int64_t{1}).LessThan(Value(int64_t{2})));
+  EXPECT_FALSE(Value(int64_t{2}).LessThan(Value(int64_t{1})));
+  EXPECT_TRUE(Value("apple").LessThan(Value("banana")));
+  EXPECT_TRUE(Value(MakeDate(1999, 1, 1)).LessThan(Value(MakeDate(2000, 1, 1))));
+  EXPECT_TRUE(Value(1.5).LessThan(Value(2.5)));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("glaucoma").ToString(), "glaucoma");
+  EXPECT_EQ(Value(MakeDate(2002, 12, 31)).ToString(), "2002-12-31");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value(int64_t{5})), h(Value(int64_t{5})));
+  EXPECT_EQ(h(Value("key")), h(Value("key")));
+  EXPECT_EQ(h(Value(MakeDate(2001, 2, 3))), h(Value(MakeDate(2001, 2, 3))));
+  // Different payloads should (overwhelmingly) hash differently.
+  EXPECT_NE(h(Value(int64_t{5})), h(Value(int64_t{6})));
+}
+
+}  // namespace
+}  // namespace p2prange

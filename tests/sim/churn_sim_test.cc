@@ -1,0 +1,163 @@
+#include "sim/churn_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/generator.h"
+#include "workload/range_workload.h"
+
+namespace p2prange {
+namespace {
+
+RangeCacheSystem MakeSystem(uint64_t seed, int replication = 1) {
+  SystemConfig cfg;
+  cfg.num_peers = 40;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, seed);
+  cfg.criterion = MatchCriterion::kContainment;
+  cfg.descriptor_replication = replication;
+  cfg.seed = seed;
+  auto sys = RangeCacheSystem::Make(cfg, MakeNumbersCatalog(10, 0, 1000, 1));
+  CHECK(sys.ok()) << sys.status();
+  return std::move(sys).ValueUnsafe();
+}
+
+std::function<PartitionKey()> UniformQueries(uint64_t seed) {
+  auto gen = std::make_shared<UniformRangeGenerator>(0, 1000, seed);
+  return [gen] { return PartitionKey{"Numbers", "key", gen->Next()}; };
+}
+
+TEST(ChurnSimTest, RejectsBadSliceCount) {
+  auto sys = MakeSystem(1);
+  ChurnSimulator sim(&sys, UniformQueries(2), ChurnScenarioConfig{});
+  EXPECT_TRUE(sim.Run(0).status().IsInvalidArgument());
+}
+
+TEST(ChurnSimTest, NoChurnScenarioJustQueries) {
+  auto sys = MakeSystem(3);
+  ChurnScenarioConfig cfg;
+  cfg.duration_s = 100;
+  cfg.query_rate_hz = 3.0;
+  cfg.join_rate_hz = 0.0;
+  cfg.leave_rate_hz = 0.0;
+  cfg.seed = 3;
+  ChurnSimulator sim(&sys, UniformQueries(4), cfg);
+  auto report = sim.Run(5);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->protocol_errors, 0u);
+  // ~300 queries expected; Poisson, so allow slack.
+  EXPECT_GT(report->total_queries, 200u);
+  EXPECT_LT(report->total_queries, 420u);
+  ASSERT_EQ(report->slices.size(), 5u);
+  for (const ChurnTimeSlice& s : report->slices) {
+    EXPECT_EQ(s.alive_at_end, 40u);
+    EXPECT_EQ(s.joins + s.departures, 0u);
+  }
+  // The cache warms up: later slices match more often than the first.
+  const auto& first = report->slices.front();
+  const auto& last = report->slices.back();
+  ASSERT_GT(first.queries, 0u);
+  ASSERT_GT(last.queries, 0u);
+  EXPECT_GT(static_cast<double>(last.matched) / static_cast<double>(last.queries),
+            static_cast<double>(first.matched) /
+                static_cast<double>(first.queries));
+}
+
+TEST(ChurnSimTest, ChurnChangesMembership) {
+  auto sys = MakeSystem(5);
+  ChurnScenarioConfig cfg;
+  cfg.duration_s = 200;
+  cfg.query_rate_hz = 1.0;
+  cfg.join_rate_hz = 0.2;
+  cfg.leave_rate_hz = 0.1;
+  cfg.stabilize_period_s = 10;
+  cfg.seed = 5;
+  ChurnSimulator sim(&sys, UniformQueries(6), cfg);
+  auto report = sim.Run(4);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->protocol_errors, 0u);
+  uint64_t joins = 0, departures = 0;
+  for (const ChurnTimeSlice& s : report->slices) {
+    joins += s.joins;
+    departures += s.departures;
+  }
+  EXPECT_GT(joins, 10u);
+  EXPECT_GT(departures, 5u);
+  // Net growth expected (join rate double the leave rate).
+  EXPECT_GT(report->slices.back().alive_at_end, 40u);
+}
+
+TEST(ChurnSimTest, MinPeersFloorIsRespected) {
+  auto sys = MakeSystem(7);
+  ChurnScenarioConfig cfg;
+  cfg.duration_s = 300;
+  cfg.query_rate_hz = 0.5;
+  cfg.join_rate_hz = 0.0;
+  cfg.leave_rate_hz = 1.0;  // aggressive departures
+  cfg.min_peers = 25;
+  cfg.stabilize_period_s = 5;
+  cfg.seed = 7;
+  ChurnSimulator sim(&sys, UniformQueries(8), cfg);
+  auto report = sim.Run(3);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->protocol_errors, 0u);
+  EXPECT_GE(sys.ring().num_alive(), 25u);
+}
+
+TEST(ChurnSimTest, DeterministicForSeeds) {
+  auto run = [] {
+    auto sys = MakeSystem(9);
+    ChurnScenarioConfig cfg;
+    cfg.duration_s = 60;
+    cfg.query_rate_hz = 2.0;
+    cfg.join_rate_hz = 0.1;
+    cfg.leave_rate_hz = 0.1;
+    cfg.seed = 9;
+    ChurnSimulator sim(&sys, UniformQueries(10), cfg);
+    auto report = sim.Run(3);
+    CHECK(report.ok());
+    std::string digest;
+    for (const ChurnTimeSlice& s : report->slices) {
+      digest += std::to_string(s.queries) + "/" + std::to_string(s.matched) +
+                "/" + std::to_string(s.joins) + "/" +
+                std::to_string(s.departures) + ";";
+    }
+    return digest;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ChurnSimTest, ReplicationHelpsUnderChurn) {
+  // Under identical churn scenarios, descriptor replication should
+  // never hurt and typically raises the match rate (descriptors
+  // survive owner departures). Aggregate over a few seeds to smooth
+  // the randomness.
+  double matched_r1 = 0, matched_r3 = 0;
+  for (uint64_t seed = 20; seed < 24; ++seed) {
+    for (int repl : {1, 3}) {
+      auto sys = MakeSystem(seed, repl);
+      ChurnScenarioConfig cfg;
+      cfg.duration_s = 300;
+      cfg.query_rate_hz = 2.0;
+      cfg.join_rate_hz = 0.08;
+      cfg.leave_rate_hz = 0.08;
+      cfg.fail_fraction = 1.0;  // all departures abrupt
+      cfg.stabilize_period_s = 10;
+      cfg.seed = seed;
+      ChurnSimulator sim(&sys, UniformQueries(seed ^ 0xFF), cfg);
+      auto report = sim.Run(2);
+      ASSERT_TRUE(report.ok());
+      uint64_t matched = 0, queries = 0;
+      for (const ChurnTimeSlice& s : report->slices) {
+        matched += s.matched;
+        queries += s.queries;
+      }
+      ASSERT_GT(queries, 0u);
+      const double rate =
+          static_cast<double>(matched) / static_cast<double>(queries);
+      (repl == 1 ? matched_r1 : matched_r3) += rate;
+    }
+  }
+  EXPECT_GE(matched_r3, matched_r1 - 0.02);
+}
+
+}  // namespace
+}  // namespace p2prange

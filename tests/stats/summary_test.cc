@@ -1,0 +1,116 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/table_printer.h"
+
+namespace p2prange {
+namespace {
+
+TEST(SummaryTest, MeanMinMax) {
+  Summary s;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(SummaryTest, EmptySummaryIsZeros) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(SummaryTest, PercentilesNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+}
+
+TEST(SummaryTest, PercentileAfterLateAdds) {
+  Summary s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 10.0);
+  s.Add(20);
+  s.Add(30);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 30.0) << "sorted cache must refresh";
+}
+
+TEST(SummaryTest, Stddev) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_NEAR(s.Stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(UnitHistogramTest, BinsAndEdges) {
+  UnitHistogram h(10);
+  h.Add(0.0);    // bin 0
+  h.Add(0.05);   // bin 0
+  h.Add(0.95);   // bin 9
+  h.Add(1.0);    // clamped to bin 9
+  h.Add(0.5);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.Percentage(0), 40.0);
+  EXPECT_DOUBLE_EQ(h.BinLo(5), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinHi(5), 0.6);
+}
+
+TEST(FractionAtLeastTest, ReverseCdf) {
+  const std::vector<double> samples = {1.0, 1.0, 0.5, 0.0};
+  const auto series = FractionAtLeast(samples, /*points=*/4);
+  // Thresholds 1.0, 0.75, 0.5, 0.25, 0.0.
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(series[0].second, 50.0);   // two of four == 1.0
+  EXPECT_DOUBLE_EQ(series[2].second, 75.0);   // >= 0.5
+  EXPECT_DOUBLE_EQ(series[4].second, 100.0);  // >= 0
+}
+
+TEST(FractionAtLeastTest, EmptySamples) {
+  const auto series = FractionAtLeast({}, 4);
+  for (const auto& [threshold, pct] : series) EXPECT_DOUBLE_EQ(pct, 0.0);
+}
+
+TEST(DiscretePdfTest, NormalizedCounts) {
+  const auto pdf = DiscretePdf({0, 1, 1, 2, 2, 2, 5});
+  ASSERT_EQ(pdf.size(), 6u);
+  EXPECT_DOUBLE_EQ(pdf[0], 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(pdf[1], 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(pdf[2], 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(pdf[3], 0.0);
+  EXPECT_DOUBLE_EQ(pdf[5], 1.0 / 7.0);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPrintsTitle) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", TablePrinter::Fmt(1.5, 2)});
+  t.AddRow({"b", TablePrinter::Fmt(uint64_t{42})});
+  std::ostringstream os;
+  t.Print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{7}), "7");
+}
+
+}  // namespace
+}  // namespace p2prange

@@ -1,0 +1,93 @@
+#include "workload/range_workload.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace {
+
+TEST(UniformRangeGeneratorTest, StaysInDomainAndOrdered) {
+  UniformRangeGenerator gen(0, 1000, 5);
+  for (int i = 0; i < 5000; ++i) {
+    const Range r = gen.Next();
+    EXPECT_LE(r.lo(), r.hi());
+    EXPECT_LE(r.hi(), 1000u);
+  }
+}
+
+TEST(UniformRangeGeneratorTest, DeterministicForSeed) {
+  UniformRangeGenerator a(0, 1000, 9), b(0, 1000, 9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(UniformRangeGeneratorTest, MeanSizeNearOneThirdOfDomain) {
+  // Two ordered uniform endpoints: E[hi - lo] = width/3.
+  UniformRangeGenerator gen(0, 1000, 13);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(gen.Next().size());
+  EXPECT_NEAR(total / n, 1000.0 / 3.0 + 1.0, 15.0);
+}
+
+TEST(UniformRangeGeneratorTest, PaperWorkloadRepetitionRateIsTiny) {
+  // The paper reports ~0.2% repeats for 10,000 uniform ranges over
+  // [0,1000]; the birthday bound for ordered uniform endpoint pairs
+  // puts the true rate near 1%. Either way: a small fraction.
+  UniformRangeGenerator gen(0, 1000, 42);
+  const auto ranges = DrawRanges(gen, 10000);
+  const double rate = RepetitionRate(ranges);
+  EXPECT_GT(rate, 0.0001);
+  EXPECT_LT(rate, 0.02);
+}
+
+TEST(UniformRangeGeneratorTest, OffsetDomain) {
+  UniformRangeGenerator gen(500, 600, 3);
+  for (int i = 0; i < 500; ++i) {
+    const Range r = gen.Next();
+    EXPECT_GE(r.lo(), 500u);
+    EXPECT_LE(r.hi(), 600u);
+  }
+}
+
+TEST(FixedSizeRangeGeneratorTest, AllRangesHaveRequestedSize) {
+  FixedSizeRangeGenerator gen(0, 10000, 137, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const Range r = gen.Next();
+    EXPECT_EQ(r.size(), 137u);
+    EXPECT_LE(r.hi(), 10000u);
+  }
+}
+
+TEST(FixedSizeRangeGeneratorTest, SizeOneAndFullDomain) {
+  FixedSizeRangeGenerator ones(0, 100, 1, 11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ones.Next().size(), 1u);
+  FixedSizeRangeGenerator full(0, 100, 101, 11);
+  EXPECT_EQ(full.Next(), Range(0, 100));
+}
+
+TEST(ZipfRangeGeneratorTest, StaysInDomain) {
+  ZipfRangeGenerator gen(0, 1000, 0.9, 50.0, 17);
+  for (int i = 0; i < 2000; ++i) {
+    const Range r = gen.Next();
+    EXPECT_LE(r.hi(), 1000u);
+  }
+}
+
+TEST(ZipfRangeGeneratorTest, HotRegionDominates) {
+  ZipfRangeGenerator gen(0, 10000, 0.99, 20.0, 23);
+  int low_centered = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next().lo() < 1000) ++low_centered;
+  }
+  EXPECT_GT(low_centered, n / 2);
+}
+
+TEST(RepetitionRateTest, ExactComputation) {
+  std::vector<Range> ranges = {Range(0, 1), Range(0, 1), Range(2, 3), Range(0, 1)};
+  EXPECT_DOUBLE_EQ(RepetitionRate(ranges), 0.5);
+  EXPECT_DOUBLE_EQ(RepetitionRate({}), 0.0);
+  EXPECT_DOUBLE_EQ(RepetitionRate({Range(1, 2)}), 0.0);
+}
+
+}  // namespace
+}  // namespace p2prange
