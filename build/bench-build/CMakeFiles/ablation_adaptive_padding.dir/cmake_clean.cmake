@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_padding"
+  "../bench/ablation_adaptive_padding.pdb"
+  "CMakeFiles/ablation_adaptive_padding.dir/ablation_adaptive_padding.cc.o"
+  "CMakeFiles/ablation_adaptive_padding.dir/ablation_adaptive_padding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

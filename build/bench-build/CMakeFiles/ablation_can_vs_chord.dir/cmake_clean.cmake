@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_can_vs_chord"
+  "../bench/ablation_can_vs_chord.pdb"
+  "CMakeFiles/ablation_can_vs_chord.dir/ablation_can_vs_chord.cc.o"
+  "CMakeFiles/ablation_can_vs_chord.dir/ablation_can_vs_chord.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_can_vs_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

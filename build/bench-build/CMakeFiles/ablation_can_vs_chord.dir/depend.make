@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_can_vs_chord.
+# This may be replaced when dependencies are built.

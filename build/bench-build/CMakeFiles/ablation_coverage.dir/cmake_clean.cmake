@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coverage"
+  "../bench/ablation_coverage.pdb"
+  "CMakeFiles/ablation_coverage.dir/ablation_coverage.cc.o"
+  "CMakeFiles/ablation_coverage.dir/ablation_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kl"
+  "../bench/ablation_kl.pdb"
+  "CMakeFiles/ablation_kl.dir/ablation_kl.cc.o"
+  "CMakeFiles/ablation_kl.dir/ablation_kl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

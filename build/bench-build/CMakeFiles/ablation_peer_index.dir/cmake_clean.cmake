@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_peer_index"
+  "../bench/ablation_peer_index.pdb"
+  "CMakeFiles/ablation_peer_index.dir/ablation_peer_index.cc.o"
+  "CMakeFiles/ablation_peer_index.dir/ablation_peer_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_peer_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prexor"
+  "../bench/ablation_prexor.pdb"
+  "CMakeFiles/ablation_prexor.dir/ablation_prexor.cc.o"
+  "CMakeFiles/ablation_prexor.dir/ablation_prexor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prexor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_traffic"
+  "../bench/ablation_traffic.pdb"
+  "CMakeFiles/ablation_traffic.dir/ablation_traffic.cc.o"
+  "CMakeFiles/ablation_traffic.dir/ablation_traffic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_padding"
+  "../bench/fig10_padding.pdb"
+  "CMakeFiles/fig10_padding.dir/fig10_padding.cc.o"
+  "CMakeFiles/fig10_padding.dir/fig10_padding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_load_balance"
+  "../bench/fig11_load_balance.pdb"
+  "CMakeFiles/fig11_load_balance.dir/fig11_load_balance.cc.o"
+  "CMakeFiles/fig11_load_balance.dir/fig11_load_balance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_path_length"
+  "../bench/fig12_path_length.pdb"
+  "CMakeFiles/fig12_path_length.dir/fig12_path_length.cc.o"
+  "CMakeFiles/fig12_path_length.dir/fig12_path_length.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

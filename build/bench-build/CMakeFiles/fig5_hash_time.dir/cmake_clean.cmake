@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_hash_time"
+  "../bench/fig5_hash_time.pdb"
+  "CMakeFiles/fig5_hash_time.dir/fig5_hash_time.cc.o"
+  "CMakeFiles/fig5_hash_time.dir/fig5_hash_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hash_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

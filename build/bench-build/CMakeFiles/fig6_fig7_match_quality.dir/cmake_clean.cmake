@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fig7_match_quality"
+  "../bench/fig6_fig7_match_quality.pdb"
+  "CMakeFiles/fig6_fig7_match_quality.dir/fig6_fig7_match_quality.cc.o"
+  "CMakeFiles/fig6_fig7_match_quality.dir/fig6_fig7_match_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig7_match_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

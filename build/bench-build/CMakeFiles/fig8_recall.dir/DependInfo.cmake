@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_recall.cc" "bench-build/CMakeFiles/fig8_recall.dir/fig8_recall.cc.o" "gcc" "bench-build/CMakeFiles/fig8_recall.dir/fig8_recall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/p2p_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/p2p_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/p2p_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/p2p_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/p2p_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/tapestry/CMakeFiles/p2p_tapestry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/p2p_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/p2p_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/p2p_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/p2p_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_recall"
+  "../bench/fig8_recall.pdb"
+  "CMakeFiles/fig8_recall.dir/fig8_recall.cc.o"
+  "CMakeFiles/fig8_recall.dir/fig8_recall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_containment"
+  "../bench/fig9_containment.pdb"
+  "CMakeFiles/fig9_containment.dir/fig9_containment.cc.o"
+  "CMakeFiles/fig9_containment.dir/fig9_containment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

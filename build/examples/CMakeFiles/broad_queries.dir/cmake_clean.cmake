@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broad_queries.dir/broad_queries.cpp.o"
+  "CMakeFiles/broad_queries.dir/broad_queries.cpp.o.d"
+  "broad_queries"
+  "broad_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broad_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

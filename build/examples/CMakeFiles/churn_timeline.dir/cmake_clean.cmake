@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_timeline.dir/churn_timeline.cpp.o"
+  "CMakeFiles/churn_timeline.dir/churn_timeline.cpp.o.d"
+  "churn_timeline"
+  "churn_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

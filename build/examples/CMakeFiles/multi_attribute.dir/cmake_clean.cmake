@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_attribute.dir/multi_attribute.cpp.o"
+  "CMakeFiles/multi_attribute.dir/multi_attribute.cpp.o.d"
+  "multi_attribute"
+  "multi_attribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_attribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hash")
+subdirs("net")
+subdirs("chord")
+subdirs("can")
+subdirs("wire")
+subdirs("tapestry")
+subdirs("store")
+subdirs("rel")
+subdirs("query")
+subdirs("workload")
+subdirs("stats")
+subdirs("core")
+subdirs("sim")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/can/network.cc" "src/can/CMakeFiles/p2p_can.dir/network.cc.o" "gcc" "src/can/CMakeFiles/p2p_can.dir/network.cc.o.d"
+  "/root/repo/src/can/zone.cc" "src/can/CMakeFiles/p2p_can.dir/zone.cc.o" "gcc" "src/can/CMakeFiles/p2p_can.dir/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2p_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_can.dir/network.cc.o"
+  "CMakeFiles/p2p_can.dir/network.cc.o.d"
+  "CMakeFiles/p2p_can.dir/zone.cc.o"
+  "CMakeFiles/p2p_can.dir/zone.cc.o.d"
+  "libp2p_can.a"
+  "libp2p_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chord/node.cc" "src/chord/CMakeFiles/p2p_chord.dir/node.cc.o" "gcc" "src/chord/CMakeFiles/p2p_chord.dir/node.cc.o.d"
+  "/root/repo/src/chord/ring.cc" "src/chord/CMakeFiles/p2p_chord.dir/ring.cc.o" "gcc" "src/chord/CMakeFiles/p2p_chord.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/p2p_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

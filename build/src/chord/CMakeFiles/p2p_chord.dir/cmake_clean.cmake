@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_chord.dir/node.cc.o"
+  "CMakeFiles/p2p_chord.dir/node.cc.o.d"
+  "CMakeFiles/p2p_chord.dir/ring.cc.o"
+  "CMakeFiles/p2p_chord.dir/ring.cc.o.d"
+  "libp2p_chord.a"
+  "libp2p_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

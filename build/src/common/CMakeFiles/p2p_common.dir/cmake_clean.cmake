@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_common.dir/logging.cc.o"
+  "CMakeFiles/p2p_common.dir/logging.cc.o.d"
+  "CMakeFiles/p2p_common.dir/random.cc.o"
+  "CMakeFiles/p2p_common.dir/random.cc.o.d"
+  "CMakeFiles/p2p_common.dir/status.cc.o"
+  "CMakeFiles/p2p_common.dir/status.cc.o.d"
+  "libp2p_common.a"
+  "libp2p_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

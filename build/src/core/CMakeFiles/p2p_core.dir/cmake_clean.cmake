@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_core.dir/column_stats.cc.o"
+  "CMakeFiles/p2p_core.dir/column_stats.cc.o.d"
+  "CMakeFiles/p2p_core.dir/coverage.cc.o"
+  "CMakeFiles/p2p_core.dir/coverage.cc.o.d"
+  "CMakeFiles/p2p_core.dir/peer.cc.o"
+  "CMakeFiles/p2p_core.dir/peer.cc.o.d"
+  "CMakeFiles/p2p_core.dir/system.cc.o"
+  "CMakeFiles/p2p_core.dir/system.cc.o.d"
+  "libp2p_core.a"
+  "libp2p_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

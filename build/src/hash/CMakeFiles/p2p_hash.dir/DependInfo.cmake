@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/bit_permutation.cc" "src/hash/CMakeFiles/p2p_hash.dir/bit_permutation.cc.o" "gcc" "src/hash/CMakeFiles/p2p_hash.dir/bit_permutation.cc.o.d"
+  "/root/repo/src/hash/lsh.cc" "src/hash/CMakeFiles/p2p_hash.dir/lsh.cc.o" "gcc" "src/hash/CMakeFiles/p2p_hash.dir/lsh.cc.o.d"
+  "/root/repo/src/hash/minwise.cc" "src/hash/CMakeFiles/p2p_hash.dir/minwise.cc.o" "gcc" "src/hash/CMakeFiles/p2p_hash.dir/minwise.cc.o.d"
+  "/root/repo/src/hash/range.cc" "src/hash/CMakeFiles/p2p_hash.dir/range.cc.o" "gcc" "src/hash/CMakeFiles/p2p_hash.dir/range.cc.o.d"
+  "/root/repo/src/hash/sha1.cc" "src/hash/CMakeFiles/p2p_hash.dir/sha1.cc.o" "gcc" "src/hash/CMakeFiles/p2p_hash.dir/sha1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_hash.dir/bit_permutation.cc.o"
+  "CMakeFiles/p2p_hash.dir/bit_permutation.cc.o.d"
+  "CMakeFiles/p2p_hash.dir/lsh.cc.o"
+  "CMakeFiles/p2p_hash.dir/lsh.cc.o.d"
+  "CMakeFiles/p2p_hash.dir/minwise.cc.o"
+  "CMakeFiles/p2p_hash.dir/minwise.cc.o.d"
+  "CMakeFiles/p2p_hash.dir/range.cc.o"
+  "CMakeFiles/p2p_hash.dir/range.cc.o.d"
+  "CMakeFiles/p2p_hash.dir/sha1.cc.o"
+  "CMakeFiles/p2p_hash.dir/sha1.cc.o.d"
+  "libp2p_hash.a"
+  "libp2p_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

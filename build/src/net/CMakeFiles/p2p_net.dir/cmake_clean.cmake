@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_net.dir/address.cc.o"
+  "CMakeFiles/p2p_net.dir/address.cc.o.d"
+  "CMakeFiles/p2p_net.dir/sim_network.cc.o"
+  "CMakeFiles/p2p_net.dir/sim_network.cc.o.d"
+  "libp2p_net.a"
+  "libp2p_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/p2p_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/p2p_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/p2p_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/p2p_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/query/CMakeFiles/p2p_query.dir/plan.cc.o" "gcc" "src/query/CMakeFiles/p2p_query.dir/plan.cc.o.d"
+  "/root/repo/src/query/tokenizer.cc" "src/query/CMakeFiles/p2p_query.dir/tokenizer.cc.o" "gcc" "src/query/CMakeFiles/p2p_query.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/p2p_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/p2p_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

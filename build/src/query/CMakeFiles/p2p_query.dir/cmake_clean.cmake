@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_query.dir/executor.cc.o"
+  "CMakeFiles/p2p_query.dir/executor.cc.o.d"
+  "CMakeFiles/p2p_query.dir/parser.cc.o"
+  "CMakeFiles/p2p_query.dir/parser.cc.o.d"
+  "CMakeFiles/p2p_query.dir/plan.cc.o"
+  "CMakeFiles/p2p_query.dir/plan.cc.o.d"
+  "CMakeFiles/p2p_query.dir/tokenizer.cc.o"
+  "CMakeFiles/p2p_query.dir/tokenizer.cc.o.d"
+  "libp2p_query.a"
+  "libp2p_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/catalog.cc" "src/rel/CMakeFiles/p2p_rel.dir/catalog.cc.o" "gcc" "src/rel/CMakeFiles/p2p_rel.dir/catalog.cc.o.d"
+  "/root/repo/src/rel/csv.cc" "src/rel/CMakeFiles/p2p_rel.dir/csv.cc.o" "gcc" "src/rel/CMakeFiles/p2p_rel.dir/csv.cc.o.d"
+  "/root/repo/src/rel/generator.cc" "src/rel/CMakeFiles/p2p_rel.dir/generator.cc.o" "gcc" "src/rel/CMakeFiles/p2p_rel.dir/generator.cc.o.d"
+  "/root/repo/src/rel/relation.cc" "src/rel/CMakeFiles/p2p_rel.dir/relation.cc.o" "gcc" "src/rel/CMakeFiles/p2p_rel.dir/relation.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/rel/CMakeFiles/p2p_rel.dir/schema.cc.o" "gcc" "src/rel/CMakeFiles/p2p_rel.dir/schema.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/rel/CMakeFiles/p2p_rel.dir/value.cc.o" "gcc" "src/rel/CMakeFiles/p2p_rel.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/p2p_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

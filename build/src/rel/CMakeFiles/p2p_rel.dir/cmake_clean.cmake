@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_rel.dir/catalog.cc.o"
+  "CMakeFiles/p2p_rel.dir/catalog.cc.o.d"
+  "CMakeFiles/p2p_rel.dir/csv.cc.o"
+  "CMakeFiles/p2p_rel.dir/csv.cc.o.d"
+  "CMakeFiles/p2p_rel.dir/generator.cc.o"
+  "CMakeFiles/p2p_rel.dir/generator.cc.o.d"
+  "CMakeFiles/p2p_rel.dir/relation.cc.o"
+  "CMakeFiles/p2p_rel.dir/relation.cc.o.d"
+  "CMakeFiles/p2p_rel.dir/schema.cc.o"
+  "CMakeFiles/p2p_rel.dir/schema.cc.o.d"
+  "CMakeFiles/p2p_rel.dir/value.cc.o"
+  "CMakeFiles/p2p_rel.dir/value.cc.o.d"
+  "libp2p_rel.a"
+  "libp2p_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

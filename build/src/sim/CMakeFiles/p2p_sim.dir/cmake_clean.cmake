@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_sim.dir/churn_sim.cc.o"
+  "CMakeFiles/p2p_sim.dir/churn_sim.cc.o.d"
+  "libp2p_sim.a"
+  "libp2p_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_stats.dir/summary.cc.o"
+  "CMakeFiles/p2p_stats.dir/summary.cc.o.d"
+  "CMakeFiles/p2p_stats.dir/table_printer.cc.o"
+  "CMakeFiles/p2p_stats.dir/table_printer.cc.o.d"
+  "libp2p_stats.a"
+  "libp2p_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

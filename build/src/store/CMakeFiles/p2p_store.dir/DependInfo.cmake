@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/bucket_store.cc" "src/store/CMakeFiles/p2p_store.dir/bucket_store.cc.o" "gcc" "src/store/CMakeFiles/p2p_store.dir/bucket_store.cc.o.d"
+  "/root/repo/src/store/interval_index.cc" "src/store/CMakeFiles/p2p_store.dir/interval_index.cc.o" "gcc" "src/store/CMakeFiles/p2p_store.dir/interval_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/p2p_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2p_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_store.dir/bucket_store.cc.o"
+  "CMakeFiles/p2p_store.dir/bucket_store.cc.o.d"
+  "CMakeFiles/p2p_store.dir/interval_index.cc.o"
+  "CMakeFiles/p2p_store.dir/interval_index.cc.o.d"
+  "libp2p_store.a"
+  "libp2p_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_tapestry.dir/tapestry.cc.o"
+  "CMakeFiles/p2p_tapestry.dir/tapestry.cc.o.d"
+  "libp2p_tapestry.a"
+  "libp2p_tapestry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_tapestry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

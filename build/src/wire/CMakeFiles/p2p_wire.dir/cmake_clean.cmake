@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_wire.dir/serde.cc.o"
+  "CMakeFiles/p2p_wire.dir/serde.cc.o.d"
+  "libp2p_wire.a"
+  "libp2p_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

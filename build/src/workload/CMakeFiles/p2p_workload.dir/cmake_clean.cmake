@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_workload.dir/range_workload.cc.o"
+  "CMakeFiles/p2p_workload.dir/range_workload.cc.o.d"
+  "libp2p_workload.a"
+  "libp2p_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/can/network_test.cc" "tests/CMakeFiles/p2prange_tests.dir/can/network_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/can/network_test.cc.o.d"
+  "/root/repo/tests/can/zone_test.cc" "tests/CMakeFiles/p2prange_tests.dir/can/zone_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/can/zone_test.cc.o.d"
+  "/root/repo/tests/chord/id_test.cc" "tests/CMakeFiles/p2prange_tests.dir/chord/id_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/chord/id_test.cc.o.d"
+  "/root/repo/tests/chord/node_test.cc" "tests/CMakeFiles/p2prange_tests.dir/chord/node_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/chord/node_test.cc.o.d"
+  "/root/repo/tests/chord/ring_test.cc" "tests/CMakeFiles/p2prange_tests.dir/chord/ring_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/chord/ring_test.cc.o.d"
+  "/root/repo/tests/common/bit_utils_test.cc" "tests/CMakeFiles/p2prange_tests.dir/common/bit_utils_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/common/bit_utils_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/p2prange_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/p2prange_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/core/adaptive_padding_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/adaptive_padding_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/adaptive_padding_test.cc.o.d"
+  "/root/repo/tests/core/column_stats_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/column_stats_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/column_stats_test.cc.o.d"
+  "/root/repo/tests/core/coverage_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/coverage_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/coverage_test.cc.o.d"
+  "/root/repo/tests/core/extensions_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/extensions_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/extensions_test.cc.o.d"
+  "/root/repo/tests/core/multi_attribute_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/multi_attribute_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/multi_attribute_test.cc.o.d"
+  "/root/repo/tests/core/peer_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/peer_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/peer_test.cc.o.d"
+  "/root/repo/tests/core/query_e2e_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/query_e2e_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/query_e2e_test.cc.o.d"
+  "/root/repo/tests/core/system_edge_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/system_edge_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/system_edge_test.cc.o.d"
+  "/root/repo/tests/core/system_test.cc" "tests/CMakeFiles/p2prange_tests.dir/core/system_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/core/system_test.cc.o.d"
+  "/root/repo/tests/hash/bit_permutation_test.cc" "tests/CMakeFiles/p2prange_tests.dir/hash/bit_permutation_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/hash/bit_permutation_test.cc.o.d"
+  "/root/repo/tests/hash/lsh_test.cc" "tests/CMakeFiles/p2prange_tests.dir/hash/lsh_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/hash/lsh_test.cc.o.d"
+  "/root/repo/tests/hash/minwise_test.cc" "tests/CMakeFiles/p2prange_tests.dir/hash/minwise_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/hash/minwise_test.cc.o.d"
+  "/root/repo/tests/hash/range_test.cc" "tests/CMakeFiles/p2prange_tests.dir/hash/range_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/hash/range_test.cc.o.d"
+  "/root/repo/tests/hash/sha1_test.cc" "tests/CMakeFiles/p2prange_tests.dir/hash/sha1_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/hash/sha1_test.cc.o.d"
+  "/root/repo/tests/integration/config_matrix_test.cc" "tests/CMakeFiles/p2prange_tests.dir/integration/config_matrix_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/integration/config_matrix_test.cc.o.d"
+  "/root/repo/tests/integration/message_loss_test.cc" "tests/CMakeFiles/p2prange_tests.dir/integration/message_loss_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/integration/message_loss_test.cc.o.d"
+  "/root/repo/tests/integration/paper_workflow_test.cc" "tests/CMakeFiles/p2prange_tests.dir/integration/paper_workflow_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/integration/paper_workflow_test.cc.o.d"
+  "/root/repo/tests/integration/random_query_test.cc" "tests/CMakeFiles/p2prange_tests.dir/integration/random_query_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/integration/random_query_test.cc.o.d"
+  "/root/repo/tests/net/sim_network_test.cc" "tests/CMakeFiles/p2prange_tests.dir/net/sim_network_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/net/sim_network_test.cc.o.d"
+  "/root/repo/tests/query/executor_test.cc" "tests/CMakeFiles/p2prange_tests.dir/query/executor_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/query/executor_test.cc.o.d"
+  "/root/repo/tests/query/parser_test.cc" "tests/CMakeFiles/p2prange_tests.dir/query/parser_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/query/parser_test.cc.o.d"
+  "/root/repo/tests/query/plan_test.cc" "tests/CMakeFiles/p2prange_tests.dir/query/plan_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/query/plan_test.cc.o.d"
+  "/root/repo/tests/rel/catalog_test.cc" "tests/CMakeFiles/p2prange_tests.dir/rel/catalog_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/rel/catalog_test.cc.o.d"
+  "/root/repo/tests/rel/csv_test.cc" "tests/CMakeFiles/p2prange_tests.dir/rel/csv_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/rel/csv_test.cc.o.d"
+  "/root/repo/tests/rel/relation_test.cc" "tests/CMakeFiles/p2prange_tests.dir/rel/relation_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/rel/relation_test.cc.o.d"
+  "/root/repo/tests/rel/schema_test.cc" "tests/CMakeFiles/p2prange_tests.dir/rel/schema_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/rel/schema_test.cc.o.d"
+  "/root/repo/tests/rel/value_test.cc" "tests/CMakeFiles/p2prange_tests.dir/rel/value_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/rel/value_test.cc.o.d"
+  "/root/repo/tests/sim/churn_sim_test.cc" "tests/CMakeFiles/p2prange_tests.dir/sim/churn_sim_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/sim/churn_sim_test.cc.o.d"
+  "/root/repo/tests/stats/summary_test.cc" "tests/CMakeFiles/p2prange_tests.dir/stats/summary_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/stats/summary_test.cc.o.d"
+  "/root/repo/tests/store/bucket_store_test.cc" "tests/CMakeFiles/p2prange_tests.dir/store/bucket_store_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/store/bucket_store_test.cc.o.d"
+  "/root/repo/tests/store/interval_index_test.cc" "tests/CMakeFiles/p2prange_tests.dir/store/interval_index_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/store/interval_index_test.cc.o.d"
+  "/root/repo/tests/tapestry/tapestry_test.cc" "tests/CMakeFiles/p2prange_tests.dir/tapestry/tapestry_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/tapestry/tapestry_test.cc.o.d"
+  "/root/repo/tests/wire/serde_test.cc" "tests/CMakeFiles/p2prange_tests.dir/wire/serde_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/wire/serde_test.cc.o.d"
+  "/root/repo/tests/workload/range_workload_test.cc" "tests/CMakeFiles/p2prange_tests.dir/workload/range_workload_test.cc.o" "gcc" "tests/CMakeFiles/p2prange_tests.dir/workload/range_workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/p2p_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/p2p_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/p2p_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/p2p_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/p2p_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/p2p_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/tapestry/CMakeFiles/p2p_tapestry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/p2p_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/p2p_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/p2p_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/p2p_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2p_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
