@@ -20,6 +20,10 @@ Result<ChordRing> ChordRing::Make(size_t num_nodes, uint64_t seed, ChordConfig c
   if (config.successor_list_len < 1) {
     return Status::InvalidArgument("successor_list_len must be >= 1");
   }
+  if (config.max_message_retries < 0) {
+    return Status::InvalidArgument("max_message_retries must be >= 0");
+  }
+  RETURN_NOT_OK(config.latency.Validate());
   ChordRing ring(config, seed);
   for (size_t i = 0; i < num_nodes; ++i) {
     RETURN_NOT_OK(ring.CreateNode().status());
@@ -257,6 +261,46 @@ Status ChordRing::Fail(const NetAddress& addr) {
   if (node(addr) == nullptr) return Status::NotFound("unknown peer " + addr.ToString());
   RETURN_NOT_OK(net_->SetAlive(addr, false));
   MarkDirty();
+  return Status::OK();
+}
+
+Status ChordRing::Recover(const NetAddress& addr) {
+  ChordNode* n = node(addr);
+  if (n == nullptr) return Status::NotFound("unknown peer " + addr.ToString());
+  if (net_->IsAlive(addr)) return Status::InvalidArgument("peer already up");
+  // Stale routing state from before the crash would point anywhere;
+  // wipe it and re-bootstrap like a joiner.
+  n->mutable_successors().clear();
+  n->set_predecessor(std::nullopt);
+  n->mutable_fingers().Clear();
+  auto bootstrap = RandomAliveAddress();
+  RETURN_NOT_OK(net_->SetAlive(addr, true));
+  MarkDirty();
+  if (!bootstrap.ok()) {
+    // Everyone else is down: a ring of one.
+    n->mutable_successors().push_back(n->info());
+    n->set_predecessor(n->info());
+    return Status::OK();
+  }
+  auto succ = ProtocolFindSuccessor(*bootstrap, n->id(), nullptr);
+  if (!succ.ok() || succ->addr == addr) {
+    // Bootstrap routing failed (e.g. heavy loss) or resolved to the
+    // recovering node itself: start as a self-ring; notifies during
+    // later stabilization sweeps reconnect it.
+    n->mutable_successors().push_back(n->info());
+    return Status::OK();
+  }
+  auto& list = n->mutable_successors();
+  list.push_back(*succ);
+  const ChordNode* succ_node = node(succ->addr);
+  for (const NodeInfo& s : succ_node->successors()) {
+    if (static_cast<int>(list.size()) >= config_.successor_list_len) break;
+    if (s.addr == addr) continue;
+    if (std::find(list.begin(), list.end(), s) != list.end()) continue;
+    list.push_back(s);
+  }
+  Stabilize(*n);
+  FixFingers(*n);
   return Status::OK();
 }
 

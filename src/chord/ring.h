@@ -70,6 +70,11 @@ class ChordRing {
   /// Abrupt failure: the peer simply goes down.
   Status Fail(const NetAddress& addr);
 
+  /// A previously failed peer comes back up with its identifier. It
+  /// re-bootstraps its routing state through a live node (protocol
+  /// lookups), like a fresh join but keeping its address and id.
+  Status Recover(const NetAddress& addr);
+
   // --- Maintenance ----------------------------------------------------
 
   /// One round of Chord stabilization + notify on every live node.

@@ -7,6 +7,7 @@
 #include "chord/ring.h"
 #include "core/adaptive_padding.h"
 #include "core/column_stats.h"
+#include "core/fault_policy.h"
 #include "hash/lsh.h"
 #include "store/bucket_store.h"
 
@@ -77,6 +78,11 @@ struct SystemConfig {
 
   /// Per-peer descriptor capacity; 0 = unbounded.
   size_t store_capacity = 0;
+
+  /// Retry/backoff/timeout discipline for the system's own messages
+  /// (descriptor stores, owner replies, data transfers). The Chord
+  /// layer's routing retries stay under chord.max_message_retries.
+  FaultPolicy fault;
 
   chord::ChordConfig chord;
 

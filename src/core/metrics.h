@@ -35,6 +35,18 @@ struct SystemMetrics {
   uint64_t chord_hops = 0;      ///< overlay routing messages for lookups
   double latency_ms = 0.0;      ///< simulated latency across all traffic
 
+  // --- Fault-tolerance counters: every degradation is observable ----
+
+  uint64_t retransmissions = 0;    ///< system messages resent after loss
+  double backoff_latency_ms = 0.0; ///< latency charged waiting between retries
+  uint64_t probes_failed = 0;      ///< identifier probes with no reachable replica
+  uint64_t probe_failovers = 0;    ///< probes answered by an owner's successor
+  uint64_t degraded_lookups = 0;   ///< lookups that lost >= 1 of their l probes
+  uint64_t stale_evictions = 0;    ///< descriptors lazily evicted (dead holder)
+  uint64_t source_fallbacks = 0;   ///< leaves sent to the source after a cache
+                                   ///< match failed (stale/unreachable holder)
+  uint64_t budget_exhausted = 0;   ///< operations cut short by op_budget_ms
+
   std::string ToString() const;
 };
 

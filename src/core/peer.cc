@@ -15,6 +15,21 @@ void Peer::StoreEqDescriptor(chord::ChordId id, EqDescriptor d) {
   vec.push_back(std::move(d));
 }
 
+bool Peer::EraseEqDescriptor(chord::ChordId id, const std::string& key,
+                             const NetAddress& holder) {
+  auto it = eq_index_.find(id);
+  if (it == eq_index_.end()) return false;
+  const size_t before = it->second.size();
+  std::erase_if(it->second, [&](const EqDescriptor& d) {
+    return d.key == key && d.holder == holder;
+  });
+  if (it->second.empty()) {
+    eq_index_.erase(it);
+    return before > 0;
+  }
+  return it->second.size() < before;
+}
+
 std::optional<EqDescriptor> Peer::FindEqDescriptor(chord::ChordId id,
                                                    const std::string& key) const {
   auto it = eq_index_.find(id);

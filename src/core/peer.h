@@ -51,6 +51,12 @@ class Peer {
   std::optional<EqDescriptor> FindEqDescriptor(chord::ChordId id,
                                                const std::string& key) const;
 
+  /// Lazy repair: removes the descriptor for `key` in bucket `id` when
+  /// it still points at `holder` (a peer found to be dead). Returns
+  /// true if something was removed.
+  bool EraseEqDescriptor(chord::ChordId id, const std::string& key,
+                         const NetAddress& holder);
+
   void StoreEqData(const std::string& key, Relation data) {
     eq_data_[key] = std::move(data);
   }

@@ -28,34 +28,74 @@ std::string SystemMetrics::ToString() const {
   out += " bytes_from_source=" + std::to_string(bytes_from_source);
   out += " bytes_from_cache=" + std::to_string(bytes_from_cache);
   out += " chord_hops=" + std::to_string(chord_hops);
+  out += " retransmissions=" + std::to_string(retransmissions);
+  out += " probes_failed=" + std::to_string(probes_failed);
+  out += " probe_failovers=" + std::to_string(probe_failovers);
+  out += " degraded_lookups=" + std::to_string(degraded_lookups);
+  out += " stale_evictions=" + std::to_string(stale_evictions);
+  out += " source_fallbacks=" + std::to_string(source_fallbacks);
+  out += " budget_exhausted=" + std::to_string(budget_exhausted);
   return out;
 }
 
 
-namespace {
-/// Delivers a control message with a few retransmissions when it is
-/// lost in transit (IOError); accumulated latency of all attempts is
-/// returned. Unavailable (dead peer) is returned immediately.
-Result<double> DeliverReliable(SimNetwork& net, const NetAddress& from,
-                               const NetAddress& to, uint64_t payload_bytes = 0,
-                               int retries = 3) {
+bool RangeCacheSystem::BudgetExhausted(OpBudget* budget) {
+  if (budget == nullptr || config_.fault.op_budget_ms <= 0.0) return false;
+  if (budget->spent_ms < config_.fault.op_budget_ms) return false;
+  if (!budget->exhausted) {
+    budget->exhausted = true;
+    ++metrics_.budget_exhausted;
+  }
+  return true;
+}
+
+Result<double> RangeCacheSystem::DeliverWithPolicy(const NetAddress& from,
+                                                   const NetAddress& to,
+                                                   uint64_t payload_bytes,
+                                                   OpBudget* budget) {
+  const FaultPolicy& policy = config_.fault;
   double total = 0.0;
+  double wait = policy.backoff_base_ms;
   Status last;
-  for (int attempt = 0; attempt <= retries; ++attempt) {
-    auto latency = net.DeliverBytes(from, to, payload_bytes);
-    if (latency.ok()) return total + *latency;
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff before the retransmission; the wait is
+      // simulated time the operation spends doing nothing, so it is
+      // charged as latency like any network delay.
+      double pause = std::min(wait, policy.backoff_max_ms);
+      pause *= 1.0 - policy.backoff_jitter +
+               policy.backoff_jitter * rng_.NextDouble();
+      total += pause;
+      metrics_.backoff_latency_ms += pause;
+      wait *= policy.backoff_multiplier;
+      ++metrics_.retransmissions;
+    }
+    auto latency = ring_->network().DeliverBytes(from, to, payload_bytes);
+    if (latency.ok()) {
+      total += *latency;
+      if (budget != nullptr) budget->spent_ms += total;
+      return total;
+    }
     last = latency.status();
-    if (!last.IsIOError()) return last;
+    if (!last.IsIOError()) break;  // dead peer: retrying is futile
+    if (budget != nullptr && config_.fault.op_budget_ms > 0.0 &&
+        budget->spent_ms + total >= config_.fault.op_budget_ms) {
+      break;  // out of time: give up instead of stalling the operation
+    }
+  }
+  if (budget != nullptr) {
+    budget->spent_ms += total;
+    (void)BudgetExhausted(budget);
   }
   return last;
 }
-}  // namespace
 
 RangeCacheSystem::RangeCacheSystem(const SystemConfig& config, Catalog catalog)
     : config_(config),
       catalog_(std::move(catalog)),
       padding_controller_(config.adaptive),
-      column_stats_(config.stats) {}
+      column_stats_(config.stats),
+      rng_(config.seed ^ 0xfa017edULL) {}
 
 Result<RangeCacheSystem> RangeCacheSystem::Make(const SystemConfig& config,
                                                 Catalog catalog) {
@@ -65,6 +105,7 @@ Result<RangeCacheSystem> RangeCacheSystem::Make(const SystemConfig& config,
   if (config.descriptor_replication < 1) {
     return Status::InvalidArgument("descriptor_replication must be >= 1");
   }
+  RETURN_NOT_OK(config.fault.Validate());
   RangeCacheSystem sys(config, std::move(catalog));
 
   ASSIGN_OR_RETURN(chord::ChordRing ring,
@@ -115,11 +156,11 @@ Status RangeCacheSystem::TransferData(const NetAddress& client,
                                       const NetAddress& server,
                                       const Relation& payload, bool from_source) {
   // Request (control) + response carrying the encoded tuples; both
-  // legs retransmit on transit loss.
-  auto req = DeliverReliable(ring_->network(), client, server);
+  // legs retransmit on transit loss under the fault policy.
+  auto req = DeliverWithPolicy(client, server, 0, nullptr);
   RETURN_NOT_OK(req.status());
   const size_t bytes = wire::RelationWireSize(payload);
-  auto resp = DeliverReliable(ring_->network(), server, client, bytes);
+  auto resp = DeliverWithPolicy(server, client, bytes, nullptr);
   RETURN_NOT_OK(resp.status());
   metrics_.latency_ms += *req + *resp;
   if (from_source) {
@@ -133,10 +174,15 @@ Status RangeCacheSystem::TransferData(const NetAddress& client,
 Result<std::optional<Relation>> RangeCacheSystem::FetchCoverage(
     const NetAddress& client, const std::vector<PartitionDescriptor>& pieces) {
   if (pieces.empty()) return std::optional<Relation>(std::nullopt);
-  // All pieces must be materialized somewhere before any bytes move.
+  // All pieces must be materialized at a *reachable* holder before any
+  // bytes move; a dead or empty holder degrades the whole assembly
+  // (the caller falls back to a single match or the source).
   std::vector<const Relation*> datas;
   datas.reserve(pieces.size());
   for (const PartitionDescriptor& piece : pieces) {
+    if (!ring_->network().IsAlive(piece.holder)) {
+      return std::optional<Relation>(std::nullopt);
+    }
     const Peer* holder = peer(piece.holder);
     const Relation* data = holder ? holder->GetPartitionData(piece.key) : nullptr;
     if (data == nullptr) return std::optional<Relation>(std::nullopt);
@@ -145,8 +191,11 @@ Result<std::optional<Relation>> RangeCacheSystem::FetchCoverage(
   std::optional<Relation> merged;
   std::set<std::string> seen_rows;
   for (size_t i = 0; i < pieces.size(); ++i) {
-    RETURN_NOT_OK(TransferData(client, pieces[i].holder, *datas[i],
-                               /*from_source=*/false));
+    const Status shipped = TransferData(client, pieces[i].holder, *datas[i],
+                                        /*from_source=*/false);
+    // A holder crashing mid-assembly (or retries running dry) is a
+    // degradation, not a query failure.
+    if (!shipped.ok()) return std::optional<Relation>(std::nullopt);
     if (!merged) merged = Relation(datas[i]->name(), datas[i]->schema());
     for (const Row& row : datas[i]->rows()) {
       // Overlapping partitions duplicate tuples; dedup by encoding.
@@ -171,6 +220,10 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
   if (peer(origin) == nullptr) {
     return Status::InvalidArgument("unknown origin peer " + origin.ToString());
   }
+  if (!ring_->network().IsAlive(origin)) {
+    return Status::InvalidArgument("origin peer " + origin.ToString() +
+                                   " is down");
+  }
   RangeLookupOutcome out;
   out.query = query.range;
   ASSIGN_OR_RETURN(out.effective_query, EffectiveRange(query));
@@ -180,53 +233,164 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
 
   ++metrics_.range_lookups;
 
-  // Route to each identifier's owner and collect its best match.
-  std::optional<MatchCandidate> best;
+  // Route to each identifier's owner and collect its best match. A
+  // probe that cannot be answered — routing failed, the owner crashed
+  // mid-query, its reply was lost beyond the retry budget — degrades
+  // the fan-out instead of failing it: the lookup returns the best
+  // match among the groups that did answer.
+  OpBudget budget;
+  std::vector<MatchCandidate> candidates;
+  std::set<std::string> candidates_seen;
   std::set<NetAddress> owners_seen;
-  std::vector<NetAddress> owners(out.identifiers.size());
   std::vector<PartitionDescriptor> coverage_candidates;
   std::set<std::string> coverage_seen;
-  for (size_t g = 0; g < out.identifiers.size(); ++g) {
-    ASSIGN_OR_RETURN(const chord::LookupResult route,
-                     ring_->Lookup(origin, out.identifiers[g]));
-    owners[g] = route.owner.addr;
-    out.hops += route.hops;
-    out.latency_ms += route.latency_ms;
-    metrics_.chord_hops += route.hops;
-    metrics_.latency_ms += route.latency_ms;
-    if (owners_seen.insert(route.owner.addr).second) ++out.peers_contacted;
 
-    const Peer* owner_peer = peer(route.owner.addr);
-    if (owner_peer == nullptr) {
-      return Status::Internal("ring node " + route.owner.addr.ToString() +
-                              " has no application peer");
+  // Probes one replica's bucket; commits its candidate and coverage
+  // contributions only once the reply reaches the origin.
+  auto probe_replica = [&](const NetAddress& target, chord::ChordId id) -> bool {
+    Peer* owner_peer = peer(target);
+    if (owner_peer == nullptr || !ring_->network().IsAlive(target)) return false;
+    // Dead holders make their descriptors stale; the probing owner
+    // evicts them on sight (lazy repair) and serves the next-best.
+    std::optional<MatchCandidate> candidate;
+    for (;;) {
+      candidate = config_.use_peer_index
+                      ? owner_peer->store().BestMatchAnywhere(effective_key,
+                                                              config_.criterion)
+                      : owner_peer->store().BestMatch(id, effective_key,
+                                                      config_.criterion);
+      if (!candidate || ring_->network().IsAlive(candidate->descriptor.holder)) {
+        break;
+      }
+      metrics_.stale_evictions += owner_peer->store().EraseStale(
+          candidate->descriptor.key, candidate->descriptor.holder);
     }
-    const std::optional<MatchCandidate> candidate =
-        config_.use_peer_index
-            ? owner_peer->store().BestMatchAnywhere(effective_key, config_.criterion)
-            : owner_peer->store().BestMatch(out.identifiers[g], effective_key,
-                                            config_.criterion);
+    std::vector<MatchCandidate> overlapping;
     if (config_.assemble_coverage) {
       for (MatchCandidate& c : owner_peer->store().OverlappingCandidates(
-               out.identifiers[g], effective_key, config_.criterion)) {
-        if (coverage_seen.insert(c.descriptor.key.ToString() + "@" +
-                                 c.descriptor.holder.ToString())
-                .second) {
-          coverage_candidates.push_back(std::move(c.descriptor));
+               id, effective_key, config_.criterion)) {
+        if (!ring_->network().IsAlive(c.descriptor.holder)) {
+          metrics_.stale_evictions += owner_peer->store().EraseStale(
+              c.descriptor.key, c.descriptor.holder);
+          continue;
+        }
+        overlapping.push_back(std::move(c));
+      }
+    }
+    // The reply must actually arrive for the origin to learn anything.
+    auto reply = DeliverWithPolicy(target, origin, 0, &budget);
+    if (!reply.ok()) return false;
+    out.latency_ms += *reply;
+    metrics_.latency_ms += *reply;
+    if (owners_seen.insert(target).second) {
+      ++out.peers_contacted;
+      out.probed_owners.push_back(target);
+    }
+    if (candidate) {
+      const std::string key = candidate->descriptor.key.ToString() + "@" +
+                              candidate->descriptor.holder.ToString();
+      if (candidates_seen.insert(key).second) {
+        candidates.push_back(std::move(*candidate));
+      }
+    }
+    for (MatchCandidate& c : overlapping) {
+      if (coverage_seen.insert(c.descriptor.key.ToString() + "@" +
+                               c.descriptor.holder.ToString())
+              .second) {
+        coverage_candidates.push_back(std::move(c.descriptor));
+      }
+    }
+    return true;
+  };
+
+  for (size_t g = 0; g < out.identifiers.size(); ++g) {
+    if (BudgetExhausted(&budget)) {
+      // Out of time: the remaining probes are abandoned.
+      out.probes_failed += static_cast<int>(out.identifiers.size() - g);
+      metrics_.probes_failed += out.identifiers.size() - g;
+      break;
+    }
+    auto route = ring_->Lookup(origin, out.identifiers[g]);
+    if (!route.ok()) {
+      // Routing never reached this identifier's owner.
+      ++out.probes_failed;
+      ++metrics_.probes_failed;
+      continue;
+    }
+    out.hops += route->hops;
+    out.latency_ms += route->latency_ms;
+    metrics_.chord_hops += route->hops;
+    metrics_.latency_ms += route->latency_ms;
+    budget.spent_ms += route->latency_ms;
+
+    // Routing has committed to an owner; it may still die before it
+    // answers (the probe below notices and fails over).
+    if (step_hook_) step_hook_("probe");
+
+    if (probe_replica(route->owner.addr, out.identifiers[g])) continue;
+
+    // The owner is unreachable (crashed mid-query, or its reply was
+    // lost beyond the retry budget). With replication its successors
+    // hold copies of the bucket — fail over to them.
+    bool answered = false;
+    if (config_.descriptor_replication > 1) {
+      const chord::ChordNode* owner_node = ring_->node(route->owner.addr);
+      int tried = 0;
+      if (owner_node != nullptr) {
+        for (const chord::NodeInfo& succ : owner_node->successors()) {
+          if (tried >= config_.descriptor_replication - 1) break;
+          if (succ.addr == route->owner.addr) continue;
+          if (!ring_->network().IsAlive(succ.addr)) continue;
+          ++tried;
+          if (step_hook_) step_hook_("failover");
+          // One extra hop to reach the replica.
+          auto fwd = DeliverWithPolicy(origin, succ.addr, 0, &budget);
+          if (!fwd.ok()) continue;
+          out.latency_ms += *fwd;
+          metrics_.latency_ms += *fwd;
+          ++out.hops;
+          ++metrics_.chord_hops;
+          if (probe_replica(succ.addr, out.identifiers[g])) {
+            ++out.failovers;
+            ++metrics_.probe_failovers;
+            answered = true;
+            break;
+          }
         }
       }
     }
-    // The owner replies to the origin either way.
-    auto reply = DeliverReliable(ring_->network(), route.owner.addr, origin);
-    if (reply.ok()) {
-      out.latency_ms += *reply;
-      metrics_.latency_ms += *reply;
+    if (!answered) {
+      ++out.probes_failed;
+      ++metrics_.probes_failed;
     }
-    if (candidate && (!best || candidate->similarity > best->similarity ||
-                      (candidate->similarity == best->similarity &&
-                       candidate->exact && !best->exact))) {
-      best = candidate;
-    }
+  }
+
+  out.degraded = out.probes_failed > 0 || budget.exhausted;
+  if (out.degraded) ++metrics_.degraded_lookups;
+
+  // Rank the collected candidates best-first: higher similarity wins,
+  // exactness breaks ties (matches the single-best rule the protocol
+  // used before it kept a ranked list).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const MatchCandidate& a, const MatchCandidate& b) {
+                     if (a.similarity != b.similarity) {
+                       return a.similarity > b.similarity;
+                     }
+                     return a.exact && !b.exact;
+                   });
+  const std::optional<MatchCandidate> best =
+      candidates.empty() ? std::nullopt
+                         : std::optional<MatchCandidate>(candidates.front());
+  out.ranked.reserve(candidates.size());
+  for (const MatchCandidate& c : candidates) {
+    RangeMatch m;
+    m.matched = c.descriptor.key;
+    m.holder = c.descriptor.holder;
+    m.score = c.similarity;
+    m.jaccard = query.range.Jaccard(c.descriptor.key.range);
+    m.recall = query.range.RecallFrom(c.descriptor.key.range);
+    m.exact = c.descriptor.key.range == out.effective_query;
+    out.ranked.push_back(std::move(m));
   }
 
   if (config_.assemble_coverage && !coverage_candidates.empty()) {
@@ -243,16 +407,9 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
         best ? query.range.RecallFrom(best->descriptor.key.range) : 0.0);
   }
 
-  if (best) {
-    RangeMatch match;
-    match.matched = best->descriptor.key;
-    match.holder = best->descriptor.holder;
-    match.score = best->similarity;
-    match.jaccard = query.range.Jaccard(best->descriptor.key.range);
-    match.recall = query.range.RecallFrom(best->descriptor.key.range);
-    match.exact = best->descriptor.key.range == out.effective_query;
-    out.match = match;
-    if (match.exact) {
+  if (!out.ranked.empty()) {
+    out.match = out.ranked.front();
+    if (out.match->exact) {
       ++metrics_.exact_hits;
     } else {
       ++metrics_.approx_hits;
@@ -296,7 +453,7 @@ void RangeCacheSystem::StoreReplicated(chord::ChordId id,
     Peer* target_peer = peer(target);
     if (target_peer == nullptr) continue;  // churned away mid-protocol
     // The store RPC must arrive before the descriptor exists there.
-    auto msg = DeliverReliable(ring_->network(), from, target);
+    auto msg = DeliverWithPolicy(from, target, 0, nullptr);
     if (!msg.ok()) continue;
     if (latency_acc != nullptr) *latency_acc += *msg;
     metrics_.latency_ms += *msg;
@@ -315,9 +472,12 @@ Status RangeCacheSystem::PublishPartition(const PartitionKey& key,
   const PartitionDescriptor descriptor{key, holder};
   ++metrics_.partitions_published;
   for (uint32_t id : ids) {
-    ASSIGN_OR_RETURN(const chord::LookupResult route, ring_->Lookup(holder, id));
-    metrics_.chord_hops += route.hops;
-    metrics_.latency_ms += route.latency_ms;
+    // A failed route skips this identifier's replicas (the partition
+    // stays findable under the other l-1 identifiers).
+    auto route = ring_->Lookup(holder, id);
+    if (!route.ok()) continue;
+    metrics_.chord_hops += route->hops;
+    metrics_.latency_ms += route->latency_ms;
     StoreReplicated(id, descriptor, holder, nullptr);
   }
   return Status::OK();
@@ -398,29 +558,54 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
       }
     }
 
-    const bool full = best && best->lookup.match && best->lookup.match->recall >= 1.0;
-    const bool partial =
-        best && best->lookup.match && best->lookup.match->recall > 0.0;
-    const bool use_cache = full || (config_.accept_partial_answers && partial);
-
-    if (use_cache) {
-      const Peer* holder_peer = peer(best->lookup.match->holder);
-      const Relation* data =
-          holder_peer == nullptr
-              ? nullptr
-              : holder_peer->GetPartitionData(best->lookup.match->matched);
-      if (data != nullptr) {
-        RETURN_NOT_OK(TransferData(client, best->lookup.match->holder, *data,
-                                   /*from_source=*/false));
+    // Walk the ranked matches until one is actually fetchable. A match
+    // whose holder died between the probe and the fetch is stale: its
+    // descriptors are lazily evicted at every probed owner and the
+    // next-best match takes over; if every match fails, the source
+    // answers (a fault can degrade a query, never fail it).
+    bool cache_match_failed = false;
+    if (best && best->lookup.match) {
+      for (const RangeMatch& m : best->lookup.ranked) {
+        // The best *surviving* match decides, exactly as the single-
+        // match rule did: if it does not qualify for a cache answer,
+        // the leaf goes to the source rather than to a worse match.
+        const bool acceptable =
+            m.recall >= 1.0 || (config_.accept_partial_answers && m.recall > 0.0);
+        if (!acceptable) break;
+        if (step_hook_) step_hook_("fetch");
+        if (!ring_->network().IsAlive(m.holder)) {
+          // Dead at fetch time: repair the probing owners' buckets.
+          for (const NetAddress& owner : best->lookup.probed_owners) {
+            Peer* owner_peer = peer(owner);
+            if (owner_peer == nullptr) continue;
+            metrics_.stale_evictions +=
+                owner_peer->store().EraseStale(m.matched, m.holder);
+          }
+          cache_match_failed = true;
+          continue;
+        }
+        const Peer* holder_peer = peer(m.holder);
+        const Relation* data =
+            holder_peer == nullptr ? nullptr
+                                   : holder_peer->GetPartitionData(m.matched);
+        if (data == nullptr) {
+          // Descriptor with no materialized bytes (holder lost or
+          // never fetched them): useless, try the next match.
+          cache_match_failed = true;
+          continue;
+        }
+        if (!TransferData(client, m.holder, *data, /*from_source=*/false).ok()) {
+          // Holder crashed mid-transfer or retries ran dry.
+          cache_match_failed = true;
+          continue;
+        }
         ++metrics_.cache_fetches;
         inputs->emplace(leaf.table, *data);
         outcome->used_cache = true;
-        outcome->recall = best->lookup.match->recall;
+        outcome->recall = m.recall;
         outcome->lookup = std::move(best->lookup);
         return Status::OK();
       }
-      // Descriptor with no materialized bytes (holder lost it): treat
-      // as a miss and fall through to the source.
     }
 
     // Multi-partition coverage: several overlapping partitions may
@@ -443,8 +628,11 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
           outcome->lookup = std::move(best_cover->lookup);
           return Status::OK();
         }
+        cache_match_failed = true;  // assembly broke (dead/empty holder)
       }
     }
+
+    if (cache_match_failed) ++metrics_.source_fallbacks;
 
     // Go to the source for the primary attribute's (effective)
     // partition. With caching enabled, materialize it at the client
@@ -492,24 +680,42 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
     const std::string eq_key = EqKeyString(leaf.table, f.attribute, f.value);
     const chord::ChordId id = Sha1::Hash32(eq_key);
     ++metrics_.eq_lookups;
-    ASSIGN_OR_RETURN(const chord::LookupResult route, ring_->Lookup(client, id));
-    metrics_.chord_hops += route.hops;
-    metrics_.latency_ms += route.latency_ms;
-    Peer* owner_peer = peer(route.owner.addr);
-    const std::optional<EqDescriptor> desc = owner_peer->FindEqDescriptor(id, eq_key);
+    // A failed route (or an owner that crashed mid-query) skips the
+    // cache probe; the source still answers.
+    Peer* owner_peer = nullptr;
+    auto route = ring_->Lookup(client, id);
+    if (route.ok()) {
+      metrics_.chord_hops += route->hops;
+      metrics_.latency_ms += route->latency_ms;
+      if (ring_->network().IsAlive(route->owner.addr)) {
+        owner_peer = peer(route->owner.addr);
+      }
+    }
+    std::optional<EqDescriptor> desc =
+        owner_peer == nullptr ? std::nullopt
+                              : owner_peer->FindEqDescriptor(id, eq_key);
+    if (desc && !ring_->network().IsAlive(desc->holder)) {
+      // Stale: the holder died with its data. Repair the owner's
+      // bucket so later queries go straight to the source.
+      if (owner_peer->EraseEqDescriptor(id, eq_key, desc->holder)) {
+        ++metrics_.stale_evictions;
+      }
+      ++metrics_.source_fallbacks;
+      desc.reset();
+    }
     if (desc) {
       const Peer* holder_peer = peer(desc->holder);
       const Relation* data =
           holder_peer == nullptr ? nullptr : holder_peer->GetEqData(eq_key);
-      if (data != nullptr) {
-        RETURN_NOT_OK(TransferData(client, desc->holder, *data,
-                                   /*from_source=*/false));
+      if (data != nullptr &&
+          TransferData(client, desc->holder, *data, /*from_source=*/false).ok()) {
         ++metrics_.eq_hits;
         ++metrics_.cache_fetches;
         inputs->emplace(leaf.table, *data);
         outcome->used_cache = true;
         return Status::OK();
       }
+      ++metrics_.source_fallbacks;
     }
     // Source fetch; publish and materialize at the client.
     ASSIGN_OR_RETURN(const Relation* base, catalog_.GetBaseData(leaf.table));
@@ -518,7 +724,9 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
     RETURN_NOT_OK(TransferData(client, source_, rows, /*from_source=*/true));
     if (config_.cache_on_miss) {
       peer(client)->StoreEqData(eq_key, rows);
-      owner_peer->StoreEqDescriptor(id, EqDescriptor{eq_key, client});
+      if (owner_peer != nullptr) {
+        owner_peer->StoreEqDescriptor(id, EqDescriptor{eq_key, client});
+      }
     }
     inputs->emplace(leaf.table, std::move(rows));
     outcome->from_source = true;
@@ -544,6 +752,10 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
   if (peer(client) == nullptr) {
     return Status::InvalidArgument("unknown client peer " + client.ToString());
   }
+  if (!ring_->network().IsAlive(client)) {
+    return Status::InvalidArgument("client peer " + client.ToString() +
+                                   " is down");
+  }
   ASSIGN_OR_RETURN(const SelectStatement stmt, ParseSelect(sql));
   PlannerOptions planner_options;
   planner_options.allow_multi_attribute = config_.multi_attribute;
@@ -560,22 +772,32 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
   chord::NodeInfo result_owner{};
   if (config_.cache_query_results) {
     ++metrics_.result_cache_lookups;
-    ASSIGN_OR_RETURN(const chord::LookupResult route,
-                     ring_->Lookup(client, result_id));
-    metrics_.chord_hops += route.hops;
-    metrics_.latency_ms += route.latency_ms;
-    result_owner = route.owner;
-    Peer* owner_peer = peer(route.owner.addr);
-    const std::optional<EqDescriptor> desc =
+    // A failed route or crashed owner just skips the result cache.
+    auto route = ring_->Lookup(client, result_id);
+    Peer* owner_peer = nullptr;
+    if (route.ok()) {
+      metrics_.chord_hops += route->hops;
+      metrics_.latency_ms += route->latency_ms;
+      result_owner = route->owner;
+      if (ring_->network().IsAlive(route->owner.addr)) {
+        owner_peer = peer(route->owner.addr);
+      }
+    }
+    std::optional<EqDescriptor> desc =
         owner_peer == nullptr ? std::nullopt
                               : owner_peer->FindEqDescriptor(result_id, result_key);
+    if (desc && !ring_->network().IsAlive(desc->holder)) {
+      if (owner_peer->EraseEqDescriptor(result_id, result_key, desc->holder)) {
+        ++metrics_.stale_evictions;
+      }
+      desc.reset();
+    }
     if (desc) {
       const Peer* holder_peer = peer(desc->holder);
       const Relation* cached =
           holder_peer == nullptr ? nullptr : holder_peer->GetEqData(result_key);
-      if (cached != nullptr) {
-        RETURN_NOT_OK(TransferData(client, desc->holder, *cached,
-                                   /*from_source=*/false));
+      if (cached != nullptr &&
+          TransferData(client, desc->holder, *cached, /*from_source=*/false).ok()) {
         ++metrics_.result_cache_hits;
         QueryOutcome outcome;
         outcome.result = *cached;
@@ -601,7 +823,9 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
   // querying peer for future exact re-asks.
   if (config_.cache_query_results && !outcome.approximate) {
     peer(client)->StoreEqData(result_key, outcome.result);
-    Peer* owner_peer = peer(result_owner.addr);
+    Peer* owner_peer = ring_->network().IsAlive(result_owner.addr)
+                           ? peer(result_owner.addr)
+                           : nullptr;
     if (owner_peer != nullptr) {
       owner_peer->StoreEqDescriptor(result_id, EqDescriptor{result_key, client});
     }
@@ -634,6 +858,35 @@ Status RangeCacheSystem::RemovePeer(const NetAddress& addr, bool graceful) {
   }
   ring_->StabilizeAll(1);
   peers_.erase(addr);
+  return Status::OK();
+}
+
+Status RangeCacheSystem::CrashPeer(const NetAddress& addr) {
+  if (addr == source_) {
+    return Status::InvalidArgument("the source peer cannot crash");
+  }
+  if (peer(addr) == nullptr) {
+    return Status::NotFound("unknown peer " + addr.ToString());
+  }
+  if (!ring_->network().IsAlive(addr)) {
+    return Status::InvalidArgument("peer " + addr.ToString() + " already down");
+  }
+  // Abrupt and undetected: no handoff, no stabilization. The ring
+  // repairs itself through successor lists during later lookups and
+  // maintenance sweeps; the peer's descriptors go stale until the
+  // lazy-repair path evicts them.
+  return ring_->Fail(addr);
+}
+
+Status RangeCacheSystem::RecoverPeer(const NetAddress& addr) {
+  if (peer(addr) == nullptr) {
+    return Status::NotFound("unknown peer " + addr.ToString());
+  }
+  if (ring_->network().IsAlive(addr)) {
+    return Status::InvalidArgument("peer " + addr.ToString() + " is not down");
+  }
+  RETURN_NOT_OK(ring_->Recover(addr));
+  ring_->StabilizeAll(1);
   return Status::OK();
 }
 

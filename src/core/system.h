@@ -10,6 +10,7 @@
 #ifndef P2PRANGE_CORE_SYSTEM_H_
 #define P2PRANGE_CORE_SYSTEM_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -59,6 +60,26 @@ struct RangeLookupOutcome {
   /// covering the (original) query and their combined coverage.
   std::vector<PartitionDescriptor> coverage_pieces;
   double coverage_recall = 0.0;
+
+  // --- Fault-tolerance bookkeeping (how degraded this lookup was) ----
+
+  /// Identifier probes whose owner (and every replica) was unreachable;
+  /// their buckets contributed nothing to the answer.
+  int probes_failed = 0;
+  /// Probes answered by one of the owner's successors after the owner
+  /// itself was unreachable (descriptor_replication > 1).
+  int failovers = 0;
+  /// True when the fan-out lost at least one probe or was cut short by
+  /// FaultPolicy::op_budget_ms — the answer may be worse than a healthy
+  /// ring would have produced.
+  bool degraded = false;
+  /// Every distinct candidate collected from the owners that answered,
+  /// best first (`match` duplicates the front). The fetch stage walks
+  /// this list when a holder turns out to be dead.
+  std::vector<RangeMatch> ranked;
+  /// Distinct peers whose buckets were probed (owners and failover
+  /// replicas) — the peers to repair when a descriptor proves stale.
+  std::vector<NetAddress> probed_owners;
 };
 
 /// \brief How one plan leaf was answered.
@@ -136,6 +157,24 @@ class RangeCacheSystem {
   /// re-publishes on later misses). The source peer cannot leave.
   Status RemovePeer(const NetAddress& addr, bool graceful = true);
 
+  /// Transient failure (crash or partition): `addr` becomes
+  /// unreachable without any handoff or detection, but keeps its state
+  /// for a later RecoverPeer. Descriptors pointing at it go stale until
+  /// lazily repaired. The source peer cannot crash.
+  Status CrashPeer(const NetAddress& addr);
+
+  /// A crashed peer comes back with its state intact and re-bootstraps
+  /// its routing through a live node.
+  Status RecoverPeer(const NetAddress& addr);
+
+  /// Fault-injection hook: invoked at protocol step boundaries
+  /// ("probe" before each identifier probe, "failover" before a replica
+  /// probe, "fetch" before fetching a matched partition) so a harness
+  /// can crash or recover peers *during* a query. The hook must not
+  /// call back into query execution. Empty function disables.
+  using StepHook = std::function<void(const char* stage)>;
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
   // --- Introspection ---------------------------------------------------
 
   const SystemMetrics& metrics() const { return metrics_; }
@@ -168,6 +207,25 @@ class RangeCacheSystem {
 
  private:
   RangeCacheSystem(const SystemConfig& config, Catalog catalog);
+
+  /// Latency a single top-level operation has accumulated, checked
+  /// against FaultPolicy::op_budget_ms.
+  struct OpBudget {
+    double spent_ms = 0.0;
+    bool exhausted = false;
+  };
+
+  /// Delivers one system message under the FaultPolicy: retransmits
+  /// transit losses with exponential backoff (jittered, charged as
+  /// latency), fails fast on a dead peer, and abandons retries once
+  /// `budget` (optional) is exhausted. Returns the total latency of
+  /// all attempts including backoff waits.
+  Result<double> DeliverWithPolicy(const NetAddress& from, const NetAddress& to,
+                                   uint64_t payload_bytes, OpBudget* budget);
+
+  /// True (and counts the exhaustion once) when `budget` has spent the
+  /// policy's op budget.
+  bool BudgetExhausted(OpBudget* budget);
 
   /// The attribute-domain for a partition key (for padding bounds and
   /// decoding).
@@ -206,6 +264,8 @@ class RangeCacheSystem {
   std::unordered_map<NetAddress, std::unique_ptr<Peer>, NetAddressHash> peers_;
   NetAddress source_;
   SystemMetrics metrics_;
+  Rng rng_;  ///< backoff jitter (deterministic from config.seed)
+  StepHook step_hook_;
 };
 
 }  // namespace p2prange

@@ -1,6 +1,33 @@
 #include "net/sim_network.h"
 
+#include <cmath>
+
+#include "common/logging.h"
+
 namespace p2prange {
+
+Status LatencyModel::Validate() const {
+  if (!(std::isfinite(base_ms) && base_ms >= 0.0)) {
+    return Status::InvalidArgument("LatencyModel.base_ms must be finite and >= 0");
+  }
+  if (!(std::isfinite(jitter_ms) && jitter_ms >= 0.0)) {
+    return Status::InvalidArgument("LatencyModel.jitter_ms must be finite and >= 0");
+  }
+  if (!(std::isfinite(per_kib_ms) && per_kib_ms >= 0.0)) {
+    return Status::InvalidArgument("LatencyModel.per_kib_ms must be finite and >= 0");
+  }
+  if (!(std::isfinite(loss_rate) && loss_rate >= 0.0 && loss_rate < 1.0)) {
+    return Status::InvalidArgument(
+        "LatencyModel.loss_rate must be a probability in [0, 1)");
+  }
+  return Status::OK();
+}
+
+SimNetwork::SimNetwork(LatencyModel latency, uint64_t seed)
+    : latency_(latency), rng_(seed) {
+  const Status valid = latency_.Validate();
+  CHECK(valid.ok()) << valid.ToString();
+}
 
 void SimNetwork::Register(const NetAddress& addr) {
   alive_.emplace(addr, true);

@@ -29,6 +29,12 @@ struct LatencyModel {
   /// Probability that a message to a *live* peer is dropped in
   /// transit (distinguishable from a dead peer: the sender can retry).
   double loss_rate = 0.0;
+
+  /// OK iff base/jitter/per-KiB delays are non-negative, finite, and
+  /// loss_rate is a probability. Checked wherever a model enters the
+  /// system (SimNetwork, ChordRing::Make) so a typo'd loss_rate = 1.5
+  /// fails loudly instead of silently dropping every message.
+  Status Validate() const;
 };
 
 /// \brief Running totals maintained by SimNetwork.
@@ -44,8 +50,9 @@ struct NetworkStats {
 /// and a latency model.
 class SimNetwork {
  public:
-  explicit SimNetwork(LatencyModel latency = {}, uint64_t seed = 42)
-      : latency_(latency), rng_(seed) {}
+  /// Aborts (CHECK) on an invalid latency model; use
+  /// LatencyModel::Validate() beforehand for a recoverable error.
+  explicit SimNetwork(LatencyModel latency = {}, uint64_t seed = 42);
 
   /// Registers an endpoint (idempotent); newly registered peers are
   /// alive.

@@ -1,0 +1,216 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace p2prange {
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kCrash:
+      return "crash";
+    case FaultAction::kRecover:
+      return "recover";
+    case FaultAction::kKill:
+      return "kill";
+  }
+  return "unknown";
+}
+
+std::string FaultWorkloadReport::ToString() const {
+  std::string out;
+  out += "queries=" + std::to_string(queries);
+  out += " errors=" + std::to_string(errors);
+  out += " matched=" + std::to_string(matched);
+  out += " complete=" + std::to_string(complete);
+  out += " degraded=" + std::to_string(degraded);
+  out += " crashes=" + std::to_string(crashes);
+  out += " recoveries=" + std::to_string(recoveries);
+  out += " kills=" + std::to_string(kills);
+  return out;
+}
+
+FaultInjector::FaultInjector(RangeCacheSystem* system, FaultInjectorConfig config)
+    : system_(system), config_(config), rng_(config.seed) {
+  CHECK(system_ != nullptr);
+}
+
+FaultInjector::~FaultInjector() { RemoveHook(); }
+
+Result<NetAddress> FaultInjector::PickVictim() {
+  // Rejection-sample a live peer that is neither the source nor the
+  // protected query origin. The eligible set is large in any healthy
+  // overlay, so a handful of draws suffices.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ASSIGN_OR_RETURN(const NetAddress addr, system_->ring().RandomAliveAddress());
+    if (addr == system_->source_address()) continue;
+    if (addr == protected_) continue;
+    return addr;
+  }
+  return Status::NotFound("no eligible fault victim");
+}
+
+Status FaultInjector::CrashRandomPeer() {
+  if (system_->ring().num_alive() <= config_.min_alive) {
+    return Status::InvalidArgument("live population already at min_alive");
+  }
+  ASSIGN_OR_RETURN(const NetAddress victim, PickVictim());
+  RETURN_NOT_OK(system_->CrashPeer(victim));
+  crashed_.push_back(victim);
+  if (active_report_ != nullptr) ++active_report_->crashes;
+  return Status::OK();
+}
+
+Status FaultInjector::RecoverOneCrashedPeer() {
+  if (crashed_.empty()) return Status::NotFound("no crashed peers");
+  const NetAddress addr = crashed_.front();
+  crashed_.erase(crashed_.begin());
+  RETURN_NOT_OK(system_->RecoverPeer(addr));
+  if (active_report_ != nullptr) ++active_report_->recoveries;
+  return Status::OK();
+}
+
+Status FaultInjector::KillRandomPeer() {
+  if (system_->ring().num_alive() <= config_.min_alive) {
+    return Status::InvalidArgument("live population already at min_alive");
+  }
+  ASSIGN_OR_RETURN(const NetAddress victim, PickVictim());
+  RETURN_NOT_OK(system_->RemovePeer(victim, /*graceful=*/false));
+  if (active_report_ != nullptr) ++active_report_->kills;
+  return Status::OK();
+}
+
+void FaultInjector::ApplyStep(size_t step) {
+  for (const FaultEvent& ev : config_.script) {
+    if (ev.step != step) continue;
+    for (int i = 0; i < ev.count; ++i) {
+      switch (ev.action) {
+        case FaultAction::kCrash:
+          (void)CrashRandomPeer();
+          break;
+        case FaultAction::kRecover:
+          (void)RecoverOneCrashedPeer();
+          break;
+        case FaultAction::kKill:
+          (void)KillRandomPeer();
+          break;
+      }
+    }
+  }
+  if (config_.crash_prob > 0.0 && rng_.NextBernoulli(config_.crash_prob)) {
+    (void)CrashRandomPeer();
+  }
+  if (config_.recover_prob > 0.0 && rng_.NextBernoulli(config_.recover_prob)) {
+    (void)RecoverOneCrashedPeer();
+  }
+  if (config_.kill_prob > 0.0 && rng_.NextBernoulli(config_.kill_prob)) {
+    (void)KillRandomPeer();
+  }
+  if (config_.stabilize_every > 0 &&
+      step % static_cast<size_t>(config_.stabilize_every) == 0 && step > 0) {
+    system_->ring().StabilizeAll(1);
+    system_->ring().FixAllFingers();
+  }
+}
+
+void FaultInjector::OnProtocolStep(const char* /*stage*/) {
+  if (config_.mid_query_crash_prob <= 0.0) return;
+  if (rng_.NextBernoulli(config_.mid_query_crash_prob)) {
+    (void)CrashRandomPeer();
+  }
+}
+
+void FaultInjector::InstallHook() {
+  if (config_.mid_query_crash_prob <= 0.0) return;
+  system_->set_step_hook([this](const char* stage) { OnProtocolStep(stage); });
+  hook_installed_ = true;
+}
+
+void FaultInjector::RemoveHook() {
+  if (hook_installed_) {
+    system_->set_step_hook(nullptr);
+    hook_installed_ = false;
+  }
+}
+
+Result<FaultWorkloadReport> FaultInjector::RunLookups(
+    const std::function<PartitionKey()>& make_query, size_t n) {
+  FaultWorkloadReport report;
+  active_report_ = &report;
+  InstallHook();
+  double recall_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ApplyStep(i);
+    auto origin = system_->ring().RandomAliveAddress();
+    if (!origin.ok()) {
+      active_report_ = nullptr;
+      RemoveHook();
+      return origin.status();
+    }
+    set_protected_peer(*origin);
+    auto outcome = system_->LookupRangeFrom(*origin, make_query());
+    set_protected_peer(NetAddress{});
+    ++report.queries;
+    if (!outcome.ok()) {
+      ++report.errors;
+      continue;
+    }
+    report.matched += outcome->match.has_value();
+    report.degraded += outcome->degraded;
+    const double recall = outcome->match ? outcome->match->recall : 0.0;
+    report.complete += recall >= 1.0;
+    recall_sum += recall;
+  }
+  RemoveHook();
+  active_report_ = nullptr;
+  report.mean_recall =
+      report.queries == 0 ? 0.0 : recall_sum / static_cast<double>(report.queries);
+  return report;
+}
+
+Result<FaultWorkloadReport> FaultInjector::RunQueries(
+    const std::function<std::string()>& make_sql, size_t n) {
+  FaultWorkloadReport report;
+  active_report_ = &report;
+  InstallHook();
+  double recall_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ApplyStep(i);
+    auto client = system_->ring().RandomAliveAddress();
+    if (!client.ok()) {
+      active_report_ = nullptr;
+      RemoveHook();
+      return client.status();
+    }
+    set_protected_peer(*client);
+    auto outcome = system_->ExecuteQueryFrom(*client, make_sql());
+    set_protected_peer(NetAddress{});
+    ++report.queries;
+    if (!outcome.ok()) {
+      ++report.errors;
+      continue;
+    }
+    double min_recall = 1.0;
+    bool any_match = false;
+    bool degraded = false;
+    for (const LeafOutcome& leaf : outcome->leaves) {
+      min_recall = std::min(min_recall, leaf.recall);
+      if (leaf.lookup) {
+        any_match |= leaf.lookup->match.has_value();
+        degraded |= leaf.lookup->degraded;
+      }
+    }
+    report.matched += any_match;
+    report.degraded += degraded;
+    report.complete += min_recall >= 1.0;
+    recall_sum += min_recall;
+  }
+  RemoveHook();
+  active_report_ = nullptr;
+  report.mean_recall =
+      report.queries == 0 ? 0.0 : recall_sum / static_cast<double>(report.queries);
+  return report;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,150 @@
+// Fault-injection harness for the range-cache protocol.
+//
+// Drives scripted and randomized fault schedules — abrupt crashes,
+// recoveries, and permanent departures — against a RangeCacheSystem
+// while a query workload runs. Faults fire *between* workload steps
+// and, via the system's step hook, *during* the protocol steps of a
+// single query (a peer can die after routing resolved it but before
+// it answers, or between a match and its fetch). The report, together
+// with the system's fault counters (SystemMetrics), makes every
+// degradation observable: the acceptance bar is that queries degrade
+// but never fail.
+#ifndef P2PRANGE_SIM_FAULT_INJECTOR_H_
+#define P2PRANGE_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/system.h"
+
+namespace p2prange {
+
+/// \brief What a fault event does to a peer.
+enum class FaultAction {
+  kCrash,    ///< abrupt transient failure; state survives for a recover
+  kRecover,  ///< a crashed peer comes back
+  kKill,     ///< permanent abrupt departure (RemovePeer, state lost)
+};
+
+const char* FaultActionName(FaultAction action);
+
+/// \brief One scripted fault: before workload step `step`, apply
+/// `action` to `count` random eligible peers.
+struct FaultEvent {
+  size_t step = 0;
+  FaultAction action = FaultAction::kCrash;
+  int count = 1;
+};
+
+/// \brief Shape of a fault schedule. Scripted events and randomized
+/// rates compose; all randomness derives from `seed`.
+struct FaultInjectorConfig {
+  /// Scripted events, fired when their step comes up (any order).
+  std::vector<FaultEvent> script;
+
+  /// Randomized schedule, applied before every workload step.
+  double crash_prob = 0.0;    ///< P(crash one random peer) per step
+  double recover_prob = 0.0;  ///< P(recover one crashed peer) per step
+  double kill_prob = 0.0;     ///< P(permanently remove one peer) per step
+
+  /// Mid-query injection: probability, per protocol step ("probe",
+  /// "failover", "fetch"), of crashing one random peer while the query
+  /// is in flight. 0 disables the hook.
+  double mid_query_crash_prob = 0.0;
+
+  /// Crashes/kills never push the live population below this.
+  size_t min_alive = 4;
+
+  /// Run a maintenance sweep (stabilize + fix fingers) every N
+  /// workload steps; 0 = never (lookups rely on successor lists only).
+  int stabilize_every = 0;
+
+  uint64_t seed = 1;
+};
+
+/// \brief Outcome of a fault-injected workload run.
+struct FaultWorkloadReport {
+  uint64_t queries = 0;
+  uint64_t errors = 0;    ///< queries that returned an error status
+  uint64_t matched = 0;   ///< lookups with any cached match
+  uint64_t complete = 0;  ///< lookups with recall >= 1
+  uint64_t degraded = 0;  ///< lookups that lost at least one probe
+  double mean_recall = 0.0;
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t kills = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Applies fault schedules to a RangeCacheSystem and runs
+/// workloads through the faulty system.
+class FaultInjector {
+ public:
+  /// The injector registers the system's step hook only while a
+  /// workload runs (when mid_query_crash_prob > 0).
+  FaultInjector(RangeCacheSystem* system, FaultInjectorConfig config);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- Manual controls (scripted tests drive these directly) ---------
+
+  /// Crashes one random eligible peer (not the source, not the peer
+  /// protected via set_protected_peer, not below min_alive).
+  Status CrashRandomPeer();
+
+  /// Recovers the longest-crashed peer.
+  Status RecoverOneCrashedPeer();
+
+  /// Permanently removes one random eligible peer (abrupt).
+  Status KillRandomPeer();
+
+  /// Applies the scripted and randomized faults due before `step`.
+  void ApplyStep(size_t step);
+
+  /// A peer faults must never touch while a query runs from it (the
+  /// origin/client of the in-flight query).
+  void set_protected_peer(const NetAddress& addr) { protected_ = addr; }
+
+  size_t num_crashed() const { return crashed_.size(); }
+  const std::vector<NetAddress>& crashed_peers() const { return crashed_; }
+
+  // --- Fault-injected workloads --------------------------------------
+
+  /// Runs `n` §4 range lookups, one per workload step, injecting
+  /// faults between (and, if configured, during) steps.
+  Result<FaultWorkloadReport> RunLookups(
+      const std::function<PartitionKey()>& make_query, size_t n);
+
+  /// Runs `n` full SQL queries from random live clients under the
+  /// fault schedule.
+  Result<FaultWorkloadReport> RunQueries(
+      const std::function<std::string()>& make_sql, size_t n);
+
+ private:
+  /// A uniformly random live peer eligible for a fault, or an error
+  /// when none (population at min_alive or only protected peers left).
+  Result<NetAddress> PickVictim();
+
+  void OnProtocolStep(const char* stage);
+  void InstallHook();
+  void RemoveHook();
+
+  RangeCacheSystem* system_;
+  FaultInjectorConfig config_;
+  Rng rng_;
+  std::vector<NetAddress> crashed_;  ///< oldest first
+  NetAddress protected_{};
+  FaultWorkloadReport* active_report_ = nullptr;
+  bool hook_installed_ = false;
+};
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_SIM_FAULT_INJECTOR_H_

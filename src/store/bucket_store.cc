@@ -72,6 +72,27 @@ void BucketStore::EvictIfNeeded() {
   }
 }
 
+size_t BucketStore::EraseStale(const PartitionKey& key, const NetAddress& holder) {
+  size_t removed = 0;
+  for (auto it = recency_.begin(); it != recency_.end();) {
+    if (it->descriptor.key != key || !(it->descriptor.holder == holder)) {
+      ++it;
+      continue;
+    }
+    auto bucket_it = buckets_.find(it->bucket);
+    DCHECK(bucket_it != buckets_.end());
+    if (bucket_it != buckets_.end()) {
+      auto& vec = bucket_it->second;
+      std::erase_if(vec, [&](const RecencyList::iterator& e) { return e == it; });
+      if (vec.empty()) buckets_.erase(bucket_it);
+    }
+    DropIndexReference(it->descriptor.key);
+    it = recency_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
 std::optional<MatchCandidate> BucketStore::BestMatch(chord::ChordId id,
                                                      const PartitionKey& query,
                                                      MatchCriterion criterion) const {

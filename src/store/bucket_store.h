@@ -70,6 +70,12 @@ class BucketStore {
                                                     const PartitionKey& query,
                                                     MatchCriterion criterion) const;
 
+  /// \brief Lazy repair: removes every descriptor of `key` whose
+  /// holder is `holder`, across all buckets. Called by a probing owner
+  /// when it learns the holder is dead (the descriptor outlived the
+  /// peer). Returns the number of descriptors removed.
+  size_t EraseStale(const PartitionKey& key, const NetAddress& holder);
+
   /// True if bucket `id` holds exactly `key`.
   bool ContainsExact(chord::ChordId id, const PartitionKey& key) const;
 

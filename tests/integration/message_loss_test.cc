@@ -119,5 +119,53 @@ TEST(MessageLossTest, EndToEndQueriesRemainExactUnderLoss) {
   EXPECT_GT(sys->ring().network().stats().lost_messages, 0u);
 }
 
+// System-level robustness: abrupt departures *between* queries while
+// every message risks transit loss. No query may fail, and because
+// partial answers are off, every answer stays exact — a dead cache
+// holder just reroutes the leaf to the source.
+TEST(MessageLossTest, QueriesStayExactUnderAbruptChurnAndLoss) {
+  SystemConfig cfg;
+  cfg.num_peers = 40;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, 23);
+  cfg.descriptor_replication = 2;
+  cfg.chord.latency.loss_rate = 0.1;
+  cfg.chord.max_message_retries = 8;
+  cfg.fault.max_retries = 8;
+  cfg.seed = 23;
+  auto sys = RangeCacheSystem::Make(cfg, MakeNumbersCatalog(1500, 0, 1000, 9));
+  ASSERT_TRUE(sys.ok()) << sys.status();
+  UniformRangeGenerator gen(0, 1000, 23);
+  int removed = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (i % 5 == 4 && removed < 8) {
+      // One abrupt departure between queries: no leave protocol, no
+      // handoff, descriptors pointing at it go stale.
+      for (int tries = 0; tries < 20; ++tries) {
+        auto victim = sys->ring().RandomAliveAddress();
+        ASSERT_TRUE(victim.ok());
+        if (*victim == sys->source_address()) continue;
+        ASSERT_TRUE(sys->RemovePeer(*victim, /*graceful=*/false).ok());
+        ++removed;
+        break;
+      }
+      sys->ring().StabilizeAll(1);
+    }
+    const Range r = gen.Next();
+    size_t expected = 0;
+    for (const Row& row : (*sys->catalog().GetBaseData("Numbers"))->rows()) {
+      const int64_t key = row[0].AsInt();
+      if (key >= r.lo() && key <= r.hi()) ++expected;
+    }
+    auto outcome = sys->ExecuteQuery(
+        "SELECT * FROM Numbers WHERE key >= " + std::to_string(r.lo()) +
+        " AND key <= " + std::to_string(r.hi()));
+    ASSERT_TRUE(outcome.ok()) << outcome.status() << " at query " << i;
+    EXPECT_EQ(outcome->result.num_rows(), expected) << "query " << i;
+  }
+  EXPECT_EQ(removed, 8);
+  EXPECT_GT(sys->ring().network().stats().lost_messages, 0u);
+  EXPECT_GT(sys->metrics().retransmissions, 0u);
+}
+
 }  // namespace
 }  // namespace p2prange

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + full test suite, first in the normal
+# configuration, then under AddressSanitizer + UBSan
+# (-DP2PRANGE_SANITIZE="address;undefined"). Both must pass.
+#
+# Usage: tools/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir=$1
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "=== normal build + tests ==="
+run_suite build
+
+if [[ "${1:-}" != "--no-sanitize" ]]; then
+  echo "=== sanitized build + tests (address;undefined) ==="
+  run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
+fi
+
+echo "=== all checks passed ==="
