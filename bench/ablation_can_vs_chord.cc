@@ -20,6 +20,8 @@
 #include "hash/lsh.h"
 #include "tapestry/tapestry.h"
 
+#include "bench/bench_args.h"
+
 namespace p2prange {
 namespace bench {
 namespace {
@@ -166,7 +168,7 @@ void Run(size_t lookups) {
 }  // namespace p2prange
 
 int main(int argc, char** argv) {
-  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
+  const size_t n = p2prange::bench::CountFromArgs(argc, argv, 3000, 200);
   p2prange::bench::Run(n);
   return 0;
 }

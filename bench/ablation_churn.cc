@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench/bench_args.h"
 #include "bench/bench_util.h"
 #include "sim/churn_sim.h"
 
@@ -87,7 +88,8 @@ void Run(double duration_s) {
 }  // namespace p2prange
 
 int main(int argc, char** argv) {
-  const double duration = argc > 1 ? std::strtod(argv[1], nullptr) : 600.0;
+  const double duration =
+      p2prange::bench::ScaleFromArgs(argc, argv, 600.0, 30.0);
   p2prange::bench::Run(duration);
   return 0;
 }

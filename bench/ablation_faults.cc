@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench/bench_args.h"
 #include "bench/bench_util.h"
 #include "sim/fault_injector.h"
 #include "workload/range_workload.h"
@@ -94,8 +95,7 @@ void Run(size_t num_queries) {
 }  // namespace p2prange
 
 int main(int argc, char** argv) {
-  size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
-  if (n == 0) n = 400;  // unparsable or zero argument
+  const size_t n = p2prange::bench::CountFromArgs(argc, argv, 400, 60);
   p2prange::bench::Run(n);
   return 0;
 }

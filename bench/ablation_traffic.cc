@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "bench/bench_args.h"
 
 namespace p2prange {
 namespace bench {
@@ -75,7 +76,7 @@ void Run(size_t queries) {
 }  // namespace p2prange
 
 int main(int argc, char** argv) {
-  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const size_t n = p2prange::bench::CountFromArgs(argc, argv, 400, 60);
   p2prange::bench::Run(n);
   return 0;
 }

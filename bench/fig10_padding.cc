@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "bench/bench_args.h"
 
 namespace p2prange {
 namespace bench {
@@ -56,7 +57,7 @@ void Run(size_t n) {
 }  // namespace p2prange
 
 int main(int argc, char** argv) {
-  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  const size_t n = p2prange::bench::CountFromArgs(argc, argv, 10000, 300);
   p2prange::bench::Run(n);
   return 0;
 }

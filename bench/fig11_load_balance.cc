@@ -14,6 +14,7 @@
 #include <set>
 
 #include "bench/bench_util.h"
+#include "bench/bench_args.h"
 
 namespace p2prange {
 namespace bench {
@@ -92,7 +93,7 @@ void Run(size_t unique_partitions) {
 int main(int argc, char** argv) {
   // Paper scale: 10000 unique partitions. Pass a smaller count for a
   // quick run.
-  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  const size_t n = p2prange::bench::CountFromArgs(argc, argv, 10000, 400);
   p2prange::bench::Run(n);
   return 0;
 }

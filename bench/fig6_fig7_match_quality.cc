@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "bench/bench_args.h"
 
 namespace p2prange {
 namespace bench {
@@ -48,7 +49,7 @@ void RunFamily(HashFamilyType family, const char* figure, size_t n,
 
 int main(int argc, char** argv) {
   // A smaller query count (for quick runs) can be passed as argv[1].
-  const size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  const size_t n = p2prange::bench::CountFromArgs(argc, argv, 10000, 300);
   using p2prange::HashFamilyType;
   p2prange::bench::RunFamily(HashFamilyType::kMinwise, "Figure 6(a)", n);
   p2prange::bench::RunFamily(HashFamilyType::kApproxMinwise, "Figure 6(b)", n);

@@ -3,6 +3,9 @@
 // computation, SHA-1, Chord lookups, and bucket matching.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "chord/ring.h"
 #include "common/random.h"
 #include "hash/bit_permutation.h"
@@ -59,6 +62,7 @@ void BM_LinearPermute(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearPermute);
 
+// The production path: sublinear range-min kernels, flat in width.
 template <HashFamilyType kFamily>
 void BM_HashRange(benchmark::State& state) {
   Rng rng(3);
@@ -69,9 +73,31 @@ void BM_HashRange(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HashRange<HashFamilyType::kMinwise>)->Arg(334)->Arg(1500);
-BENCHMARK(BM_HashRange<HashFamilyType::kApproxMinwise>)->Arg(334)->Arg(1500);
-BENCHMARK(BM_HashRange<HashFamilyType::kLinear>)->Arg(334)->Arg(1500);
+BENCHMARK(BM_HashRange<HashFamilyType::kMinwise>)
+    ->Arg(334)->Arg(1000)->Arg(1500)->Arg(100000);
+BENCHMARK(BM_HashRange<HashFamilyType::kApproxMinwise>)
+    ->Arg(334)->Arg(1000)->Arg(1500)->Arg(100000);
+BENCHMARK(BM_HashRange<HashFamilyType::kLinear>)
+    ->Arg(334)->Arg(1000)->Arg(1500)->Arg(100000);
+
+// The kernel-vs-naive series: the O(|Q|) reference scan over the same
+// widths. Compare against BM_HashRange at equal Arg for the speedup
+// (>= 10x at width 1000, >= 100x at width 100000 is the regression
+// bar; see EXPERIMENTS.md).
+template <HashFamilyType kFamily>
+void BM_HashRangeNaive(benchmark::State& state) {
+  Rng rng(3);
+  auto fn = MakeHashFunction(kFamily, rng);
+  const Range q(1000, 1000 + static_cast<uint32_t>(state.range(0)) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn->HashRangeNaive(q));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashRangeNaive<HashFamilyType::kMinwise>)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_HashRangeNaive<HashFamilyType::kApproxMinwise>)
+    ->Arg(1000)->Arg(100000);
+BENCHMARK(BM_HashRangeNaive<HashFamilyType::kLinear>)->Arg(1000)->Arg(100000);
 
 void BM_LshIdentifiers(benchmark::State& state) {
   auto scheme = LshScheme::Make(LshParams::Paper(HashFamilyType::kApproxMinwise, 7));
@@ -148,7 +174,41 @@ void BM_PeerIndexBestMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_PeerIndexBestMatch)->Arg(100)->Arg(10000)->Arg(100000);
 
+void BM_LshIdentifiersInto(benchmark::State& state) {
+  // The batched, allocation-free probe-path form.
+  auto scheme = LshScheme::Make(LshParams::Paper(HashFamilyType::kApproxMinwise, 7));
+  CHECK(scheme.ok());
+  const Range q(100, 433);
+  std::vector<uint32_t> ids;
+  for (auto _ : state) {
+    scheme->IdentifiersInto(q, &ids);
+    benchmark::DoNotOptimize(ids.data());
+  }
+}
+BENCHMARK(BM_LshIdentifiersInto);
+
 }  // namespace
 }  // namespace p2prange
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus `--smoke` (tools/check.sh): rewrites the flag
+// into a tiny --benchmark_min_time so every benchmark still executes —
+// catching crashes and CHECK failures — without a full timing run.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  static char min_time[] = "--benchmark_min_time=0.001";
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -229,7 +229,9 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
   ASSIGN_OR_RETURN(out.effective_query, EffectiveRange(query));
   const PartitionKey effective_key{query.relation, query.attribute,
                                    out.effective_query};
-  out.identifiers = lsh_->Identifiers(out.effective_query);
+  // Batched: all l group signatures in one pass over the flat function
+  // table, written straight into the outcome's buffer.
+  lsh_->IdentifiersInto(out.effective_query, &out.identifiers);
 
   ++metrics_.range_lookups;
 
@@ -468,10 +470,10 @@ Status RangeCacheSystem::PublishPartition(const PartitionKey& key,
   if (peer(holder) == nullptr) {
     return Status::InvalidArgument("unknown holder peer " + holder.ToString());
   }
-  const std::vector<uint32_t> ids = lsh_->Identifiers(key.range);
+  lsh_->IdentifiersInto(key.range, &identifier_scratch_);
   const PartitionDescriptor descriptor{key, holder};
   ++metrics_.partitions_published;
-  for (uint32_t id : ids) {
+  for (uint32_t id : identifier_scratch_) {
     // A failed route skips this identifier's replicas (the partition
     // stays findable under the other l-1 identifiers).
     auto route = ring_->Lookup(holder, id);

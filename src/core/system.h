@@ -266,6 +266,9 @@ class RangeCacheSystem {
   SystemMetrics metrics_;
   Rng rng_;  ///< backoff jitter (deterministic from config.seed)
   StepHook step_hook_;
+  /// Reused buffer for batched LSH signature evaluation on the publish
+  /// path (the lookup path writes into its outcome's vector directly).
+  std::vector<uint32_t> identifier_scratch_;
 };
 
 }  // namespace p2prange

@@ -48,6 +48,8 @@ BitPermutation::BitPermutation(const BitShuffleKeys& keys, int rounds)
     }
     position_map_[j] = pos;
   }
+  for (int j = 0; j < 64; ++j) inverse_map_[j] = j;
+  for (int j = 0; j < width_; ++j) inverse_map_[position_map_[j]] = j;
 
   // Compile per-byte scatter tables.
   table_.assign(num_bytes_, {});

@@ -69,12 +69,20 @@ class BitPermutation {
   /// the value of input bit j.
   const std::array<int, 64>& position_map() const { return position_map_; }
 
+  /// Inverse of position_map(): output bit j takes the value of input
+  /// bit inverse_position_map()[j]. Drives the sublinear range-min
+  /// kernel (hash/kernels.h), which fixes output bits high-to-low.
+  const std::array<int, 64>& inverse_position_map() const {
+    return inverse_map_;
+  }
+
  private:
   int width_;
   int rounds_;
   int num_bytes_;
   BitShuffleKeys keys_;
   std::array<int, 64> position_map_;
+  std::array<int, 64> inverse_map_;
   // table_[i][v]: contribution of input byte i holding value v.
   std::vector<std::array<uint32_t, 256>> table_;
 };

@@ -16,40 +16,61 @@ Result<LshScheme> LshScheme::Make(const LshParams& params) {
     return Status::InvalidArgument("LSH l must be >= 1, got " +
                                    std::to_string(params.l));
   }
-  Rng rng(params.seed);
-  std::vector<std::vector<std::unique_ptr<RangeHashFunction>>> groups;
-  groups.reserve(params.l);
-  for (int g = 0; g < params.l; ++g) {
-    std::vector<std::unique_ptr<RangeHashFunction>> group;
-    group.reserve(params.k);
-    for (int i = 0; i < params.k; ++i) {
-      group.push_back(MakeHashFunction(params.family, rng, params.pre_xor_mask,
-                                       params.linear_prime));
+  if (params.family == HashFamilyType::kLinear) {
+    // A composite modulus silently makes the linear permutations
+    // non-bijective (multiples of a shared factor collapse), which
+    // skews the Figure 7 match-quality comparison.
+    if (!IsPrime(params.linear_prime)) {
+      return Status::InvalidArgument(
+          "linear_prime must be prime, got " +
+          std::to_string(params.linear_prime) + " (next prime is " +
+          std::to_string(NextPrimeAtLeast(
+              params.linear_prime < 2 ? 2 : params.linear_prime)) +
+          ")");
     }
-    groups.push_back(std::move(group));
+    if (params.linear_prime > LinearHashFunction::kPrime) {
+      return Status::InvalidArgument(
+          "linear_prime " + std::to_string(params.linear_prime) +
+          " exceeds the largest 32-bit prime " +
+          std::to_string(LinearHashFunction::kPrime));
+    }
   }
-  return LshScheme(params, std::move(groups));
+  Rng rng(params.seed);
+  std::vector<std::unique_ptr<RangeHashFunction>> fns;
+  fns.reserve(static_cast<size_t>(params.l) * params.k);
+  for (int g = 0; g < params.l; ++g) {
+    for (int i = 0; i < params.k; ++i) {
+      fns.push_back(MakeHashFunction(params.family, rng, params.pre_xor_mask,
+                                     params.linear_prime));
+    }
+  }
+  return LshScheme(params, std::move(fns));
 }
 
 uint32_t LshScheme::GroupIdentifier(int g, const Range& q) const {
   DCHECK_GE(g, 0);
   DCHECK_LT(g, params_.l);
   uint32_t id = 0;
-  for (const auto& fn : groups_[g]) {
-    id ^= fn->HashRange(q);
+  const size_t base = static_cast<size_t>(g) * params_.k;
+  for (int i = 0; i < params_.k; ++i) {
+    id ^= fns_[base + i]->HashRange(q);
   }
   // Spread the bucket signature uniformly over the ring (see Mix32's
   // comment). Identifier equality is exactly signature equality.
   return bits::Mix32(id);
 }
 
-std::vector<uint32_t> LshScheme::Identifiers(const Range& q) const {
-  std::vector<uint32_t> ids;
-  ids.reserve(groups_.size());
+void LshScheme::IdentifiersInto(const Range& q,
+                                std::vector<uint32_t>* out) const {
+  out->resize(static_cast<size_t>(params_.l));
+  size_t f = 0;
   for (int g = 0; g < params_.l; ++g) {
-    ids.push_back(GroupIdentifier(g, q));
+    uint32_t id = 0;
+    for (int i = 0; i < params_.k; ++i) {
+      id ^= fns_[f++]->HashRange(q);
+    }
+    (*out)[g] = bits::Mix32(id);
   }
-  return ids;
 }
 
 double LshScheme::CollisionProbability(double sim, int k, int l) {

@@ -50,6 +50,8 @@ struct LshParams {
 class LshScheme {
  public:
   /// Samples the l*k functions deterministically from params.seed.
+  /// Rejects k < 1, l < 1, and (for the linear family) a composite or
+  /// out-of-range `linear_prime` with InvalidArgument.
   static Result<LshScheme> Make(const LshParams& params);
 
   int k() const { return params_.k; }
@@ -61,10 +63,26 @@ class LshScheme {
   uint32_t GroupIdentifier(int g, const Range& q) const;
 
   /// All l identifiers for `q`, in group order.
-  std::vector<uint32_t> Identifiers(const Range& q) const;
+  std::vector<uint32_t> Identifiers(const Range& q) const {
+    std::vector<uint32_t> ids;
+    IdentifiersInto(q, &ids);
+    return ids;
+  }
+
+  /// All l identifiers for `q` written into *out (resized to l): one
+  /// batched pass over the flat function table, reusing out's storage
+  /// — the allocation-free form the probe path uses per lookup.
+  void IdentifiersInto(const Range& q, std::vector<uint32_t>* out) const;
 
   /// Total number of sampled functions (l * k).
   int num_functions() const { return params_.k * params_.l; }
+
+  /// The i-th function (0-based) of group `g`; sampling order matches
+  /// the seeded construction. Exposed for the differential tests and
+  /// the kernel-vs-naive benches.
+  const RangeHashFunction& function(int g, int i) const {
+    return *fns_[static_cast<size_t>(g) * params_.k + i];
+  }
 
   /// \brief The analytic probability 1 − (1 − sim^k)^l that two ranges
   /// of Jaccard similarity `sim` share at least one identifier, under
@@ -76,12 +94,13 @@ class LshScheme {
 
  private:
   LshScheme(LshParams params,
-            std::vector<std::vector<std::unique_ptr<RangeHashFunction>>> groups)
-      : params_(params), groups_(std::move(groups)) {}
+            std::vector<std::unique_ptr<RangeHashFunction>> fns)
+      : params_(params), fns_(std::move(fns)) {}
 
   LshParams params_;
-  // groups_[g][i]: i-th function of group g.
-  std::vector<std::vector<std::unique_ptr<RangeHashFunction>>> groups_;
+  // fns_[g*k + i]: i-th function of group g (flat: one contiguous
+  // table so a batched evaluation is a single pass).
+  std::vector<std::unique_ptr<RangeHashFunction>> fns_;
 };
 
 }  // namespace p2prange

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "hash/kernels.h"
 
 namespace p2prange {
 
@@ -18,7 +19,7 @@ const char* HashFamilyName(HashFamilyType family) {
   return "unknown";
 }
 
-uint32_t RangeHashFunction::HashRange(const Range& q) const {
+uint32_t RangeHashFunction::HashRangeNaive(const Range& q) const {
   uint32_t best = std::numeric_limits<uint32_t>::max();
   uint32_t x = q.lo();
   for (;;) {
@@ -31,7 +32,7 @@ uint32_t RangeHashFunction::HashRange(const Range& q) const {
 }
 
 uint32_t RangeHashFunction::HashSet(std::span<const uint32_t> elements) const {
-  DCHECK(!elements.empty());
+  CHECK(!elements.empty()) << "min-wise hash of an empty set is undefined";
   uint32_t best = std::numeric_limits<uint32_t>::max();
   for (uint32_t x : elements) {
     const uint32_t h = Permute(x);
@@ -45,18 +46,28 @@ MinwiseHashFunction::MinwiseHashFunction(Rng& rng, bool pre_xor)
         BitShuffleKeys keys = BitShuffleKeys::Sample(32, rng);
         return BitPermutation(keys, keys.num_levels());
       }()),
-      pre_(pre_xor ? rng.Next32() : 0) {}
+      pre_(pre_xor ? rng.Next32() : 0),
+      out_xor_(perm_.Apply(pre_)) {}
+
+uint32_t MinwiseHashFunction::HashRange(const Range& q) const {
+  return MinPermutedOverRange(perm_, out_xor_, q);
+}
 
 ApproxMinwiseHashFunction::ApproxMinwiseHashFunction(Rng& rng, bool pre_xor)
     : perm_(BitPermutation(BitShuffleKeys::Sample(32, rng), /*rounds=*/1)),
-      pre_(pre_xor ? rng.Next32() : 0) {}
+      pre_(pre_xor ? rng.Next32() : 0),
+      out_xor_(perm_.Apply(pre_)) {}
+
+uint32_t ApproxMinwiseHashFunction::HashRange(const Range& q) const {
+  return MinPermutedOverRange(perm_, out_xor_, q);
+}
 
 LinearHashFunction::LinearHashFunction(Rng& rng, uint64_t prime)
     : a_(rng.NextInRange(1, prime - 1)),
       b_(rng.NextInRange(0, prime - 1)),
       prime_(prime) {
-  CHECK_GE(prime, 2u);
   CHECK_LE(prime, kPrime);
+  CHECK(IsPrime(prime)) << "linear modulus " << prime << " is composite";
 }
 
 LinearHashFunction::LinearHashFunction(uint64_t a, uint64_t b, uint64_t prime)
@@ -65,6 +76,11 @@ LinearHashFunction::LinearHashFunction(uint64_t a, uint64_t b, uint64_t prime)
   CHECK_LT(a, prime);
   CHECK_LT(b, prime);
   CHECK_LE(prime, kPrime);
+  CHECK(IsPrime(prime)) << "linear modulus " << prime << " is composite";
+}
+
+uint32_t LinearHashFunction::HashRange(const Range& q) const {
+  return MinLinearOverRange(a_, b_, prime_, q);
 }
 
 uint64_t NextPrimeAtLeast(uint64_t n) {
@@ -81,6 +97,8 @@ uint64_t NextPrimeAtLeast(uint64_t n) {
   while (!is_prime(p)) ++p;
   return p;
 }
+
+bool IsPrime(uint64_t n) { return n >= 2 && NextPrimeAtLeast(n) == n; }
 
 std::unique_ptr<RangeHashFunction> MakeHashFunction(HashFamilyType family, Rng& rng,
                                                     bool pre_xor,

@@ -39,13 +39,23 @@ class RangeHashFunction {
 
   virtual HashFamilyType family() const = 0;
 
-  /// h(Q) = min over x in [lo, hi] of Permute(x). Cost is O(|Q|),
-  /// which is precisely the cost the paper's Figure 5 measures.
-  uint32_t HashRange(const Range& q) const;
+  /// h(Q) = min over x in [lo, hi] of Permute(x). Families override
+  /// this with exact sublinear kernels (hash/kernels.h): O(log p) for
+  /// linear permutations, O(W) for the bit-shuffles — bit-identical to
+  /// HashRangeNaive at every width, including the full 2³²-element
+  /// domain. The base implementation is the naive scan.
+  virtual uint32_t HashRange(const Range& q) const { return HashRangeNaive(q); }
+
+  /// Reference O(|Q|) element-by-element scan — precisely the cost the
+  /// paper's Figure 5 measures. Kept as the differential-testing
+  /// oracle and the Fig. 5 baseline; do not use on wide ranges.
+  uint32_t HashRangeNaive(const Range& q) const;
 
   /// Min-wise hash of an explicit element set (used for the Jaccard
   /// collision-probability property tests, which need non-contiguous
-  /// sets).
+  /// sets). `elements` must be non-empty (hard CHECK: an empty set has
+  /// no minimum, and the UINT32_MAX a release build used to return
+  /// silently poisons XOR group signatures).
   uint32_t HashSet(std::span<const uint32_t> elements) const;
 };
 
@@ -64,12 +74,16 @@ class MinwiseHashFunction final : public RangeHashFunction {
 
   uint32_t Permute(uint32_t x) const override { return perm_.Apply(x ^ pre_); }
   HashFamilyType family() const override { return HashFamilyType::kMinwise; }
+  uint32_t HashRange(const Range& q) const override;
 
   const BitPermutation& permutation() const { return perm_; }
 
  private:
   BitPermutation perm_;
   uint32_t pre_ = 0;
+  // Permute(x) == perm_.Apply(x) ^ out_xor_ by GF(2)-linearity; the
+  // range-min kernel consumes this form.
+  uint32_t out_xor_ = 0;
 };
 
 /// \brief Approximate min-wise permutation: the first shuffle round
@@ -82,12 +96,14 @@ class ApproxMinwiseHashFunction final : public RangeHashFunction {
 
   uint32_t Permute(uint32_t x) const override { return perm_.Apply(x ^ pre_); }
   HashFamilyType family() const override { return HashFamilyType::kApproxMinwise; }
+  uint32_t HashRange(const Range& q) const override;
 
   const BitPermutation& permutation() const { return perm_; }
 
  private:
   BitPermutation perm_;
   uint32_t pre_ = 0;
+  uint32_t out_xor_ = 0;  // see MinwiseHashFunction
 };
 
 /// \brief Linear permutation π(x) = (a·x + b) mod p, a true
@@ -102,6 +118,10 @@ class ApproxMinwiseHashFunction final : public RangeHashFunction {
 ///    across dissimilar ranges — which reproduces the poor match
 ///    quality the paper reports for linear permutations (Figure 7).
 /// Domain values >= p alias under the modulus.
+///
+/// `prime` must actually be prime (hard CHECK; LshScheme::Make
+/// rejects composite input with a Status instead): a composite
+/// modulus silently makes π non-bijective, which skews Figure 7.
 class LinearHashFunction final : public RangeHashFunction {
  public:
   static constexpr uint64_t kPrime = 4294967291ULL;
@@ -114,6 +134,7 @@ class LinearHashFunction final : public RangeHashFunction {
     return static_cast<uint32_t>((a_ * x + b_) % prime_);
   }
   HashFamilyType family() const override { return HashFamilyType::kLinear; }
+  uint32_t HashRange(const Range& q) const override;
 
   uint64_t a() const { return a_; }
   uint64_t b() const { return b_; }
@@ -128,6 +149,11 @@ class LinearHashFunction final : public RangeHashFunction {
 /// \brief Smallest prime >= n (n >= 2); used to build domain-sized
 /// linear permutations.
 uint64_t NextPrimeAtLeast(uint64_t n);
+
+/// \brief True iff n is prime (n >= 0; 0 and 1 are not prime).
+/// Implemented on the NextPrimeAtLeast machinery; used to validate
+/// linear-family moduli.
+bool IsPrime(uint64_t n);
 
 /// \brief Samples a fresh hash function of the given family.
 /// `pre_xor` applies only to the bit-shuffle families (linear

@@ -23,6 +23,34 @@ TEST(LshSchemeTest, RejectsInvalidParams) {
   EXPECT_TRUE(LshScheme::Make(p).status().IsInvalidArgument());
 }
 
+// Regression: a composite linear_prime used to be accepted silently,
+// making the linear permutations non-bijective and skewing Figure 7.
+TEST(LshSchemeTest, RejectsCompositeLinearPrime) {
+  LshParams p = LshParams::Paper(HashFamilyType::kLinear);
+  p.linear_prime = 1000;  // composite; the domain-sized prime is 1009
+  const auto result = LshScheme::Make(p);
+  ASSERT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().ToString().find("1009"), std::string::npos)
+      << "error should name the next prime: " << result.status().ToString();
+  p.linear_prime = 0;
+  EXPECT_TRUE(LshScheme::Make(p).status().IsInvalidArgument());
+  p.linear_prime = 4294967295ULL;  // 2^32 - 1, composite
+  EXPECT_TRUE(LshScheme::Make(p).status().IsInvalidArgument());
+  // The two moduli the benches actually use remain accepted.
+  p.linear_prime = 1009;
+  EXPECT_TRUE(LshScheme::Make(p).ok());
+  p.linear_prime = LinearHashFunction::kPrime;
+  EXPECT_TRUE(LshScheme::Make(p).ok());
+}
+
+// Composite moduli are only a linear-family concern; the shuffle
+// families ignore linear_prime entirely.
+TEST(LshSchemeTest, LinearPrimeIgnoredForShuffleFamilies) {
+  LshParams p = LshParams::Paper(HashFamilyType::kApproxMinwise);
+  p.linear_prime = 1000;
+  EXPECT_TRUE(LshScheme::Make(p).ok());
+}
+
 TEST(LshSchemeTest, ProducesLIdentifiers) {
   LshParams p;
   p.k = 4;

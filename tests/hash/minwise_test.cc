@@ -49,6 +49,24 @@ TEST_P(MinwiseFamilyTest, HashSetMatchesHashRangeOnContiguousSets) {
   EXPECT_EQ(fn->HashSet(elements), fn->HashRange(q));
 }
 
+// An empty set has no minimum; a release build used to return
+// UINT32_MAX silently, poisoning XOR group signatures. Now a hard
+// CHECK in every build mode.
+TEST_P(MinwiseFamilyTest, HashSetOfEmptySpanDies) {
+  Rng rng(14);
+  auto fn = MakeHashFunction(GetParam(), rng);
+  EXPECT_DEATH(fn->HashSet({}), "empty set");
+}
+
+TEST_P(MinwiseFamilyTest, KernelHashRangeMatchesNaive) {
+  Rng rng(15);
+  auto fn = MakeHashFunction(GetParam(), rng);
+  for (const Range& q : {Range(0, 0), Range(0, 999), Range(4000, 4000),
+                         Range(123456, 125000)}) {
+    EXPECT_EQ(fn->HashRange(q), fn->HashRangeNaive(q)) << q.ToString();
+  }
+}
+
 TEST_P(MinwiseFamilyTest, SingletonRangeHashesToPermutedElement) {
   Rng rng(17);
   auto fn = MakeHashFunction(GetParam(), rng);
@@ -183,6 +201,24 @@ TEST(LinearHashTest, MinOverRangeBeatsNaiveScan) {
     expected = std::min(expected, fn.Permute(x));
   }
   EXPECT_EQ(fn.HashRange(q), expected);
+}
+
+TEST(LinearHashTest, CompositeModulusDiesOnDirectConstruction) {
+  // 1000001 = 101 * 9901: composite, and exactly the kind of "looks
+  // like a big prime" value that slips in.
+  EXPECT_DEATH(LinearHashFunction(3, 10, 1000001ULL), "composite");
+  Rng rng(53);
+  EXPECT_DEATH(LinearHashFunction(rng, /*prime=*/1000), "composite");
+}
+
+TEST(IsPrimeTest, AgreesWithNextPrimeAtLeast) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(1009));
+  EXPECT_FALSE(IsPrime(1000));
+  EXPECT_TRUE(IsPrime(LinearHashFunction::kPrime));
+  EXPECT_FALSE(IsPrime(4294967295ULL));
 }
 
 TEST(HashFamilyNameTest, NamesMatchPaperLegends) {

@@ -2,8 +2,11 @@
 # Tier-1 gate: build + full test suite, first in the normal
 # configuration, then under AddressSanitizer + UBSan
 # (-DP2PRANGE_SANITIZE="address;undefined"). Both must pass.
+# In between, every bench binary is run in its tiny --smoke
+# configuration, so signature-affecting regressions in the figure
+# harnesses are caught before anyone pays for a full regeneration run.
 #
-# Usage: tools/check.sh [--no-sanitize]
+# Usage: tools/check.sh [--no-sanitize] [--no-bench-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,10 +19,24 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 }
 
+run_bench_smoke() {
+  local bench_dir=$1
+  for b in "$bench_dir"/*; do
+    [[ -x "$b" && -f "$b" ]] || continue
+    echo "--- $(basename "$b") --smoke"
+    "$b" --smoke > /dev/null
+  done
+}
+
 echo "=== normal build + tests ==="
 run_suite build
 
-if [[ "${1:-}" != "--no-sanitize" ]]; then
+if [[ "${1:-}" != "--no-bench-smoke" && "${2:-}" != "--no-bench-smoke" ]]; then
+  echo "=== bench smoke runs (--smoke) ==="
+  run_bench_smoke build/bench
+fi
+
+if [[ "${1:-}" != "--no-sanitize" && "${2:-}" != "--no-sanitize" ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
 fi
