@@ -1,0 +1,128 @@
+// Ablation: crash recovery cost vs checkpoint interval.
+//
+// Every peer journals its descriptor mutations to a CRC32C-framed WAL
+// and periodically folds the log into a checkpoint snapshot. This
+// bench sweeps the checkpoint interval (0 = never, so recovery is a
+// pure log replay) against descriptor replication, crashes 20% of the
+// overlay mid-workload with storage faults armed (torn WAL tails, bit
+// flips), recovers everyone, and reports what recovery cost and what
+// it got back: durable bytes per peer, log records replayed, torn /
+// corrupted logs detected, descriptors restored by replay vs re-pulled
+// from live replicas, and cache recall before vs after the crash wave.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_args.h"
+#include "bench/bench_util.h"
+#include "sim/fault_injector.h"
+#include "workload/range_workload.h"
+
+namespace p2prange {
+namespace bench {
+namespace {
+
+double MeanRecall(RangeCacheSystem& sys, const std::vector<PartitionKey>& probes) {
+  double sum = 0.0;
+  for (const PartitionKey& key : probes) {
+    auto outcome = sys.LookupRange(key);
+    CHECK(outcome.ok()) << outcome.status();
+    if (outcome->match) sum += outcome->match->recall;
+  }
+  return sum / static_cast<double>(probes.size());
+}
+
+void RunScenario(uint64_t checkpoint_every, int replication, size_t num_queries,
+                 TablePrinter* table) {
+  SystemConfig cfg;
+  cfg.num_peers = 60;
+  cfg.lsh = LshParams::Paper(HashFamilyType::kApproxMinwise, 42);
+  cfg.descriptor_replication = replication;
+  cfg.durability.checkpoint_every = checkpoint_every;
+  cfg.seed = 42;
+  auto sys = RangeCacheSystem::Make(
+      cfg, MakeNumbersCatalog(10, kDomainLo, kDomainHi, 1));
+  CHECK(sys.ok()) << sys.status();
+
+  UniformRangeGenerator gen(kDomainLo, kDomainHi, 4242);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const Range q = gen.Next();
+    CHECK(sys->LookupRange(PartitionKey{"Numbers", "key", q}).ok());
+  }
+  std::vector<PartitionKey> probes;
+  UniformRangeGenerator probe_gen(kDomainLo, kDomainHi, 977);
+  for (int i = 0; i < 25; ++i) {
+    probes.push_back(PartitionKey{"Numbers", "key", probe_gen.Next()});
+  }
+  const double pre = MeanRecall(*sys, probes);
+
+  // Durable footprint across the overlay at crash time.
+  uint64_t wal_bytes = 0, snap_bytes = 0;
+  size_t counted = 0;
+  for (const chord::NodeInfo& info : sys->ring().AliveNodesSorted()) {
+    const Peer* p = sys->peer(info.addr);
+    if (p == nullptr) continue;
+    wal_bytes += p->durable().wal().image().size();
+    snap_bytes += p->durable().snapshots().TotalBytes();
+    ++counted;
+  }
+
+  FaultInjectorConfig fcfg;
+  fcfg.torn_write_prob = 0.5;
+  fcfg.bit_flip_prob = 0.25;
+  fcfg.min_alive = 8;
+  fcfg.seed = 4242;
+  FaultInjector injector(&*sys, fcfg);
+  const size_t to_crash = cfg.num_peers / 5;  // 20% of the overlay
+  for (size_t i = 0; i < to_crash; ++i) {
+    CHECK(injector.CrashRandomPeer().ok());
+  }
+  while (injector.RecoverOneCrashedPeer().ok()) {
+  }
+  const double post = MeanRecall(*sys, probes);
+
+  const SystemMetrics& m = sys->metrics();
+  table->AddRow(
+      {TablePrinter::Fmt(checkpoint_every), TablePrinter::Fmt(replication),
+       TablePrinter::Fmt(static_cast<double>(wal_bytes) /
+                             static_cast<double>(counted),
+                         1),
+       TablePrinter::Fmt(static_cast<double>(snap_bytes) /
+                             static_cast<double>(counted),
+                         1),
+       TablePrinter::Fmt(m.wal_records_replayed),
+       TablePrinter::Fmt(m.recoveries_torn_tail),
+       TablePrinter::Fmt(m.recoveries_wal_corrupted),
+       TablePrinter::Fmt(m.recovery_descriptors_restored),
+       TablePrinter::Fmt(m.recovery_descriptors_repaired),
+       TablePrinter::Fmt(100.0 * pre, 1), TablePrinter::Fmt(100.0 * post, 1)});
+}
+
+void Run(size_t num_queries) {
+  TablePrinter table({"ckpt every", "repl", "wal B/peer", "snap B/peer",
+                      "replayed", "torn", "corrupt", "restored", "repaired",
+                      "pre recall %", "post recall %"});
+  for (uint64_t ckpt : {0ULL, 1ULL, 16ULL, 64ULL, 256ULL}) {
+    for (int repl : {1, 2}) {
+      RunScenario(ckpt, repl, num_queries, &table);
+    }
+  }
+  table.Print(std::cout,
+              "Ablation: recovery cost vs checkpoint interval, 20% crash wave (" +
+                  TablePrinter::Fmt(num_queries) + " warm lookups)");
+  std::cout << "(expected: ckpt=0 maximizes WAL bytes and records replayed;\n"
+               " aggressive checkpoints shrink the log but grow snapshot\n"
+               " bytes; torn/corrupt logs are always detected, never\n"
+               " silently replayed; replication 2 re-pulls what replay\n"
+               " lost, holding post-crash recall near the pre-crash line)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2prange
+
+int main(int argc, char** argv) {
+  const size_t n = p2prange::bench::CountFromArgs(argc, argv, 300, 40);
+  p2prange::bench::Run(n);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "common/crc32c.h"
+
+namespace p2prange {
+
+namespace {
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    // Reflected polynomial of CRC-32C.
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const Crc32cTable table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.t[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace p2prange

@@ -1,0 +1,36 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41): the checksum that
+// frames every durable record (store/wal, store/snapshot). Chosen over
+// plain CRC-32 for its better burst-error detection; software
+// table-driven implementation, no hardware dependencies.
+#ifndef P2PRANGE_COMMON_CRC32C_H_
+#define P2PRANGE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace p2prange {
+
+/// \brief Extends a running CRC-32C with `n` more bytes. Start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// \brief CRC-32C of a whole buffer.
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+/// \brief Masked form for storage, as used by LevelDB/RocksDB: storing
+/// the CRC of data that itself contains CRCs is vulnerable to
+/// accidental fixed points, so frames store Mask(crc) instead.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_COMMON_CRC32C_H_

@@ -47,6 +47,17 @@ struct SystemMetrics {
                                    ///< match failed (stale/unreachable holder)
   uint64_t budget_exhausted = 0;   ///< operations cut short by op_budget_ms
 
+  // --- Durability / crash-recovery counters -------------------------
+
+  uint64_t peer_crashes = 0;      ///< CrashPeer calls (volatile state wiped)
+  uint64_t peer_recoveries = 0;   ///< RecoverPeer calls that replayed storage
+  uint64_t wal_records_replayed = 0;     ///< log records applied on recovery
+  uint64_t recoveries_torn_tail = 0;     ///< recoveries that truncated a torn log
+  uint64_t recoveries_wal_corrupted = 0; ///< recoveries that voided a rotted log
+  uint64_t recovery_descriptors_restored = 0;  ///< descriptors back via replay
+  uint64_t recovery_descriptors_repaired = 0;  ///< descriptors re-pulled from
+                                               ///< live replicas post-recovery
+
   std::string ToString() const;
 };
 

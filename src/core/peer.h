@@ -10,6 +10,7 @@
 #include "chord/node.h"
 #include "rel/relation.h"
 #include "store/bucket_store.h"
+#include "store/durable_store.h"
 
 namespace p2prange {
 
@@ -25,14 +26,44 @@ struct EqDescriptor {
 /// \brief One peer of the data-sharing system.
 class Peer {
  public:
-  Peer(chord::NodeInfo info, size_t store_capacity)
-      : info_(info), store_(store_capacity) {}
+  explicit Peer(chord::NodeInfo info, size_t store_capacity,
+                store::DurabilityConfig durability = {})
+      : info_(info), durable_(store_capacity, durability) {}
 
   const chord::NodeInfo& info() const { return info_; }
   const NetAddress& addr() const { return info_.addr; }
 
-  BucketStore& store() { return store_; }
-  const BucketStore& store() const { return store_; }
+  BucketStore& store() { return durable_.store(); }
+  const BucketStore& store() const { return durable_.store(); }
+
+  // --- Durable descriptor mutations ----------------------------------
+  // Mutations go through these (not store() directly) so they hit the
+  // write-ahead log before the volatile store.
+
+  /// Logs + inserts a descriptor into bucket `id`.
+  bool InsertDescriptor(chord::ChordId id, const PartitionDescriptor& d) {
+    return durable_.Insert(id, d);
+  }
+
+  /// Logs + removes every descriptor of `key` held by dead `holder`.
+  size_t EraseStaleDescriptors(const PartitionKey& key, const NetAddress& holder) {
+    return durable_.EraseStale(key, holder);
+  }
+
+  /// Crash semantics: all volatile state is lost (descriptor store,
+  /// materialized partitions, equality index). Durable images survive.
+  void CrashVolatileState() {
+    durable_.Crash();
+    data_.clear();
+    eq_index_.clear();
+    eq_data_.clear();
+  }
+
+  /// Replays checkpoint + WAL to rebuild the descriptor store.
+  store::RecoveryReport RecoverDurableState() { return durable_.Recover(); }
+
+  store::DurableDescriptorStore& durable() { return durable_; }
+  const store::DurableDescriptorStore& durable() const { return durable_; }
 
   // --- Materialized range partitions (this peer is the holder) -------
 
@@ -67,7 +98,7 @@ class Peer {
 
  private:
   chord::NodeInfo info_;
-  BucketStore store_;
+  store::DurableDescriptorStore durable_;
   std::unordered_map<PartitionKey, Relation, PartitionKeyHash> data_;
   std::unordered_map<chord::ChordId, std::vector<EqDescriptor>> eq_index_;
   std::unordered_map<std::string, Relation> eq_data_;

@@ -35,6 +35,15 @@ std::string SystemMetrics::ToString() const {
   out += " stale_evictions=" + std::to_string(stale_evictions);
   out += " source_fallbacks=" + std::to_string(source_fallbacks);
   out += " budget_exhausted=" + std::to_string(budget_exhausted);
+  out += " peer_crashes=" + std::to_string(peer_crashes);
+  out += " peer_recoveries=" + std::to_string(peer_recoveries);
+  out += " wal_records_replayed=" + std::to_string(wal_records_replayed);
+  out += " recoveries_torn_tail=" + std::to_string(recoveries_torn_tail);
+  out += " recoveries_wal_corrupted=" + std::to_string(recoveries_wal_corrupted);
+  out += " recovery_descriptors_restored=" +
+         std::to_string(recovery_descriptors_restored);
+  out += " recovery_descriptors_repaired=" +
+         std::to_string(recovery_descriptors_repaired);
   return out;
 }
 
@@ -120,8 +129,8 @@ Result<RangeCacheSystem> RangeCacheSystem::Make(const SystemConfig& config,
 
   const auto nodes = sys.ring_->AliveNodesSorted();
   for (const chord::NodeInfo& info : nodes) {
-    sys.peers_.emplace(info.addr,
-                       std::make_unique<Peer>(info, config.store_capacity));
+    sys.peers_.emplace(info.addr, std::make_unique<Peer>(info, config.store_capacity,
+                                                         config.durability));
   }
   sys.source_ = nodes.front().addr;
   return sys;
@@ -264,7 +273,7 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
       if (!candidate || ring_->network().IsAlive(candidate->descriptor.holder)) {
         break;
       }
-      metrics_.stale_evictions += owner_peer->store().EraseStale(
+      metrics_.stale_evictions += owner_peer->EraseStaleDescriptors(
           candidate->descriptor.key, candidate->descriptor.holder);
     }
     std::vector<MatchCandidate> overlapping;
@@ -272,7 +281,7 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
       for (MatchCandidate& c : owner_peer->store().OverlappingCandidates(
                id, effective_key, config_.criterion)) {
         if (!ring_->network().IsAlive(c.descriptor.holder)) {
-          metrics_.stale_evictions += owner_peer->store().EraseStale(
+          metrics_.stale_evictions += owner_peer->EraseStaleDescriptors(
               c.descriptor.key, c.descriptor.holder);
           continue;
         }
@@ -459,7 +468,7 @@ void RangeCacheSystem::StoreReplicated(chord::ChordId id,
     if (!msg.ok()) continue;
     if (latency_acc != nullptr) *latency_acc += *msg;
     metrics_.latency_ms += *msg;
-    if (target_peer->store().Insert(id, descriptor)) {
+    if (target_peer->InsertDescriptor(id, descriptor)) {
       ++metrics_.descriptors_stored;
     }
   }
@@ -581,7 +590,7 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
             Peer* owner_peer = peer(owner);
             if (owner_peer == nullptr) continue;
             metrics_.stale_evictions +=
-                owner_peer->store().EraseStale(m.matched, m.holder);
+                owner_peer->EraseStaleDescriptors(m.matched, m.holder);
           }
           cache_match_failed = true;
           continue;
@@ -841,8 +850,8 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
 Result<NetAddress> RangeCacheSystem::AddPeer() {
   ASSIGN_OR_RETURN(const chord::NodeInfo info, ring_->AddNode());
   ring_->StabilizeAll(2);
-  peers_.emplace(info.addr,
-                 std::make_unique<Peer>(info, config_.store_capacity));
+  peers_.emplace(info.addr, std::make_unique<Peer>(info, config_.store_capacity,
+                                                   config_.durability));
   return info.addr;
 }
 
@@ -877,19 +886,87 @@ Status RangeCacheSystem::CrashPeer(const NetAddress& addr) {
   // repairs itself through successor lists during later lookups and
   // maintenance sweeps; the peer's descriptors go stale until the
   // lazy-repair path evicts them.
-  return ring_->Fail(addr);
+  RETURN_NOT_OK(ring_->Fail(addr));
+  // Honest crash semantics: everything in RAM is gone. The WAL and
+  // checkpoint images inside the peer survive (they model its disk);
+  // with durability disabled there is nothing to come back from.
+  peer(addr)->CrashVolatileState();
+  ++metrics_.peer_crashes;
+  return Status::OK();
 }
 
 Status RangeCacheSystem::RecoverPeer(const NetAddress& addr) {
-  if (peer(addr) == nullptr) {
+  Peer* p = peer(addr);
+  if (p == nullptr) {
     return Status::NotFound("unknown peer " + addr.ToString());
   }
   if (ring_->network().IsAlive(addr)) {
     return Status::InvalidArgument("peer " + addr.ToString() + " is not down");
   }
+  // Local replay first (checkpoint + WAL), then rejoin the ring.
+  const store::RecoveryReport report = p->RecoverDurableState();
+  ++metrics_.peer_recoveries;
+  metrics_.wal_records_replayed += report.wal_records_replayed;
+  metrics_.recoveries_torn_tail += report.torn_tail ? 1 : 0;
+  metrics_.recoveries_wal_corrupted += report.wal_corrupted ? 1 : 0;
+  metrics_.recovery_descriptors_restored += report.descriptors_restored;
   RETURN_NOT_OK(ring_->Recover(addr));
   ring_->StabilizeAll(1);
+  RepairRecoveredPeerFromReplicas(addr);
   return Status::OK();
+}
+
+void RangeCacheSystem::RepairRecoveredPeerFromReplicas(const NetAddress& addr) {
+  // Post-recovery anti-entropy: descriptors the replay could not
+  // restore (lost to a torn tail, a rotted log, or disabled
+  // durability) still exist at the identifier owners' replicas. The
+  // recovered peer pulls from its first descriptor_replication - 1
+  // live successors — the peers that replicate exactly the buckets it
+  // owns — and re-inserts every descriptor it should hold but lost.
+  if (config_.descriptor_replication <= 1) return;
+  Peer* recovered = peer(addr);
+  if (recovered == nullptr) return;
+  // The recovered node's own successor list is freshly re-bootstrapped
+  // and may not reflect true ring order until stabilization converges,
+  // so resolve the true live successors — the peers a stabilized ring
+  // replicated this node's buckets to — from the global sorted view.
+  const std::vector<chord::NodeInfo> sorted = ring_->AliveNodesSorted();
+  size_t self = sorted.size();
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].addr == addr) {
+      self = i;
+      break;
+    }
+  }
+  if (self == sorted.size()) return;
+  int pulled_from = 0;
+  for (size_t step = 1; step < sorted.size(); ++step) {
+    if (pulled_from >= config_.descriptor_replication - 1) break;
+    const chord::NodeInfo& succ = sorted[(self + step) % sorted.size()];
+    const Peer* replica = peer(succ.addr);
+    if (replica == nullptr) continue;
+    ++pulled_from;
+    uint64_t transferred_bytes = 0;
+    size_t repaired = 0;
+    for (const auto& [bucket, descriptor] : replica->store().EntriesOldestFirst()) {
+      // Only buckets the recovered peer owns belong at it, and only
+      // descriptors with a live holder are worth re-publishing.
+      auto owner = ring_->FindSuccessorOracle(bucket);
+      if (!owner.ok() || !(owner->addr == addr)) continue;
+      if (!ring_->network().IsAlive(descriptor.holder)) continue;
+      if (recovered->store().ContainsExact(bucket, descriptor.key)) continue;
+      wire::Encoder enc;
+      enc.PutVarint(bucket);
+      wire::EncodePartitionDescriptor(descriptor, &enc);
+      transferred_bytes += enc.size();
+      recovered->InsertDescriptor(bucket, descriptor);
+      ++repaired;
+    }
+    // One bulk transfer per replica carries all repaired descriptors.
+    auto msg = DeliverWithPolicy(succ.addr, addr, transferred_bytes, nullptr);
+    if (msg.ok()) metrics_.latency_ms += *msg;
+    metrics_.recovery_descriptors_repaired += repaired;
+  }
 }
 
 std::vector<size_t> RangeCacheSystem::DescriptorCountsPerPeer() const {

@@ -157,14 +157,19 @@ class RangeCacheSystem {
   /// re-publishes on later misses). The source peer cannot leave.
   Status RemovePeer(const NetAddress& addr, bool graceful = true);
 
-  /// Transient failure (crash or partition): `addr` becomes
-  /// unreachable without any handoff or detection, but keeps its state
-  /// for a later RecoverPeer. Descriptors pointing at it go stale until
-  /// lazily repaired. The source peer cannot crash.
+  /// Abrupt crash: `addr` becomes unreachable without handoff or
+  /// detection, and its volatile state (descriptor store, materialized
+  /// partitions, equality index) is lost. Its durable images — the WAL
+  /// and checkpoint snapshots, when SystemConfig::durability is on —
+  /// survive for a later RecoverPeer. Descriptors pointing at it go
+  /// stale until lazily repaired. The source peer cannot crash.
   Status CrashPeer(const NetAddress& addr);
 
-  /// A crashed peer comes back with its state intact and re-bootstraps
-  /// its routing through a live node.
+  /// A crashed peer comes back: it replays its checkpoint + WAL to
+  /// rebuild the descriptor store (truncating a torn log tail; falling
+  /// back to the last good checkpoint on mid-log corruption),
+  /// re-bootstraps its routing, and — with descriptor_replication > 1 —
+  /// pulls descriptors the replay lost back from live replicas.
   Status RecoverPeer(const NetAddress& addr);
 
   /// Fault-injection hook: invoked at protocol step boundaries
@@ -254,6 +259,11 @@ class RangeCacheSystem {
   /// descriptor_replication > 1, at the owner's next live successors.
   void StoreReplicated(chord::ChordId id, const PartitionDescriptor& descriptor,
                        const NetAddress& from, double* latency_acc);
+
+  /// Post-recovery anti-entropy: the freshly recovered peer at `addr`
+  /// pulls descriptors for buckets it owns from its live successor
+  /// replicas, restoring what WAL replay could not.
+  void RepairRecoveredPeerFromReplicas(const NetAddress& addr);
 
   SystemConfig config_;
   Catalog catalog_;

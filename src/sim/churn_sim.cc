@@ -37,6 +37,9 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
   queue.push({NextArrival(rng_, config_.query_rate_hz), EventType::kQuery});
   queue.push({NextArrival(rng_, config_.join_rate_hz), EventType::kJoin});
   queue.push({NextArrival(rng_, config_.leave_rate_hz), EventType::kLeave});
+  if (config_.recover_rate_hz > 0.0) {
+    queue.push({NextArrival(rng_, config_.recover_rate_hz), EventType::kRecover});
+  }
   if (config_.stabilize_period_s > 0) {
     queue.push({config_.stabilize_period_s, EventType::kStabilize});
   }
@@ -50,6 +53,21 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
   }
   std::vector<double> recall_sums(num_slices, 0.0);
 
+  // Repair counters are cumulative in SystemMetrics; slices report the
+  // delta accumulated while they were current.
+  uint64_t prev_stale = system_->metrics().stale_evictions;
+  uint64_t prev_repaired = system_->metrics().recovery_descriptors_repaired;
+  auto close_slice = [&](int s) {
+    ChurnTimeSlice& slice = report.slices[s];
+    slice.alive_at_end = system_->ring().num_alive();
+    const uint64_t stale = system_->metrics().stale_evictions;
+    const uint64_t repaired = system_->metrics().recovery_descriptors_repaired;
+    slice.stale_repairs = stale - prev_stale;
+    slice.descriptors_repaired = repaired - prev_repaired;
+    prev_stale = stale;
+    prev_repaired = repaired;
+  };
+
   int cur_slice = 0;
   while (!queue.empty() && queue.top().time <= config_.duration_s) {
     const Event ev = queue.top();
@@ -59,7 +77,7 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
     // Crossing into a new slice: snapshot the overlay size at the end
     // of every slice we just left.
     while (cur_slice < slice) {
-      report.slices[cur_slice++].alive_at_end = system_->ring().num_alive();
+      close_slice(cur_slice++);
     }
     ChurnTimeSlice& out = report.slices[slice];
 
@@ -92,11 +110,31 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
           auto victim = system_->ring().RandomAliveAddress();
           if (victim.ok() && *victim != system_->source_address()) {
             const bool graceful = !rng_.NextBernoulli(config_.fail_fraction);
-            if (system_->RemovePeer(*victim, graceful).ok()) ++out.departures;
+            if (!graceful && config_.recover_rate_hz > 0.0) {
+              // Abrupt departure as a transient crash: the peer keeps
+              // its durable images and rejoins on a kRecover event.
+              if (system_->CrashPeer(*victim).ok()) {
+                crashed_.push_back(*victim);
+                ++out.departures;
+                ++out.crashes;
+              }
+            } else if (system_->RemovePeer(*victim, graceful).ok()) {
+              ++out.departures;
+            }
           }
         }
         queue.push({ev.time + NextArrival(rng_, config_.leave_rate_hz),
                     EventType::kLeave});
+        break;
+      }
+      case EventType::kRecover: {
+        if (!crashed_.empty()) {
+          const NetAddress addr = crashed_.front();
+          crashed_.erase(crashed_.begin());
+          if (system_->RecoverPeer(addr).ok()) ++out.recoveries;
+        }
+        queue.push({ev.time + NextArrival(rng_, config_.recover_rate_hz),
+                    EventType::kRecover});
         break;
       }
       case EventType::kStabilize: {
@@ -110,7 +148,7 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
 
   // Slices the run ended in (or never reached) carry the final count.
   while (cur_slice < num_slices) {
-    report.slices[cur_slice++].alive_at_end = system_->ring().num_alive();
+    close_slice(cur_slice++);
   }
   for (int s = 0; s < num_slices; ++s) {
     ChurnTimeSlice& out = report.slices[s];

@@ -29,6 +29,12 @@ struct ChurnScenarioConfig {
   double leave_rate_hz = 0.02;
   /// Fraction of departures that are abrupt failures (no handoff).
   double fail_fraction = 0.5;
+  /// Rate at which crashed peers come back through the recovery path
+  /// (checkpoint + WAL replay, then replica repair). When > 0, abrupt
+  /// departures are transient crashes (CrashPeer) that keep their
+  /// durable images and later rejoin (RecoverPeer); when 0, abrupt
+  /// departures permanently remove the peer (the pre-durability model).
+  double recover_rate_hz = 0.0;
   /// Period of the maintenance sweep (stabilize + fix fingers).
   double stabilize_period_s = 30.0;
   /// Departures never shrink the overlay below this.
@@ -47,6 +53,14 @@ struct ChurnTimeSlice {
   size_t alive_at_end = 0;
   uint64_t joins = 0;
   uint64_t departures = 0;
+  uint64_t crashes = 0;     ///< abrupt departures taken as transient crashes
+  uint64_t recoveries = 0;  ///< crashed peers that rejoined via replay
+  /// Stale descriptors lazily evicted during this slice (SystemMetrics
+  /// stale_evictions delta).
+  uint64_t stale_repairs = 0;
+  /// Descriptors re-pulled from live replicas by recovering peers
+  /// during this slice (recovery_descriptors_repaired delta).
+  uint64_t descriptors_repaired = 0;
 };
 
 /// \brief Result of a scenario run.
@@ -72,12 +86,13 @@ class ChurnSimulator {
   Result<ChurnReport> Run(int num_slices = 10);
 
  private:
-  enum class EventType { kQuery, kJoin, kLeave, kStabilize };
+  enum class EventType { kQuery, kJoin, kLeave, kRecover, kStabilize };
 
   RangeCacheSystem* system_;
   std::function<PartitionKey()> make_query_;
   ChurnScenarioConfig config_;
   Rng rng_;
+  std::vector<NetAddress> crashed_;  ///< oldest crash first
 };
 
 }  // namespace p2prange

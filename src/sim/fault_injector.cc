@@ -28,6 +28,8 @@ std::string FaultWorkloadReport::ToString() const {
   out += " crashes=" + std::to_string(crashes);
   out += " recoveries=" + std::to_string(recoveries);
   out += " kills=" + std::to_string(kills);
+  out += " torn_writes=" + std::to_string(torn_writes);
+  out += " bit_flips=" + std::to_string(bit_flips);
   return out;
 }
 
@@ -57,9 +59,43 @@ Status FaultInjector::CrashRandomPeer() {
   }
   ASSIGN_OR_RETURN(const NetAddress victim, PickVictim());
   RETURN_NOT_OK(system_->CrashPeer(victim));
+  MaybeCorruptDurableState(victim);
   crashed_.push_back(victim);
   if (active_report_ != nullptr) ++active_report_->crashes;
   return Status::OK();
+}
+
+void FaultInjector::MaybeCorruptDurableState(const NetAddress& victim) {
+  Peer* p = system_->peer(victim);
+  if (p == nullptr) return;
+  std::string& wal = p->durable().wal().mutable_image();
+  if (config_.torn_write_prob > 0.0 && !wal.empty() &&
+      rng_.NextBernoulli(config_.torn_write_prob)) {
+    // The crash caught the last append(s) partially flushed: shear a
+    // random sliver off the tail, possibly cutting a frame in half.
+    const size_t max_tear = std::min<size_t>(wal.size(), 48);
+    const size_t tear = static_cast<size_t>(rng_.NextInRange(1, max_tear));
+    wal.resize(wal.size() - tear);
+    if (active_report_ != nullptr) ++active_report_->torn_writes;
+  }
+  if (config_.bit_flip_prob > 0.0 && rng_.NextBernoulli(config_.bit_flip_prob)) {
+    // One random bit of rot across the WAL and both snapshot slots.
+    std::string* images[] = {&wal, &p->durable().snapshots().mutable_slot(0),
+                             &p->durable().snapshots().mutable_slot(1)};
+    size_t total = 0;
+    for (const std::string* img : images) total += img->size();
+    if (total > 0) {
+      size_t bit = static_cast<size_t>(rng_.NextBounded(total * 8));
+      for (std::string* img : images) {
+        if (bit < img->size() * 8) {
+          (*img)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+          break;
+        }
+        bit -= img->size() * 8;
+      }
+      if (active_report_ != nullptr) ++active_report_->bit_flips;
+    }
+  }
 }
 
 Status FaultInjector::RecoverOneCrashedPeer() {

@@ -56,6 +56,15 @@ struct FaultInjectorConfig {
   /// is in flight. 0 disables the hook.
   double mid_query_crash_prob = 0.0;
 
+  /// Storage-fault injection, applied to a victim's durable images at
+  /// crash time (when SystemConfig::durability is on):
+  /// P(the crash tears a random number of bytes off the WAL tail) —
+  /// the classic partially-flushed last append.
+  double torn_write_prob = 0.0;
+  /// P(one random bit flips in the WAL or a snapshot slot) — media
+  /// rot that recovery must *detect*, never silently replay.
+  double bit_flip_prob = 0.0;
+
   /// Crashes/kills never push the live population below this.
   size_t min_alive = 4;
 
@@ -77,6 +86,8 @@ struct FaultWorkloadReport {
   uint64_t crashes = 0;
   uint64_t recoveries = 0;
   uint64_t kills = 0;
+  uint64_t torn_writes = 0;  ///< crashes that tore the victim's WAL tail
+  uint64_t bit_flips = 0;    ///< crashes that flipped a durable-image bit
 
   std::string ToString() const;
 };
@@ -131,6 +142,10 @@ class FaultInjector {
   /// A uniformly random live peer eligible for a fault, or an error
   /// when none (population at min_alive or only protected peers left).
   Result<NetAddress> PickVictim();
+
+  /// Applies the configured torn-write / bit-flip faults to the
+  /// crashed victim's durable images.
+  void MaybeCorruptDurableState(const NetAddress& victim);
 
   void OnProtocolStep(const char* stage);
   void InstallHook();

@@ -60,6 +60,7 @@ void BucketStore::EvictIfNeeded() {
   if (max_descriptors_ == 0) return;
   while (recency_.size() > max_descriptors_) {
     const Entry& victim = recency_.back();
+    if (eviction_listener_) eviction_listener_(victim.bucket, victim.descriptor);
     auto bucket_it = buckets_.find(victim.bucket);
     DCHECK(bucket_it != buckets_.end());
     auto& vec = bucket_it->second;
@@ -142,6 +143,32 @@ std::vector<MatchCandidate> BucketStore::OverlappingCandidates(
     if (!query.range.Overlaps(d.key.range)) continue;
     out.push_back(MatchCandidate{d, Score(query.range, d.key.range, criterion),
                                  d.key.range == query.range});
+  }
+  return out;
+}
+
+bool BucketStore::EraseOne(chord::ChordId id, const PartitionKey& key) {
+  auto bucket_it = buckets_.find(id);
+  if (bucket_it == buckets_.end()) return false;
+  auto& vec = bucket_it->second;
+  for (size_t i = 0; i < vec.size(); ++i) {
+    RecencyList::iterator entry_it = vec[i];
+    if (!(entry_it->descriptor.key == key)) continue;
+    vec.erase(vec.begin() + static_cast<ptrdiff_t>(i));
+    if (vec.empty()) buckets_.erase(bucket_it);
+    DropIndexReference(entry_it->descriptor.key);
+    recency_.erase(entry_it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<chord::ChordId, PartitionDescriptor>>
+BucketStore::EntriesOldestFirst() const {
+  std::vector<std::pair<chord::ChordId, PartitionDescriptor>> out;
+  out.reserve(recency_.size());
+  for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
+    out.emplace_back(it->bucket, it->descriptor);
   }
   return out;
 }

@@ -10,9 +10,11 @@
 #define P2PRANGE_STORE_BUCKET_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chord/id.h"
@@ -76,8 +78,28 @@ class BucketStore {
   /// peer). Returns the number of descriptors removed.
   size_t EraseStale(const PartitionKey& key, const NetAddress& holder);
 
+  /// \brief Removes `key` from bucket `id` alone (other buckets keep
+  /// their copies). Used by WAL replay to re-apply a logged LRU
+  /// eviction; a no-op returning false when the pair is absent, so
+  /// replay stays idempotent when capacity already evicted it.
+  bool EraseOne(chord::ChordId id, const PartitionKey& key);
+
   /// True if bucket `id` holds exactly `key`.
   bool ContainsExact(chord::ChordId id, const PartitionKey& key) const;
+
+  /// \brief Every (bucket, descriptor) entry in recency order, oldest
+  /// first — re-inserting in this order rebuilds the identical store,
+  /// including LRU order. Checkpoint and replica-repair both walk this.
+  std::vector<std::pair<chord::ChordId, PartitionDescriptor>> EntriesOldestFirst()
+      const;
+
+  /// \brief Observer invoked just before an LRU eviction removes an
+  /// entry (the durable store logs the eviction through this seam).
+  using EvictionListener =
+      std::function<void(chord::ChordId, const PartitionDescriptor&)>;
+  void set_eviction_listener(EvictionListener listener) {
+    eviction_listener_ = std::move(listener);
+  }
 
   size_t num_descriptors() const { return recency_.size(); }
   size_t num_buckets() const { return buckets_.size(); }
@@ -105,6 +127,7 @@ class BucketStore {
 
   size_t max_descriptors_;
   uint64_t evictions_ = 0;
+  EvictionListener eviction_listener_;
   // LRU order: front = most recent. Buckets point into the list.
   RecencyList recency_;
   std::unordered_map<chord::ChordId, std::vector<RecencyList::iterator>> buckets_;

@@ -1,5 +1,7 @@
 #include "wire/serde.h"
 
+#include <limits>
+
 namespace p2prange {
 namespace wire {
 
@@ -109,6 +111,11 @@ Result<Value> DecodeValue(Decoder* dec) {
     }
     case kTagDate: {
       ASSIGN_OR_RETURN(const int64_t days, dec->ZigZag());
+      if (days < std::numeric_limits<int32_t>::min() ||
+          days > std::numeric_limits<int32_t>::max()) {
+        return Status::InvalidArgument("date days out of 32-bit range: " +
+                                       std::to_string(days));
+      }
       return Value(Date{static_cast<int32_t>(days)});
     }
     default:
@@ -131,6 +138,13 @@ void EncodeSchema(const Schema& s, Encoder* enc) {
 
 Result<Schema> DecodeSchema(Decoder* dec) {
   ASSIGN_OR_RETURN(const uint64_t n, dec->Varint());
+  // Every field costs at least 3 encoded bytes (name length, type,
+  // domain presence); a count beyond that is garbage. Checked before
+  // reserve() so corrupt input cannot force a huge allocation.
+  if (n > dec->remaining() / 3) {
+    return Status::InvalidArgument("field count " + std::to_string(n) +
+                                   " exceeds remaining buffer");
+  }
   std::vector<Field> fields;
   fields.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -171,6 +185,14 @@ Result<Relation> DecodeRelation(Decoder* dec) {
   ASSIGN_OR_RETURN(std::string name, dec->String());
   ASSIGN_OR_RETURN(Schema schema, DecodeSchema(dec));
   ASSIGN_OR_RETURN(const uint64_t rows, dec->Varint());
+  // Each row costs at least one byte per value; a zero-column schema
+  // cannot carry rows at all. Checked before Reserve() so corrupt
+  // input can neither force a huge allocation nor spin the row loop.
+  const size_t fields = schema.num_fields();
+  if (fields == 0 ? rows != 0 : rows > dec->remaining() / fields) {
+    return Status::InvalidArgument("row count " + std::to_string(rows) +
+                                   " exceeds remaining buffer");
+  }
   Relation out(std::move(name), std::move(schema));
   out.Reserve(rows);
   for (uint64_t i = 0; i < rows; ++i) {
@@ -207,6 +229,32 @@ Result<PartitionKey> DecodePartitionKey(Decoder* dec) {
   ASSIGN_OR_RETURN(k.range, Range::Make(static_cast<uint32_t>(lo),
                                         static_cast<uint32_t>(hi)));
   return k;
+}
+
+void EncodeNetAddress(const NetAddress& a, Encoder* enc) {
+  enc->PutVarint(a.host);
+  enc->PutVarint(a.port);
+}
+
+Result<NetAddress> DecodeNetAddress(Decoder* dec) {
+  ASSIGN_OR_RETURN(const uint64_t host, dec->Varint());
+  ASSIGN_OR_RETURN(const uint64_t port, dec->Varint());
+  if (host > 0xFFFFFFFFull || port > 0xFFFFull) {
+    return Status::InvalidArgument("corrupt net address on the wire");
+  }
+  return NetAddress{static_cast<uint32_t>(host), static_cast<uint16_t>(port)};
+}
+
+void EncodePartitionDescriptor(const PartitionDescriptor& d, Encoder* enc) {
+  EncodePartitionKey(d.key, enc);
+  EncodeNetAddress(d.holder, enc);
+}
+
+Result<PartitionDescriptor> DecodePartitionDescriptor(Decoder* dec) {
+  PartitionDescriptor d;
+  ASSIGN_OR_RETURN(d.key, DecodePartitionKey(dec));
+  ASSIGN_OR_RETURN(d.holder, DecodeNetAddress(dec));
+  return d;
 }
 
 size_t RelationWireSize(const Relation& r) {

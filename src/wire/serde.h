@@ -78,6 +78,14 @@ Result<Relation> DecodeRelation(Decoder* dec);
 void EncodePartitionKey(const PartitionKey& k, Encoder* enc);
 Result<PartitionKey> DecodePartitionKey(Decoder* dec);
 
+void EncodeNetAddress(const NetAddress& a, Encoder* enc);
+Result<NetAddress> DecodeNetAddress(Decoder* dec);
+
+/// \brief Descriptor records: what the durable store logs and what
+/// recovery pulls from replicas (key + holder).
+void EncodePartitionDescriptor(const PartitionDescriptor& d, Encoder* enc);
+Result<PartitionDescriptor> DecodePartitionDescriptor(Decoder* dec);
+
 /// \brief The wire size of a relation payload (encode-and-measure).
 size_t RelationWireSize(const Relation& r);
 

@@ -125,6 +125,40 @@ TEST(ChurnSimTest, DeterministicForSeeds) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(ChurnSimTest, RecoveryRateTurnsCrashesIntoTransients) {
+  auto sys = MakeSystem(11, /*replication=*/2);
+  ChurnScenarioConfig cfg;
+  cfg.duration_s = 300;
+  cfg.query_rate_hz = 2.0;
+  cfg.join_rate_hz = 0.0;
+  cfg.leave_rate_hz = 0.1;
+  cfg.fail_fraction = 1.0;     // every departure is abrupt...
+  cfg.recover_rate_hz = 0.05;  // ...and comes back through replay
+  cfg.stabilize_period_s = 10;
+  cfg.min_peers = 20;
+  cfg.seed = 11;
+  ChurnSimulator sim(&sys, UniformQueries(12), cfg);
+  auto report = sim.Run(4);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->protocol_errors, 0u);
+  uint64_t crashes = 0, recoveries = 0, repaired = 0;
+  for (const ChurnTimeSlice& s : report->slices) {
+    crashes += s.crashes;
+    recoveries += s.recoveries;
+    repaired += s.descriptors_repaired;
+  }
+  EXPECT_GT(crashes, 0u) << "abrupt departures should crash, not remove";
+  EXPECT_GT(recoveries, 0u) << "the recovery process should fire";
+  EXPECT_LE(recoveries, crashes);
+  // Recovered peers replayed their durable state (and possibly pulled
+  // more from replicas); the system-level counters agree.
+  EXPECT_EQ(sys.metrics().peer_crashes, crashes);
+  EXPECT_EQ(sys.metrics().peer_recoveries, recoveries);
+  EXPECT_EQ(sys.metrics().recovery_descriptors_repaired, repaired);
+  // Crashed-but-not-yet-recovered peers stay out of the alive count.
+  EXPECT_EQ(sys.ring().num_alive(), 40u - (crashes - recoveries));
+}
+
 TEST(ChurnSimTest, ReplicationHelpsUnderChurn) {
   // Under identical churn scenarios, descriptor replication should
   // never hurt and typically raises the match rate (descriptors

@@ -6,6 +6,11 @@
 # configuration, so signature-affecting regressions in the figure
 # harnesses are caught before anyone pays for a full regeneration run.
 #
+# A dedicated crash-consistency stage then re-runs the durability
+# fuzzer at an elevated crash-point budget — and again under the
+# sanitizers, so every WAL replay / torn-tail / bit-flip recovery path
+# is exercised with UBSan watching.
+#
 # Usage: tools/check.sh [--no-sanitize] [--no-bench-smoke]
 set -euo pipefail
 
@@ -36,9 +41,17 @@ if [[ "${1:-}" != "--no-bench-smoke" && "${2:-}" != "--no-bench-smoke" ]]; then
   run_bench_smoke build/bench
 fi
 
+echo "=== crash-consistency fuzz smoke (3000 crash points) ==="
+P2PRANGE_CRASH_FUZZ_POINTS=3000 \
+  ./build/tests/p2prange_tests --gtest_filter='CrashConsistencyFuzz.*'
+
 if [[ "${1:-}" != "--no-sanitize" && "${2:-}" != "--no-sanitize" ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
+  echo "=== sanitized crash-consistency fuzz (torn/bit-flip WAL replay under UBSan) ==="
+  P2PRANGE_CRASH_FUZZ_POINTS=2000 \
+    ./build-asan/tests/p2prange_tests \
+    --gtest_filter='CrashConsistencyFuzz.*:SerdeFuzzTest.*:WalTest.*:SnapshotTest.*'
 fi
 
 echo "=== all checks passed ==="
