@@ -3,6 +3,9 @@
 // computation, SHA-1, Chord lookups, and bucket matching.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include <cstring>
 #include <vector>
 
@@ -12,6 +15,9 @@
 #include "hash/lsh.h"
 #include "hash/minwise.h"
 #include "hash/sha1.h"
+#include "rpc/frame.h"
+#include "rpc/message.h"
+#include "rpc/tcp_transport.h"
 #include "store/bucket_store.h"
 
 namespace p2prange {
@@ -186,6 +192,69 @@ void BM_LshIdentifiersInto(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LshIdentifiersInto);
+
+// --- RPC layer: frame codec, envelope codec, live TCP round trip ------
+
+void BM_FrameEncodeParse(benchmark::State& state) {
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  std::string buf;
+  rpc::FrameParser parser;
+  for (auto _ : state) {
+    buf.clear();
+    rpc::AppendFrame(payload, &buf);
+    parser.Feed(buf);
+    auto got = parser.Next();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameEncodeParse)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_EnvelopeEncodeDecode(benchmark::State& state) {
+  rpc::RpcHeader header;
+  header.type = rpc::MsgType::kProbeBucket;
+  const std::string body(128, 'b');
+  for (auto _ : state) {
+    ++header.call_id;
+    auto got = rpc::DecodeEnvelope(rpc::EncodeEnvelope(header, body));
+    benchmark::DoNotOptimize(got);
+  }
+}
+BENCHMARK(BM_EnvelopeEncodeDecode);
+
+void BM_TcpLoopbackCall(benchmark::State& state) {
+  // Full request/response over a real socket pair: the per-probe cost
+  // a live ring pays that the simulator only models.
+  NetAddress bind;
+  bind.host = 0x7F000001;
+  bind.port = 0;
+  auto server = rpc::TcpServer::Listen(
+      bind, [](rpc::MsgType, std::string_view body) {
+        return Result<std::string>(std::string(body));
+      });
+  CHECK(server.ok());
+  std::atomic<bool> stop{false};
+  std::thread loop([&] {
+    while (!stop) {
+      (void)!server->PollOnce(/*timeout_ms=*/1).ok();
+    }
+  });
+  rpc::TcpTransport transport;
+  const std::string body(static_cast<size_t>(state.range(0)), 'q');
+  for (auto _ : state) {
+    auto result =
+        transport.Call(NetAddress{}, server->address(), rpc::MsgType::kPing,
+                       body);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+  }
+  stop = true;
+  loop.join();
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TcpLoopbackCall)->Arg(64)->Arg(4096);
 
 }  // namespace
 }  // namespace p2prange

@@ -1,0 +1,89 @@
+#include "core/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace p2prange {
+
+namespace {
+
+/// Every counter with its export name, in one place, so the text and
+/// JSON renderings can never disagree on coverage.
+struct Field {
+  const char* name;
+  uint64_t value;
+};
+
+void CollectCounters(const SystemMetrics& m, Field (&out)[30]) {
+  size_t i = 0;
+  out[i++] = {"range_lookups", m.range_lookups};
+  out[i++] = {"exact_hits", m.exact_hits};
+  out[i++] = {"approx_hits", m.approx_hits};
+  out[i++] = {"misses", m.misses};
+  out[i++] = {"published", m.partitions_published};
+  out[i++] = {"descriptors", m.descriptors_stored};
+  out[i++] = {"eq_lookups", m.eq_lookups};
+  out[i++] = {"eq_hits", m.eq_hits};
+  out[i++] = {"result_cache_lookups", m.result_cache_lookups};
+  out[i++] = {"result_cache_hits", m.result_cache_hits};
+  out[i++] = {"lookups_skipped", m.lookups_skipped};
+  out[i++] = {"source_fetches", m.source_fetches};
+  out[i++] = {"cache_fetches", m.cache_fetches};
+  out[i++] = {"bytes_from_source", m.bytes_from_source};
+  out[i++] = {"bytes_from_cache", m.bytes_from_cache};
+  out[i++] = {"chord_hops", m.chord_hops};
+  out[i++] = {"retransmissions", m.retransmissions};
+  out[i++] = {"probes_failed", m.probes_failed};
+  out[i++] = {"probe_failovers", m.probe_failovers};
+  out[i++] = {"degraded_lookups", m.degraded_lookups};
+  out[i++] = {"stale_evictions", m.stale_evictions};
+  out[i++] = {"source_fallbacks", m.source_fallbacks};
+  out[i++] = {"budget_exhausted", m.budget_exhausted};
+  out[i++] = {"peer_crashes", m.peer_crashes};
+  out[i++] = {"peer_recoveries", m.peer_recoveries};
+  out[i++] = {"wal_records_replayed", m.wal_records_replayed};
+  out[i++] = {"recoveries_torn_tail", m.recoveries_torn_tail};
+  out[i++] = {"recoveries_wal_corrupted", m.recoveries_wal_corrupted};
+  out[i++] = {"recovery_descriptors_restored", m.recovery_descriptors_restored};
+  out[i++] = {"recovery_descriptors_repaired", m.recovery_descriptors_repaired};
+}
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SystemMetrics::ToString() const {
+  Field fields[30];
+  CollectCounters(*this, fields);
+  std::string out;
+  for (size_t i = 0; i < 30; ++i) {
+    if (i > 0) out += ' ';
+    out += fields[i].name;
+    out += '=';
+    out += std::to_string(fields[i].value);
+  }
+  return out;
+}
+
+std::string SystemMetrics::ToJson() const {
+  Field fields[30];
+  CollectCounters(*this, fields);
+  std::string out = "{";
+  for (size_t i = 0; i < 30; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += fields[i].name;
+    out += "\":";
+    out += std::to_string(fields[i].value);
+  }
+  out += ",\"latency_ms\":" + JsonDouble(latency_ms);
+  out += ",\"backoff_latency_ms\":" + JsonDouble(backoff_latency_ms);
+  out += "}";
+  return out;
+}
+
+}  // namespace p2prange

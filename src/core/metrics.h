@@ -59,6 +59,10 @@ struct SystemMetrics {
                                                ///< live replicas post-recovery
 
   std::string ToString() const;
+
+  /// Single-line JSON object (no trailing newline), for the daemon's
+  /// --metrics_json export and harness scraping.
+  std::string ToJson() const;
 };
 
 }  // namespace p2prange

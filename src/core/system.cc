@@ -10,44 +10,6 @@
 
 namespace p2prange {
 
-std::string SystemMetrics::ToString() const {
-  std::string out;
-  out += "range_lookups=" + std::to_string(range_lookups);
-  out += " exact_hits=" + std::to_string(exact_hits);
-  out += " approx_hits=" + std::to_string(approx_hits);
-  out += " misses=" + std::to_string(misses);
-  out += " published=" + std::to_string(partitions_published);
-  out += " descriptors=" + std::to_string(descriptors_stored);
-  out += " eq_lookups=" + std::to_string(eq_lookups);
-  out += " eq_hits=" + std::to_string(eq_hits);
-  out += " result_cache_lookups=" + std::to_string(result_cache_lookups);
-  out += " result_cache_hits=" + std::to_string(result_cache_hits);
-  out += " lookups_skipped=" + std::to_string(lookups_skipped);
-  out += " source_fetches=" + std::to_string(source_fetches);
-  out += " cache_fetches=" + std::to_string(cache_fetches);
-  out += " bytes_from_source=" + std::to_string(bytes_from_source);
-  out += " bytes_from_cache=" + std::to_string(bytes_from_cache);
-  out += " chord_hops=" + std::to_string(chord_hops);
-  out += " retransmissions=" + std::to_string(retransmissions);
-  out += " probes_failed=" + std::to_string(probes_failed);
-  out += " probe_failovers=" + std::to_string(probe_failovers);
-  out += " degraded_lookups=" + std::to_string(degraded_lookups);
-  out += " stale_evictions=" + std::to_string(stale_evictions);
-  out += " source_fallbacks=" + std::to_string(source_fallbacks);
-  out += " budget_exhausted=" + std::to_string(budget_exhausted);
-  out += " peer_crashes=" + std::to_string(peer_crashes);
-  out += " peer_recoveries=" + std::to_string(peer_recoveries);
-  out += " wal_records_replayed=" + std::to_string(wal_records_replayed);
-  out += " recoveries_torn_tail=" + std::to_string(recoveries_torn_tail);
-  out += " recoveries_wal_corrupted=" + std::to_string(recoveries_wal_corrupted);
-  out += " recovery_descriptors_restored=" +
-         std::to_string(recovery_descriptors_restored);
-  out += " recovery_descriptors_repaired=" +
-         std::to_string(recovery_descriptors_repaired);
-  return out;
-}
-
-
 bool RangeCacheSystem::BudgetExhausted(OpBudget* budget) {
   if (budget == nullptr || config_.fault.op_budget_ms <= 0.0) return false;
   if (budget->spent_ms < config_.fault.op_budget_ms) return false;

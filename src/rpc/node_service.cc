@@ -1,0 +1,385 @@
+#include "rpc/node_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "hash/sha1.h"
+#include "wire/serde.h"
+
+namespace p2prange {
+namespace rpc {
+
+namespace {
+
+// Doubles cross the wire as their IEEE-754 bit pattern in a varint, so
+// a probe's similarity survives the trip exactly (no text round-trip).
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// RingView
+// --------------------------------------------------------------------------
+
+chord::ChordId RingView::IdOf(const NetAddress& addr) {
+  return Sha1::Hash32(addr.ToString());
+}
+
+Result<RingView> RingView::Make(const std::vector<NetAddress>& members) {
+  if (members.empty()) {
+    return Status::InvalidArgument("a ring view needs at least one member");
+  }
+  std::vector<std::pair<chord::ChordId, NetAddress>> sorted;
+  sorted.reserve(members.size());
+  for (const NetAddress& m : members) {
+    sorted.emplace_back(IdOf(m), m);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].first == sorted[i - 1].first) {
+      return Status::InvalidArgument(
+          "members " + sorted[i - 1].second.ToString() + " and " +
+          sorted[i].second.ToString() + " collide on identifier " +
+          std::to_string(sorted[i].first));
+    }
+  }
+  return RingView(std::move(sorted));
+}
+
+const NetAddress& RingView::Owner(chord::ChordId id) const {
+  // Successor: first member id >= target, wrapping to the smallest.
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const auto& m, chord::ChordId target) { return m.first < target; });
+  if (it == sorted_.end()) it = sorted_.begin();
+  return it->second;
+}
+
+std::vector<NetAddress> RingView::Replicas(chord::ChordId id, int count) const {
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const auto& m, chord::ChordId target) { return m.first < target; });
+  if (it == sorted_.end()) it = sorted_.begin();
+  std::vector<NetAddress> out;
+  const size_t want =
+      std::min(static_cast<size_t>(std::max(count, 1)), sorted_.size());
+  size_t pos = static_cast<size_t>(it - sorted_.begin());
+  for (size_t i = 0; i < want; ++i) {
+    out.push_back(sorted_[(pos + i) % sorted_.size()].second);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Protocol bodies
+// --------------------------------------------------------------------------
+
+std::string EncodeStoreDescriptorRequest(const StoreDescriptorRequest& req) {
+  wire::Encoder enc;
+  enc.PutVarint(req.bucket);
+  wire::EncodePartitionDescriptor(req.descriptor, &enc);
+  return enc.Take();
+}
+
+Result<StoreDescriptorRequest> DecodeStoreDescriptorRequest(
+    std::string_view body) {
+  wire::Decoder dec(body);
+  StoreDescriptorRequest req;
+  ASSIGN_OR_RETURN(uint64_t bucket, dec.Varint());
+  if (bucket > UINT32_MAX) {
+    return Status::InvalidArgument("bucket id out of range");
+  }
+  req.bucket = static_cast<chord::ChordId>(bucket);
+  ASSIGN_OR_RETURN(req.descriptor, wire::DecodePartitionDescriptor(&dec));
+  if (!dec.AtEnd()) return Status::InvalidArgument("trailing request bytes");
+  return req;
+}
+
+std::string EncodeProbeBucketRequest(const ProbeBucketRequest& req) {
+  wire::Encoder enc;
+  enc.PutVarint(req.bucket);
+  wire::EncodePartitionKey(req.query, &enc);
+  enc.PutU8(static_cast<uint8_t>(req.criterion));
+  return enc.Take();
+}
+
+Result<ProbeBucketRequest> DecodeProbeBucketRequest(std::string_view body) {
+  wire::Decoder dec(body);
+  ProbeBucketRequest req;
+  ASSIGN_OR_RETURN(uint64_t bucket, dec.Varint());
+  if (bucket > UINT32_MAX) {
+    return Status::InvalidArgument("bucket id out of range");
+  }
+  req.bucket = static_cast<chord::ChordId>(bucket);
+  ASSIGN_OR_RETURN(req.query, wire::DecodePartitionKey(&dec));
+  ASSIGN_OR_RETURN(uint8_t crit, dec.U8());
+  if (crit > static_cast<uint8_t>(MatchCriterion::kContainment)) {
+    return Status::InvalidArgument("unknown match criterion " +
+                                   std::to_string(crit));
+  }
+  req.criterion = static_cast<MatchCriterion>(crit);
+  if (!dec.AtEnd()) return Status::InvalidArgument("trailing request bytes");
+  return req;
+}
+
+std::string EncodeProbeBucketResponse(const std::optional<MatchCandidate>& c) {
+  wire::Encoder enc;
+  enc.PutU8(c.has_value() ? 1 : 0);
+  if (c.has_value()) {
+    wire::EncodePartitionDescriptor(c->descriptor, &enc);
+    enc.PutVarint(DoubleBits(c->similarity));
+    enc.PutU8(c->exact ? 1 : 0);
+  }
+  return enc.Take();
+}
+
+Result<std::optional<MatchCandidate>> DecodeProbeBucketResponse(
+    std::string_view body) {
+  wire::Decoder dec(body);
+  ASSIGN_OR_RETURN(uint8_t found, dec.U8());
+  if (found > 1) return Status::InvalidArgument("bad probe-found flag");
+  if (found == 0) {
+    if (!dec.AtEnd()) return Status::InvalidArgument("trailing response bytes");
+    return std::optional<MatchCandidate>();
+  }
+  MatchCandidate c;
+  ASSIGN_OR_RETURN(c.descriptor, wire::DecodePartitionDescriptor(&dec));
+  ASSIGN_OR_RETURN(uint64_t bits, dec.Varint());
+  c.similarity = BitsDouble(bits);
+  ASSIGN_OR_RETURN(uint8_t exact, dec.U8());
+  if (exact > 1) return Status::InvalidArgument("bad probe-exact flag");
+  c.exact = exact == 1;
+  if (!dec.AtEnd()) return Status::InvalidArgument("trailing response bytes");
+  return std::optional<MatchCandidate>(std::move(c));
+}
+
+std::string EncodeStorePartitionRequest(const StorePartitionRequest& req) {
+  wire::Encoder enc;
+  wire::EncodePartitionKey(req.key, &enc);
+  wire::EncodeRelation(req.tuples, &enc);
+  return enc.Take();
+}
+
+Result<StorePartitionRequest> DecodeStorePartitionRequest(
+    std::string_view body) {
+  wire::Decoder dec(body);
+  StorePartitionRequest req;
+  ASSIGN_OR_RETURN(req.key, wire::DecodePartitionKey(&dec));
+  ASSIGN_OR_RETURN(req.tuples, wire::DecodeRelation(&dec));
+  if (!dec.AtEnd()) return Status::InvalidArgument("trailing request bytes");
+  return req;
+}
+
+std::string EncodeFetchPartitionRequest(const PartitionKey& key) {
+  wire::Encoder enc;
+  wire::EncodePartitionKey(key, &enc);
+  return enc.Take();
+}
+
+Result<PartitionKey> DecodeFetchPartitionRequest(std::string_view body) {
+  wire::Decoder dec(body);
+  ASSIGN_OR_RETURN(PartitionKey key, wire::DecodePartitionKey(&dec));
+  if (!dec.AtEnd()) return Status::InvalidArgument("trailing request bytes");
+  return key;
+}
+
+// --------------------------------------------------------------------------
+// NodeService
+// --------------------------------------------------------------------------
+
+NodeService::NodeService(const NetAddress& self, NodeServiceOptions options)
+    : self_(self),
+      id_(RingView::IdOf(self)),
+      options_(std::move(options)),
+      store_(std::make_unique<store::DurableDescriptorStore>(
+          options_.store_capacity, options_.durability)) {}
+
+Result<std::unique_ptr<NodeService>> NodeService::Make(
+    const NetAddress& self, NodeServiceOptions options) {
+  std::unique_ptr<NodeService> service(
+      new NodeService(self, std::move(options)));
+  if (!service->options_.wal_dir.empty()) {
+    RETURN_NOT_OK(service->LoadDurable());
+  }
+  return service;
+}
+
+Status NodeService::LoadDurable() {
+  const std::string& dir = options_.wal_dir;
+  std::string wal_image;
+  if (ReadFile(dir + "/wal.bin", &wal_image).ok()) {
+    store_->wal().mutable_image() = std::move(wal_image);
+  }
+  bool any_snapshot = false;
+  for (size_t i = 0; i < store::SnapshotStore::kNumSlots; ++i) {
+    std::string slot;
+    if (ReadFile(dir + "/snap" + std::to_string(i) + ".bin", &slot).ok()) {
+      store_->snapshots().mutable_slot(i) = std::move(slot);
+      any_snapshot = true;
+    }
+  }
+  if (!store_->wal().image().empty() || any_snapshot) {
+    recovery_ = store_->Recover();
+    // Recover() re-checkpoints; persist the cleaned-up images so the
+    // next incarnation starts from them.
+    RETURN_NOT_OK(SaveDurable());
+  }
+  return Status::OK();
+}
+
+Status NodeService::SaveDurable() const {
+  if (options_.wal_dir.empty()) return Status::OK();
+  const std::string& dir = options_.wal_dir;
+  RETURN_NOT_OK(WriteFileAtomic(dir + "/wal.bin", store_->wal().image()));
+  for (size_t i = 0; i < store::SnapshotStore::kNumSlots; ++i) {
+    RETURN_NOT_OK(WriteFileAtomic(dir + "/snap" + std::to_string(i) + ".bin",
+                                  store_->snapshots().slot(i)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> NodeService::Handle(MsgType type, std::string_view body) {
+  switch (type) {
+    case MsgType::kPing:
+      ++counters_.pings;
+      return std::string(body);  // echo
+    case MsgType::kStoreDescriptor:
+      return HandleStoreDescriptor(body);
+    case MsgType::kProbeBucket:
+      return HandleProbeBucket(body);
+    case MsgType::kStorePartition:
+      return HandleStorePartition(body);
+    case MsgType::kFetchPartition:
+      return HandleFetchPartition(body);
+    case MsgType::kMetrics:
+      // The daemon wraps Handle() to merge transport stats in; served
+      // bare, the node's own counters still tell most of the story.
+      return MetricsJson(NetworkStats{}, RpcStats{});
+  }
+  ++counters_.bad_requests;
+  return Status::InvalidArgument("unhandled message type");
+}
+
+Result<std::string> NodeService::HandleStoreDescriptor(std::string_view body) {
+  auto req = DecodeStoreDescriptorRequest(body);
+  if (!req.ok()) {
+    ++counters_.bad_requests;
+    return req.status();
+  }
+  store_->Insert(req->bucket, req->descriptor);
+  ++counters_.descriptors_stored;
+  RETURN_NOT_OK(SaveDurable());
+  wire::Encoder enc;
+  enc.PutVarint(store_->store().num_descriptors());
+  return enc.Take();
+}
+
+Result<std::string> NodeService::HandleProbeBucket(std::string_view body) {
+  auto req = DecodeProbeBucketRequest(body);
+  if (!req.ok()) {
+    ++counters_.bad_requests;
+    return req.status();
+  }
+  ++counters_.probes_served;
+  const std::optional<MatchCandidate> best =
+      store_->store().BestMatch(req->bucket, req->query, req->criterion);
+  if (best.has_value()) ++counters_.probe_hits;
+  return EncodeProbeBucketResponse(best);
+}
+
+Result<std::string> NodeService::HandleStorePartition(std::string_view body) {
+  auto req = DecodeStorePartitionRequest(body);
+  if (!req.ok()) {
+    ++counters_.bad_requests;
+    return req.status();
+  }
+  ++counters_.partitions_stored;
+  partitions_[req->key] = std::move(req->tuples);
+  return std::string();
+}
+
+Result<std::string> NodeService::HandleFetchPartition(std::string_view body) {
+  auto key = DecodeFetchPartitionRequest(body);
+  if (!key.ok()) {
+    ++counters_.bad_requests;
+    return key.status();
+  }
+  auto it = partitions_.find(*key);
+  if (it == partitions_.end()) {
+    ++counters_.partitions_fetched;  // the miss still served a request
+    return Status::NotFound("no partition " + key->ToString() + " at " +
+                            self_.ToString());
+  }
+  ++counters_.partitions_fetched;
+  wire::Encoder enc;
+  wire::EncodeRelation(it->second, &enc);
+  return enc.Take();
+}
+
+std::string NodeService::MetricsJson(const NetworkStats& net,
+                                     const RpcStats& rpc) const {
+  std::string out = "{\"node\":{";
+  out += "\"addr\":\"" + self_.ToString() + "\"";
+  out += ",\"id\":" + std::to_string(id_);
+  out += ",\"pings\":" + std::to_string(counters_.pings);
+  out += ",\"descriptors_stored\":" +
+         std::to_string(counters_.descriptors_stored);
+  out += ",\"probes_served\":" + std::to_string(counters_.probes_served);
+  out += ",\"probe_hits\":" + std::to_string(counters_.probe_hits);
+  out += ",\"partitions_stored\":" +
+         std::to_string(counters_.partitions_stored);
+  out += ",\"partitions_fetched\":" +
+         std::to_string(counters_.partitions_fetched);
+  out += ",\"bad_requests\":" + std::to_string(counters_.bad_requests);
+  out += ",\"store_descriptors\":" +
+         std::to_string(store_->store().num_descriptors());
+  out += ",\"store_buckets\":" + std::to_string(store_->store().num_buckets());
+  out += ",\"wal_bytes\":" + std::to_string(store_->wal().image().size());
+  out += ",\"checkpoints\":" + std::to_string(store_->checkpoints());
+  out += ",\"recovered_descriptors\":" +
+         std::to_string(recovery_.descriptors_restored);
+  out += ",\"recovery_wal_replayed\":" +
+         std::to_string(recovery_.wal_records_replayed);
+  out += "},\"network\":" + NetworkStatsToJson(net);
+  out += ",\"rpc\":" + rpc.ToJson();
+  out += "}";
+  return out;
+}
+
+}  // namespace rpc
+}  // namespace p2prange

@@ -1,0 +1,184 @@
+// The server half of a deployable peer: one NodeService owns the
+// peer's durable descriptor store and materialized partitions, and
+// serves every message of the peer protocol (rpc/message.h) from a
+// TcpServer's handler seam — or from a SimTransport's, the service
+// does not know which.
+//
+// Ring membership is a static full view (RingView): every process is
+// started with the same member list, each member's Chord identifier is
+// the SHA-1 of its address, and an identifier's owner is its successor
+// on the ring — the fully-converged routing state a long-running
+// stabilized overlay reaches, the same steady state ChordRing::Make
+// builds for the simulations.
+#ifndef P2PRANGE_RPC_NODE_SERVICE_H_
+#define P2PRANGE_RPC_NODE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/id.h"
+#include "common/result.h"
+#include "net/address.h"
+#include "rel/relation.h"
+#include "rpc/message.h"
+#include "rpc/transport.h"
+#include "store/bucket_store.h"
+#include "store/durable_store.h"
+
+namespace p2prange {
+namespace rpc {
+
+// --------------------------------------------------------------------------
+// RingView: static full membership
+// --------------------------------------------------------------------------
+
+/// \brief A converged view of the ring: every member's address and
+/// SHA-1-derived identifier, sorted. Owner(id) is the identifier's
+/// successor — one-hop routing, as in a fully stabilized overlay.
+class RingView {
+ public:
+  /// Builds the view; duplicate addresses are rejected.
+  static Result<RingView> Make(const std::vector<NetAddress>& members);
+
+  /// The member owning identifier `id` (its successor on the ring).
+  const NetAddress& Owner(chord::ChordId id) const;
+
+  /// Owner plus the next `count - 1` distinct successors — where
+  /// replicated descriptors live (mirrors the simulator's placement).
+  std::vector<NetAddress> Replicas(chord::ChordId id, int count) const;
+
+  size_t size() const { return sorted_.size(); }
+
+  /// Members in identifier order.
+  const std::vector<std::pair<chord::ChordId, NetAddress>>& members() const {
+    return sorted_;
+  }
+
+  /// The identifier a member address maps to.
+  static chord::ChordId IdOf(const NetAddress& addr);
+
+ private:
+  explicit RingView(std::vector<std::pair<chord::ChordId, NetAddress>> sorted)
+      : sorted_(std::move(sorted)) {}
+  std::vector<std::pair<chord::ChordId, NetAddress>> sorted_;
+};
+
+// --------------------------------------------------------------------------
+// Protocol bodies
+// --------------------------------------------------------------------------
+//
+// Shared by the service (decoding requests, encoding responses) and
+// RingClient (the reverse), so the two halves cannot drift apart.
+
+struct StoreDescriptorRequest {
+  chord::ChordId bucket = 0;
+  PartitionDescriptor descriptor;
+};
+std::string EncodeStoreDescriptorRequest(const StoreDescriptorRequest& req);
+Result<StoreDescriptorRequest> DecodeStoreDescriptorRequest(
+    std::string_view body);
+
+struct ProbeBucketRequest {
+  chord::ChordId bucket = 0;
+  PartitionKey query;
+  MatchCriterion criterion = MatchCriterion::kJaccard;
+};
+std::string EncodeProbeBucketRequest(const ProbeBucketRequest& req);
+Result<ProbeBucketRequest> DecodeProbeBucketRequest(std::string_view body);
+
+/// A probe's reply: the bucket's best same-column match, if any.
+std::string EncodeProbeBucketResponse(const std::optional<MatchCandidate>& c);
+Result<std::optional<MatchCandidate>> DecodeProbeBucketResponse(
+    std::string_view body);
+
+struct StorePartitionRequest {
+  PartitionKey key;
+  Relation tuples;
+};
+std::string EncodeStorePartitionRequest(const StorePartitionRequest& req);
+Result<StorePartitionRequest> DecodeStorePartitionRequest(
+    std::string_view body);
+
+std::string EncodeFetchPartitionRequest(const PartitionKey& key);
+Result<PartitionKey> DecodeFetchPartitionRequest(std::string_view body);
+
+// --------------------------------------------------------------------------
+// NodeService
+// --------------------------------------------------------------------------
+
+struct NodeServiceOptions {
+  /// Descriptor-store capacity; 0 = unbounded.
+  size_t store_capacity = 0;
+  store::DurabilityConfig durability;
+  /// Directory for the WAL image and snapshot slots. Empty keeps
+  /// durability in memory only (tests); non-empty persists every
+  /// mutation so a restarted process recovers its descriptors.
+  std::string wal_dir;
+};
+
+/// \brief Counters of one node's service activity.
+struct NodeCounters {
+  uint64_t pings = 0;
+  uint64_t descriptors_stored = 0;
+  uint64_t probes_served = 0;
+  uint64_t probe_hits = 0;
+  uint64_t partitions_stored = 0;
+  uint64_t partitions_fetched = 0;
+  uint64_t bad_requests = 0;
+};
+
+class NodeService {
+ public:
+  /// Creates the service; when options.wal_dir holds a previous
+  /// incarnation's images, the store is recovered from them (see
+  /// recovery()).
+  static Result<std::unique_ptr<NodeService>> Make(const NetAddress& self,
+                                                   NodeServiceOptions options);
+
+  NodeService(const NodeService&) = delete;
+  NodeService& operator=(const NodeService&) = delete;
+
+  /// The protocol handler: plug into TcpServer or SimTransport.
+  Result<std::string> Handle(MsgType type, std::string_view body);
+
+  /// Single-line JSON: this node's counters + store gauges + the
+  /// supplied transport counters (the daemon passes its server stats).
+  std::string MetricsJson(const NetworkStats& net, const RpcStats& rpc) const;
+
+  const NetAddress& self() const { return self_; }
+  chord::ChordId id() const { return id_; }
+  const NodeCounters& counters() const { return counters_; }
+  const store::DurableDescriptorStore& store() const { return *store_; }
+  /// What startup recovery rebuilt (zeros when wal_dir was empty/new).
+  const store::RecoveryReport& recovery() const { return recovery_; }
+
+ private:
+  NodeService(const NetAddress& self, NodeServiceOptions options);
+
+  Result<std::string> HandleStoreDescriptor(std::string_view body);
+  Result<std::string> HandleProbeBucket(std::string_view body);
+  Result<std::string> HandleStorePartition(std::string_view body);
+  Result<std::string> HandleFetchPartition(std::string_view body);
+
+  /// Loads WAL + snapshot images from wal_dir (missing files = fresh).
+  Status LoadDurable();
+  /// Writes WAL + snapshot images to wal_dir after a mutation.
+  Status SaveDurable() const;
+
+  NetAddress self_;
+  chord::ChordId id_;
+  NodeServiceOptions options_;
+  std::unique_ptr<store::DurableDescriptorStore> store_;
+  std::unordered_map<PartitionKey, Relation, PartitionKeyHash> partitions_;
+  NodeCounters counters_;
+  store::RecoveryReport recovery_;
+};
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_NODE_SERVICE_H_

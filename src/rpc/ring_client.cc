@@ -1,0 +1,215 @@
+#include "rpc/ring_client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <set>
+
+namespace p2prange {
+namespace rpc {
+
+RingClient::RingClient(RingView view, LshScheme lsh, RingClientOptions options)
+    : view_(std::move(view)),
+      lsh_(std::make_unique<LshScheme>(std::move(lsh))),
+      options_(std::move(options)),
+      transport_(options_.transport) {
+  for (const auto& [id, addr] : view_.members()) {
+    transport_.Register(addr);
+  }
+}
+
+Result<std::unique_ptr<RingClient>> RingClient::Make(
+    const std::vector<NetAddress>& members, RingClientOptions options) {
+  RETURN_NOT_OK(options.fault.Validate());
+  if (options.descriptor_replication < 1) {
+    return Status::InvalidArgument("descriptor_replication must be >= 1");
+  }
+  ASSIGN_OR_RETURN(RingView view, RingView::Make(members));
+  ASSIGN_OR_RETURN(LshScheme lsh, LshScheme::Make(options.lsh));
+  return std::unique_ptr<RingClient>(
+      new RingClient(std::move(view), std::move(lsh), std::move(options)));
+}
+
+Result<std::string> RingClient::CallWithPolicy(const NetAddress& to,
+                                               MsgType type,
+                                               const std::string& body) {
+  const FaultPolicy& policy = options_.fault;
+  Transport::CallOptions call_options;
+  call_options.deadline_ms = options_.deadline_ms;
+  double wait_ms = policy.backoff_base_ms;
+  Status last;
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Real wall-clock backoff before the retransmission (the
+      // simulator charges the same wait as simulated latency).
+      ::usleep(static_cast<useconds_t>(wait_ms * 1000.0));
+      wait_ms = std::min(wait_ms * policy.backoff_multiplier,
+                         policy.backoff_max_ms);
+      ++transport_.mutable_rpc_stats().retransmits;
+    }
+    auto result = transport_.Call(NetAddress{}, to, type, body, call_options);
+    if (result.ok()) return std::move(result->body);
+    last = result.status();
+    // Only transient losses are worth retrying; an Unavailable peer
+    // stays unavailable for the duration of this call.
+    if (!last.IsIOError()) return last;
+  }
+  return last;
+}
+
+Status RingClient::Publish(const PartitionKey& key, const NetAddress& holder) {
+  std::vector<uint32_t> ids;
+  lsh_->IdentifiersInto(key.range, &ids);
+  StoreDescriptorRequest req;
+  req.descriptor.key = key;
+  req.descriptor.holder = holder;
+  for (const uint32_t id : ids) {
+    req.bucket = id;
+    const std::string body = EncodeStoreDescriptorRequest(req);
+    size_t stored = 0;
+    Status last;
+    for (const NetAddress& replica :
+         view_.Replicas(id, options_.descriptor_replication)) {
+      auto result = CallWithPolicy(replica, MsgType::kStoreDescriptor, body);
+      if (result.ok()) {
+        ++stored;
+      } else {
+        last = result.status();
+      }
+    }
+    // Replication tolerates partial failure; a bucket stored nowhere
+    // is a lost publish and must surface.
+    if (stored == 0) {
+      return Status(last.code(), "bucket " + std::to_string(id) + " of " +
+                                     key.ToString() +
+                                     " stored nowhere: " + last.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status RingClient::StorePartition(const PartitionKey& key,
+                                  const Relation& tuples,
+                                  const NetAddress& holder) {
+  StorePartitionRequest req;
+  req.key = key;
+  req.tuples = tuples;
+  return CallWithPolicy(holder, MsgType::kStorePartition,
+                        EncodeStorePartitionRequest(req))
+      .status();
+}
+
+Result<Relation> RingClient::FetchPartition(const PartitionKey& key,
+                                            const NetAddress& holder) {
+  ASSIGN_OR_RETURN(std::string body,
+                   CallWithPolicy(holder, MsgType::kFetchPartition,
+                                  EncodeFetchPartitionRequest(key)));
+  wire::Decoder dec(body);
+  ASSIGN_OR_RETURN(Relation rel, wire::DecodeRelation(&dec));
+  return rel;
+}
+
+Result<LiveLookupOutcome> RingClient::Lookup(const PartitionKey& query) {
+  LiveLookupOutcome out;
+  lsh_->IdentifiersInto(query.range, &out.identifiers);
+  const size_t l = out.identifiers.size();
+
+  ProbeBucketRequest req;
+  req.query = query;
+  req.criterion = options_.criterion;
+
+  // First wave, pipelined: every group's probe goes to its bucket's
+  // primary owner before any response is awaited.
+  struct Probe {
+    NetAddress owner;
+    std::string body;
+    uint64_t call_id = 0;
+    bool started = false;
+  };
+  std::vector<Probe> probes(l);
+  for (size_t g = 0; g < l; ++g) {
+    req.bucket = out.identifiers[g];
+    probes[g].owner = view_.Owner(out.identifiers[g]);
+    probes[g].body = EncodeProbeBucketRequest(req);
+    auto started = transport_.StartCall(probes[g].owner, MsgType::kProbeBucket,
+                                        probes[g].body);
+    if (started.ok()) {
+      probes[g].call_id = *started;
+      probes[g].started = true;
+    }
+  }
+
+  std::vector<MatchCandidate> candidates;
+  std::set<std::string> candidates_seen;
+
+  auto collect = [&](const std::string& body) -> Status {
+    ASSIGN_OR_RETURN(std::optional<MatchCandidate> candidate,
+                     DecodeProbeBucketResponse(body));
+    if (!candidate.has_value()) return Status::OK();
+    const std::string key = candidate->descriptor.key.ToString() + "@" +
+                            candidate->descriptor.holder.ToString();
+    if (candidates_seen.insert(key).second) {
+      candidates.push_back(std::move(*candidate));
+    }
+    return Status::OK();
+  };
+
+  for (size_t g = 0; g < l; ++g) {
+    Probe& probe = probes[g];
+    bool answered = false;
+
+    if (probe.started) {
+      auto waited = transport_.WaitCall(probe.owner, probe.call_id,
+                                        options_.deadline_ms);
+      if (waited.ok()) {
+        out.latency_ms += waited->latency_ms;
+        answered = collect(waited->body).ok();
+      }
+    }
+
+    // Retry the owner under the fault policy, then fail over to the
+    // bucket's replicas — the live analogue of the simulator's
+    // owner-then-successors probe sequence.
+    if (!answered) {
+      const auto replicas = view_.Replicas(out.identifiers[g],
+                                           options_.descriptor_replication);
+      for (size_t r = 0; r < replicas.size() && !answered; ++r) {
+        auto result =
+            CallWithPolicy(replicas[r], MsgType::kProbeBucket, probe.body);
+        if (!result.ok()) continue;
+        answered = collect(*result).ok();
+        if (answered && r > 0) ++out.failovers;
+      }
+    }
+
+    if (!answered) ++out.probes_failed;
+  }
+
+  // Same ranking rule as the simulator: higher similarity first,
+  // exactness breaks ties, stable within.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const MatchCandidate& a, const MatchCandidate& b) {
+                     if (a.similarity != b.similarity) {
+                       return a.similarity > b.similarity;
+                     }
+                     return a.exact && !b.exact;
+                   });
+  out.ranked = std::move(candidates);
+  return out;
+}
+
+Result<double> RingClient::Ping(const NetAddress& node) {
+  Transport::CallOptions call_options;
+  call_options.deadline_ms = options_.deadline_ms;
+  ASSIGN_OR_RETURN(Transport::CallResult result,
+                   transport_.Call(NetAddress{}, node, MsgType::kPing, "",
+                                   call_options));
+  return result.latency_ms;
+}
+
+Result<std::string> RingClient::NodeMetrics(const NetAddress& node) {
+  return CallWithPolicy(node, MsgType::kMetrics, "");
+}
+
+}  // namespace rpc
+}  // namespace p2prange

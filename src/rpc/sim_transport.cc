@@ -1,0 +1,48 @@
+#include "rpc/sim_transport.h"
+
+namespace p2prange {
+namespace rpc {
+
+Result<Transport::CallResult> SimTransport::Call(const NetAddress& from,
+                                                 const NetAddress& to,
+                                                 MsgType type,
+                                                 std::string_view request,
+                                                 const CallOptions& options) {
+  ++rpc_.requests_sent;
+  rpc_.bytes_out += request.size();
+  // Request leg: the envelope's body rides a simulated message (the
+  // SimNetwork adds its fixed control overhead, which stands in for
+  // the frame + envelope headers).
+  auto req = net_.DeliverBytes(from, to, request.size());
+  if (!req.ok()) return req.status();
+
+  auto handler = handlers_.find(to);
+  if (handler == handlers_.end()) {
+    return Status::NotFound("no handler registered at " + to.ToString());
+  }
+  ++rpc_.requests_served;
+  auto response = handler->second(type, request);
+  if (!response.ok()) return response.status();
+
+  // Response leg.
+  auto resp = net_.DeliverBytes(to, from, response->size());
+  if (!resp.ok()) return resp.status();
+
+  CallResult out;
+  out.latency_ms = *req + *resp;
+  if (options.deadline_ms > 0.0 && out.latency_ms > options.deadline_ms) {
+    // The exchange took longer (in simulated time) than the caller was
+    // willing to wait: the response is as good as lost.
+    ++rpc_.timeouts;
+    return Status::IOError("call to " + to.ToString() + " exceeded its " +
+                           std::to_string(options.deadline_ms) +
+                           "ms deadline");
+  }
+  ++rpc_.responses_received;
+  rpc_.bytes_in += response->size();
+  out.body = std::move(*response);
+  return out;
+}
+
+}  // namespace rpc
+}  // namespace p2prange

@@ -1,0 +1,80 @@
+// SimTransport: the Transport interface over the in-process SimNetwork.
+//
+// A thin adapter: every delivery is forwarded to the wrapped
+// SimNetwork unchanged, so message counts, byte totals, the latency
+// model, and loss injection are bit-for-bit what the simulator always
+// produced. Request/response calls dispatch to per-address handlers
+// registered in-process, charging the request and response legs as two
+// simulated messages (the same two-leg accounting the system layer
+// uses for its own exchanges).
+#ifndef P2PRANGE_RPC_SIM_TRANSPORT_H_
+#define P2PRANGE_RPC_SIM_TRANSPORT_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/sim_network.h"
+#include "rpc/transport.h"
+
+namespace p2prange {
+namespace rpc {
+
+class SimTransport final : public Transport {
+ public:
+  /// Same contract as SimNetwork's constructor: aborts (CHECK) on an
+  /// invalid latency model.
+  explicit SimTransport(LatencyModel latency = {}, uint64_t seed = 42)
+      : net_(latency, seed) {}
+
+  /// \brief Serves Call()s addressed to `addr`. The handler returns
+  /// the response body, or an error forwarded to the caller.
+  using Handler =
+      std::function<Result<std::string>(MsgType, std::string_view body)>;
+  void RegisterHandler(const NetAddress& addr, Handler handler) {
+    handlers_[addr] = std::move(handler);
+  }
+
+  // --- Transport ------------------------------------------------------
+
+  void Register(const NetAddress& addr) override { net_.Register(addr); }
+  Status SetAlive(const NetAddress& addr, bool alive) override {
+    return net_.SetAlive(addr, alive);
+  }
+  bool IsRegistered(const NetAddress& addr) const override {
+    return net_.IsRegistered(addr);
+  }
+  bool IsAlive(const NetAddress& addr) const override {
+    return net_.IsAlive(addr);
+  }
+  size_t num_registered() const override { return net_.num_registered(); }
+
+  Result<double> DeliverBytes(const NetAddress& from, const NetAddress& to,
+                              uint64_t payload_bytes) override {
+    return net_.DeliverBytes(from, to, payload_bytes);
+  }
+
+  Result<CallResult> Call(const NetAddress& from, const NetAddress& to,
+                          MsgType type, std::string_view request,
+                          const CallOptions& options) override;
+  using Transport::Call;
+
+  const NetworkStats& stats() const override { return net_.stats(); }
+  void ResetStats() override { net_.ResetStats(); }
+  const RpcStats& rpc_stats() const override { return rpc_; }
+
+  /// The wrapped simulator, for harnesses that tune its latency model
+  /// or inspect it directly.
+  SimNetwork& sim() { return net_; }
+  const SimNetwork& sim() const { return net_; }
+
+ private:
+  SimNetwork net_;
+  RpcStats rpc_;
+  std::unordered_map<NetAddress, Handler, NetAddressHash> handlers_;
+};
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_SIM_TRANSPORT_H_

@@ -1,0 +1,143 @@
+#include "rpc/tcp.h"
+
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+namespace p2prange {
+namespace rpc {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + ::strerror(err));
+}
+
+}  // namespace
+
+Result<NetAddress> ParseHostPort(std::string_view s) {
+  unsigned a = 0, b = 0, c = 0, d = 0, port = 0;
+  char tail = 0;
+  const std::string buf(s);
+  const int n =
+      std::sscanf(buf.c_str(), "%u.%u.%u.%u:%u%c", &a, &b, &c, &d, &port, &tail);
+  if (n != 5 || a > 255 || b > 255 || c > 255 || d > 255 || port > 65535) {
+    return Status::InvalidArgument("expected \"a.b.c.d:port\", got \"" + buf +
+                                   "\"");
+  }
+  NetAddress addr;
+  addr.host = (a << 24) | (b << 16) | (c << 8) | d;
+  addr.port = static_cast<uint16_t>(port);
+  return addr;
+}
+
+sockaddr_in ToSockaddr(const NetAddress& addr) {
+  sockaddr_in sa;
+  ::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(addr.host);
+  sa.sin_port = htons(addr.port);
+  return sa;
+}
+
+NetAddress FromSockaddr(const sockaddr_in& sa) {
+  NetAddress addr;
+  addr.host = ntohl(sa.sin_addr.s_addr);
+  addr.port = ntohs(sa.sin_port);
+  return addr;
+}
+
+Status MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+Result<ListenSocket> Listen(const NetAddress& bind_addr, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = ToSockaddr(bind_addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("bind " + bind_addr.ToString(), err);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("listen " + bind_addr.ToString(), err);
+  }
+  const Status nb = MakeNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("getsockname", err);
+  }
+  ListenSocket out;
+  out.fd = fd;
+  out.bound = FromSockaddr(bound);
+  return out;
+}
+
+Result<int> StartConnect(const NetAddress& to) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  const Status nb = MakeNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in sa = ToSockaddr(to);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+    return fd;  // connected immediately (loopback fast path)
+  }
+  if (errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Unavailable("connect " + to.ToString() + ": " +
+                               ::strerror(err));
+  }
+  return fd;
+}
+
+Status FinishConnect(int fd, int timeout_ms) {
+  pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  pfd.revents = 0;
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) return ErrnoStatus("poll", errno);
+  if (n == 0) return Status::IOError("connect timed out");
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+  }
+  if (err != 0) {
+    return Status::Unavailable(std::string("connect: ") + ::strerror(err));
+  }
+  return Status::OK();
+}
+
+}  // namespace rpc
+}  // namespace p2prange

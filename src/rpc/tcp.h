@@ -1,0 +1,51 @@
+// Thin POSIX socket helpers shared by TcpTransport and TcpServer:
+// address parsing/conversion, non-blocking setup, listen and connect.
+// Everything returns Status/Result — no exceptions, no errno leaking
+// past this layer.
+#ifndef P2PRANGE_RPC_TCP_H_
+#define P2PRANGE_RPC_TCP_H_
+
+#include <netinet/in.h>
+
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/address.h"
+
+namespace p2prange {
+namespace rpc {
+
+/// \brief Parses "a.b.c.d:port" (the NetAddress::ToString format).
+Result<NetAddress> ParseHostPort(std::string_view s);
+
+sockaddr_in ToSockaddr(const NetAddress& addr);
+NetAddress FromSockaddr(const sockaddr_in& sa);
+
+/// Sets O_NONBLOCK on `fd`.
+Status MakeNonBlocking(int fd);
+
+struct ListenSocket {
+  int fd = -1;
+  /// The actually bound address — resolves port 0 to the kernel's
+  /// ephemeral choice.
+  NetAddress bound;
+};
+
+/// \brief Creates a non-blocking listening socket on `bind_addr`
+/// (SO_REUSEADDR set, so a smoke harness can reuse just-freed ports).
+Result<ListenSocket> Listen(const NetAddress& bind_addr, int backlog = 64);
+
+/// \brief Starts a non-blocking connect to `to`; returns the fd with
+/// the connect possibly still in progress (finish with poll(POLLOUT) +
+/// SO_ERROR). The caller owns the fd.
+Result<int> StartConnect(const NetAddress& to);
+
+/// \brief Waits up to `timeout_ms` for a StartConnect fd to finish;
+/// Unavailable on refusal/unroutability, IOError on timeout.
+Status FinishConnect(int fd, int timeout_ms);
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_TCP_H_

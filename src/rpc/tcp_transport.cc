@@ -1,0 +1,489 @@
+#include "rpc/tcp_transport.h"
+
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include "rpc/tcp.h"
+
+namespace p2prange {
+namespace rpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Remaining budget as a poll() timeout, never negative, at least 1ms
+/// while any budget is left so a nearly-expired deadline still gets
+/// one chance to find bytes already in the kernel buffer.
+int RemainingPollMs(Clock::time_point start, double deadline_ms) {
+  const double left = deadline_ms - MsSince(start);
+  if (left <= 0.0) return 0;
+  return std::max(1, static_cast<int>(left));
+}
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TcpServer
+// --------------------------------------------------------------------------
+
+Result<TcpServer> TcpServer::Listen(const NetAddress& bind_addr,
+                                    Handler handler) {
+  ASSIGN_OR_RETURN(ListenSocket ls, rpc::Listen(bind_addr));
+  return TcpServer(ls.fd, ls.bound, std::move(handler));
+}
+
+TcpServer::TcpServer(TcpServer&& other) noexcept
+    : listen_fd_(other.listen_fd_),
+      addr_(other.addr_),
+      handler_(std::move(other.handler_)),
+      conns_(std::move(other.conns_)),
+      stats_(other.stats_) {
+  other.listen_fd_ = -1;
+  other.conns_.clear();
+}
+
+TcpServer& TcpServer::operator=(TcpServer&& other) noexcept {
+  if (this == &other) return *this;
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  listen_fd_ = other.listen_fd_;
+  addr_ = other.addr_;
+  handler_ = std::move(other.handler_);
+  conns_ = std::move(other.conns_);
+  stats_ = other.stats_;
+  other.listen_fd_ = -1;
+  other.conns_.clear();
+  return *this;
+}
+
+TcpServer::~TcpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+}
+
+Status TcpServer::PollOnce(int timeout_ms) {
+  if (listen_fd_ < 0) return Status::Internal("server not listening");
+
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  pollfd lp;
+  lp.fd = listen_fd_;
+  lp.events = POLLIN;
+  lp.revents = 0;
+  fds.push_back(lp);
+  for (const auto& c : conns_) {
+    pollfd p;
+    p.fd = c->fd;
+    p.events = POLLIN;
+    if (c->out_pos < c->out.size()) p.events |= POLLOUT;
+    p.revents = 0;
+    fds.push_back(p);
+  }
+
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return Status::OK();  // signal: let the loop decide
+    return Status::IOError(std::string("poll: ") + ::strerror(errno));
+  }
+  if (n == 0) return Status::OK();
+
+  if (fds[0].revents & (POLLIN | POLLERR)) AcceptReady();
+
+  // conns_ may grow during AcceptReady; only the first `fds.size()-1`
+  // entries correspond to polled connections.
+  for (size_t i = 1; i < fds.size(); ++i) {
+    Conn& c = *conns_[i - 1];
+    if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) c.dead = true;
+    if (!c.dead && (fds[i].revents & POLLIN)) ReadReady(c);
+    if (!c.dead && (fds[i].revents & POLLOUT)) WriteReady(c);
+  }
+
+  for (auto& c : conns_) {
+    // A handler response queued outside a POLLOUT wakeup: try to flush
+    // opportunistically so short exchanges finish in one iteration.
+    if (!c->dead && c->out_pos < c->out.size()) WriteReady(*c);
+    if (c->dead) CloseConn(*c);
+  }
+  std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) { return c->dead; });
+  stats_.open_connections = conns_.size();
+  return Status::OK();
+}
+
+void TcpServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // EAGAIN: drained the backlog. Anything else (e.g. a connection
+      // reset before accept) is not the listener's problem.
+      return;
+    }
+    if (!MakeNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+    ++stats_.connections_opened;
+  }
+}
+
+void TcpServer::ReadReady(Conn& c) {
+  char buf[kReadChunk];
+  for (;;) {
+    const ssize_t got = ::read(c.fd, buf, sizeof(buf));
+    if (got > 0) {
+      stats_.bytes_in += static_cast<uint64_t>(got);
+      c.parser.Feed(std::string_view(buf, static_cast<size_t>(got)));
+      continue;
+    }
+    if (got == 0) {  // orderly shutdown from the peer
+      c.dead = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    c.dead = true;  // reset or worse
+    break;
+  }
+  DispatchFrames(c);
+}
+
+void TcpServer::DispatchFrames(Conn& c) {
+  for (;;) {
+    auto next = c.parser.Next();
+    if (!next.ok()) {
+      // Corrupt stream: nothing after a bad frame can be trusted.
+      ++stats_.frame_errors;
+      c.dead = true;
+      return;
+    }
+    if (!next->has_value()) return;  // need more bytes
+
+    auto envelope = DecodeEnvelope(**next);
+    if (!envelope.ok() || envelope->header.is_response) {
+      // A malformed envelope (or a "response" arriving at a server)
+      // carries no trustworthy call id to answer under.
+      ++stats_.frame_errors;
+      c.dead = true;
+      return;
+    }
+
+    ++stats_.requests_served;
+    auto response = handler_(envelope->header.type, envelope->body);
+
+    RpcHeader rh;
+    rh.call_id = envelope->header.call_id;
+    rh.type = envelope->header.type;
+    rh.is_response = true;
+    std::string body;
+    if (response.ok()) {
+      rh.status = StatusCode::kOk;
+      body = std::move(*response);
+    } else {
+      rh.status = response.status().code();
+      body = response.status().message();
+    }
+    AppendFrame(EncodeEnvelope(rh, body), &c.out);
+  }
+}
+
+void TcpServer::WriteReady(Conn& c) {
+  while (c.out_pos < c.out.size()) {
+    // MSG_NOSIGNAL: a peer that reset the connection must surface as a
+    // dead conn, not as a process-killing SIGPIPE.
+    const ssize_t sent = ::send(c.fd, c.out.data() + c.out_pos,
+                                c.out.size() - c.out_pos, MSG_NOSIGNAL);
+    if (sent > 0) {
+      stats_.bytes_out += static_cast<uint64_t>(sent);
+      c.out_pos += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (sent < 0 && errno == EINTR) continue;
+    c.dead = true;
+    return;
+  }
+  c.out.clear();
+  c.out_pos = 0;
+}
+
+void TcpServer::CloseConn(Conn& c) {
+  if (c.fd >= 0) {
+    ::close(c.fd);
+    c.fd = -1;
+    ++stats_.connections_closed;
+  }
+  c.dead = true;
+}
+
+// --------------------------------------------------------------------------
+// TcpTransport
+// --------------------------------------------------------------------------
+
+TcpTransport::~TcpTransport() {
+  for (auto& [addr, conn] : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+}
+
+Result<TcpTransport::Conn*> TcpTransport::GetConn(const NetAddress& to) {
+  auto it = conns_.find(to);
+  if (it != conns_.end()) return &it->second;
+
+  auto fd = StartConnect(to);
+  if (fd.ok()) {
+    const Status fin = FinishConnect(*fd, options_.connect_timeout_ms);
+    if (!fin.ok()) {
+      ::close(*fd);
+      fd = fin;
+    }
+  }
+  if (!fd.ok()) {
+    ++rpc_.connect_failures;
+    MarkAlive(to, false);
+    return fd.status();
+  }
+
+  Conn conn;
+  conn.fd = *fd;
+  auto [pos, inserted] = conns_.emplace(to, std::move(conn));
+  (void)inserted;
+  ++rpc_.connections_opened;
+  rpc_.open_connections = conns_.size();
+  return &pos->second;
+}
+
+void TcpTransport::CloseConn(const NetAddress& to) {
+  auto it = conns_.find(to);
+  if (it == conns_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  conns_.erase(it);
+  ++rpc_.connections_closed;
+  rpc_.open_connections = conns_.size();
+}
+
+void TcpTransport::Disconnect(const NetAddress& to) { CloseConn(to); }
+
+Status TcpTransport::SendAll(Conn& c, std::string_view bytes,
+                             double deadline_ms) {
+  const auto start = Clock::now();
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    // MSG_NOSIGNAL: see TcpServer::WriteReady.
+    const ssize_t sent =
+        ::send(c.fd, bytes.data() + pos, bytes.size() - pos, MSG_NOSIGNAL);
+    if (sent > 0) {
+      stats_.bytes += static_cast<uint64_t>(sent);
+      rpc_.bytes_out += static_cast<uint64_t>(sent);
+      pos += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait = RemainingPollMs(start, deadline_ms);
+      if (wait == 0) {
+        ++rpc_.timeouts;
+        return Status::IOError("send timed out");
+      }
+      pollfd pfd;
+      pfd.fd = c.fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int n = ::poll(&pfd, 1, wait);
+      if (n < 0 && errno != EINTR) {
+        return Status::IOError(std::string("poll: ") + ::strerror(errno));
+      }
+      continue;
+    }
+    // EPIPE / ECONNRESET: the peer is gone.
+    return Status::Unavailable(std::string("send: ") + ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> TcpTransport::StartCall(const NetAddress& to, MsgType type,
+                                         std::string_view request) {
+  ASSIGN_OR_RETURN(Conn * conn, GetConn(to));
+  const uint64_t call_id = conn->next_call_id++;
+
+  RpcHeader rh;
+  rh.call_id = call_id;
+  rh.type = type;
+  rh.is_response = false;
+  rh.status = StatusCode::kOk;
+  std::string frame;
+  AppendFrame(EncodeEnvelope(rh, request), &frame);
+
+  conn->sent_at[call_id] = Clock::now();
+  ++rpc_.requests_sent;
+  ++stats_.messages;
+  const Status sent = SendAll(*conn, frame, options_.default_deadline_ms);
+  if (!sent.ok()) {
+    ++stats_.failed_deliveries;
+    if (sent.IsUnavailable()) {
+      CloseConn(to);
+      MarkAlive(to, false);
+    } else {
+      conn->sent_at.erase(call_id);
+    }
+    return sent;
+  }
+  return call_id;
+}
+
+Status TcpTransport::ReadUntil(const NetAddress& to, Conn& c, uint64_t call_id,
+                               double deadline_ms, RpcEnvelope* out) {
+  const auto start = Clock::now();
+  char buf[kReadChunk];
+  for (;;) {
+    // Drain every complete frame already buffered.
+    for (;;) {
+      auto next = c.parser.Next();
+      if (!next.ok()) {
+        ++rpc_.frame_errors;
+        CloseConn(to);
+        return Status::IOError("corrupt frame from " + to.ToString() + ": " +
+                               next.status().message());
+      }
+      if (!next->has_value()) break;
+      auto envelope = DecodeEnvelope(**next);
+      if (!envelope.ok() || !envelope->header.is_response) {
+        ++rpc_.frame_errors;
+        CloseConn(to);
+        return Status::IOError("bad envelope from " + to.ToString());
+      }
+      const uint64_t id = envelope->header.call_id;
+      ++rpc_.responses_received;
+      rpc_.bytes_in += envelope->body.size();
+      ++stats_.messages;
+      if (id == call_id) {
+        *out = std::move(*envelope);
+        return Status::OK();
+      }
+      c.parked[id] = std::move(*envelope);
+    }
+
+    const int wait = RemainingPollMs(start, deadline_ms);
+    if (wait == 0) {
+      ++rpc_.timeouts;
+      c.sent_at.erase(call_id);
+      return Status::IOError("call " + std::to_string(call_id) + " to " +
+                             to.ToString() + " missed its " +
+                             std::to_string(deadline_ms) + "ms deadline");
+    }
+    pollfd pfd;
+    pfd.fd = c.fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, wait);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + ::strerror(errno));
+    }
+    if (n == 0) continue;  // deadline check at loop top
+
+    const ssize_t got = ::read(c.fd, buf, sizeof(buf));
+    if (got > 0) {
+      stats_.bytes += static_cast<uint64_t>(got);
+      c.parser.Feed(std::string_view(buf, static_cast<size_t>(got)));
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (got < 0 && errno == EINTR) continue;
+    // 0 = orderly close; <0 = reset. Either way the peer is gone with
+    // our call unanswered.
+    CloseConn(to);
+    MarkAlive(to, false);
+    return Status::Unavailable("connection to " + to.ToString() +
+                               " closed mid-call");
+  }
+}
+
+Result<Transport::CallResult> TcpTransport::WaitCall(const NetAddress& to,
+                                                     uint64_t call_id,
+                                                     double deadline_ms) {
+  auto it = conns_.find(to);
+  if (it == conns_.end()) {
+    return Status::IOError("no connection to " + to.ToString() +
+                           " (call abandoned)");
+  }
+  Conn& conn = it->second;
+
+  RpcEnvelope envelope;
+  auto parked = conn.parked.find(call_id);
+  if (parked != conn.parked.end()) {
+    envelope = std::move(parked->second);
+    conn.parked.erase(parked);
+  } else {
+    const Status st = ReadUntil(to, conn, call_id, deadline_ms, &envelope);
+    if (!st.ok()) {
+      ++stats_.failed_deliveries;
+      return st;
+    }
+  }
+
+  CallResult result;
+  auto sent = conn.sent_at.find(call_id);
+  if (sent != conn.sent_at.end()) {
+    result.latency_ms = MsSince(sent->second);
+    conn.sent_at.erase(sent);
+  }
+  stats_.total_latency_ms += result.latency_ms;
+  MarkAlive(to, true);
+
+  if (envelope.header.status != StatusCode::kOk) {
+    // The server's handler failed; surface its error as our own.
+    return Status(envelope.header.status, std::move(envelope.body));
+  }
+  result.body = std::move(envelope.body);
+  return result;
+}
+
+Result<Transport::CallResult> TcpTransport::Call(const NetAddress& from,
+                                                 const NetAddress& to,
+                                                 MsgType type,
+                                                 std::string_view request,
+                                                 const CallOptions& options) {
+  (void)from;  // the socket's source address identifies the caller
+  const double deadline = options.deadline_ms > 0.0
+                              ? options.deadline_ms
+                              : options_.default_deadline_ms;
+  ASSIGN_OR_RETURN(uint64_t call_id, StartCall(to, type, request));
+  return WaitCall(to, call_id, deadline);
+}
+
+Result<double> TcpTransport::DeliverBytes(const NetAddress& from,
+                                          const NetAddress& to,
+                                          uint64_t payload_bytes) {
+  // A real message: a ping padded to the requested size, so the bytes
+  // actually cross the wire and the round trip is actually measured.
+  const std::string padding(static_cast<size_t>(payload_bytes), '\0');
+  ASSIGN_OR_RETURN(CallResult result, Call(from, to, MsgType::kPing, padding,
+                                           CallOptions{}));
+  return result.latency_ms;
+}
+
+}  // namespace rpc
+}  // namespace p2prange

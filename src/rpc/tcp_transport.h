@@ -1,0 +1,204 @@
+// The real network: length-prefixed CRC32C frames over TCP.
+//
+// TcpServer is the daemon side — a poll() event loop over a
+// non-blocking listen socket and per-connection read/write buffers;
+// each complete frame is decoded into an RPC envelope and dispatched
+// to one handler function, and the response is framed back on the same
+// connection under the request's call id.
+//
+// TcpTransport is the caller side and the second implementation of the
+// Transport interface: per-destination connections opened with
+// non-blocking connect, requests multiplexed by call id (several calls
+// may be in flight on one connection; responses match back in any
+// order), wall-clock deadlines enforced with poll timeouts, and real
+// byte/latency accounting in the same NetworkStats/RpcStats counters
+// the simulator fills.
+//
+// Error discipline mirrors the simulator's, so FaultPolicy semantics
+// carry over unchanged: Unavailable = the peer is unreachable (connect
+// refused/reset — retrying is futile until it returns), IOError = the
+// exchange failed transiently (deadline missed, stream corrupted —
+// retrying may succeed).
+//
+// Threading: neither class is thread-safe; each belongs to one thread
+// (the daemon's event loop, or one client).
+#ifndef P2PRANGE_RPC_TCP_TRANSPORT_H_
+#define P2PRANGE_RPC_TCP_TRANSPORT_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/frame.h"
+#include "rpc/message.h"
+#include "rpc/transport.h"
+
+namespace p2prange {
+namespace rpc {
+
+/// \brief Poll-loop RPC server over one listening socket.
+class TcpServer {
+ public:
+  /// Serves one decoded request; returns the response body or an error
+  /// (sent back to the caller as a non-OK envelope, never dropped).
+  using Handler =
+      std::function<Result<std::string>(MsgType, std::string_view body)>;
+
+  /// Binds and listens on `bind_addr` (port 0 picks an ephemeral
+  /// port; see address()).
+  static Result<TcpServer> Listen(const NetAddress& bind_addr, Handler handler);
+
+  TcpServer(TcpServer&& other) noexcept;
+  TcpServer& operator=(TcpServer&& other) noexcept;
+  ~TcpServer();
+
+  /// The bound address (with the real port).
+  const NetAddress& address() const { return addr_; }
+
+  /// \brief One event-loop iteration: waits up to `timeout_ms` for
+  /// readiness, then accepts, reads, dispatches, and writes whatever
+  /// is ready. Returns OK on a quiet iteration too; only a broken
+  /// listen socket is an error.
+  Status PollOnce(int timeout_ms);
+
+  /// Connections currently open.
+  size_t num_connections() const { return conns_.size(); }
+
+  const RpcStats& stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameParser parser;
+    std::string out;       ///< bytes queued for write
+    size_t out_pos = 0;    ///< first unsent byte of `out`
+    bool dead = false;
+  };
+
+  TcpServer(int listen_fd, NetAddress addr, Handler handler)
+      : listen_fd_(listen_fd), addr_(addr), handler_(std::move(handler)) {}
+
+  void AcceptReady();
+  void ReadReady(Conn& c);
+  void WriteReady(Conn& c);
+  /// Decodes and serves every complete frame buffered on `c`.
+  void DispatchFrames(Conn& c);
+  void CloseConn(Conn& c);
+
+  int listen_fd_ = -1;
+  NetAddress addr_;
+  Handler handler_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  RpcStats stats_;
+};
+
+/// \brief The caller-side TCP implementation of Transport.
+class TcpTransport final : public Transport {
+ public:
+  struct Options {
+    /// Default per-call deadline when CallOptions leaves it at <= 0.
+    double default_deadline_ms = 1000.0;
+    /// Budget for establishing a connection.
+    int connect_timeout_ms = 1000;
+  };
+
+  TcpTransport() : TcpTransport(Options()) {}
+  explicit TcpTransport(Options options) : options_(options) {}
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // --- Transport ------------------------------------------------------
+
+  void Register(const NetAddress& addr) override { endpoints_[addr] = true; }
+  /// Liveness is observed on a real network, not assigned.
+  Status SetAlive(const NetAddress&, bool) override {
+    return Status::NotImplemented(
+        "TcpTransport discovers liveness; it cannot be assigned");
+  }
+  bool IsRegistered(const NetAddress& addr) const override {
+    return endpoints_.contains(addr);
+  }
+  /// Last observed liveness: true until a connect refusal / stream
+  /// failure marks the peer down, and again after a successful call.
+  bool IsAlive(const NetAddress& addr) const override {
+    auto it = endpoints_.find(addr);
+    return it != endpoints_.end() && it->second;
+  }
+  size_t num_registered() const override { return endpoints_.size(); }
+
+  /// A real message to `to`: a ping carrying `payload_bytes` of
+  /// padding, so the bytes genuinely cross the wire.
+  Result<double> DeliverBytes(const NetAddress& from, const NetAddress& to,
+                              uint64_t payload_bytes) override;
+
+  Result<CallResult> Call(const NetAddress& from, const NetAddress& to,
+                          MsgType type, std::string_view request,
+                          const CallOptions& options) override;
+  using Transport::Call;
+  using Transport::Deliver;
+
+  const NetworkStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    stats_ = NetworkStats{};
+    rpc_ = RpcStats{};
+  }
+  const RpcStats& rpc_stats() const override { return rpc_; }
+
+  // --- Multiplexing ----------------------------------------------------
+
+  /// \brief Sends a request without waiting; the returned call id
+  /// matches the response in WaitCall. Several calls may be in flight
+  /// per connection.
+  Result<uint64_t> StartCall(const NetAddress& to, MsgType type,
+                             std::string_view request);
+
+  /// \brief Waits up to `deadline_ms` for the response to `call_id`
+  /// from `to`. Responses to other in-flight calls arriving first are
+  /// parked for their own WaitCall.
+  Result<CallResult> WaitCall(const NetAddress& to, uint64_t call_id,
+                              double deadline_ms);
+
+  /// Drops the connection to `to`, if any (abandons in-flight calls).
+  void Disconnect(const NetAddress& to);
+
+  /// Counter hook for retry layers (e.g. RingClient's FaultPolicy
+  /// loop) so retransmissions land in the same stats object.
+  RpcStats& mutable_rpc_stats() { return rpc_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameParser parser;
+    uint64_t next_call_id = 1;
+    /// Responses that arrived while waiting for a different call id.
+    std::unordered_map<uint64_t, RpcEnvelope> parked;
+    /// Send instant of each in-flight call, for round-trip latency.
+    std::unordered_map<uint64_t, std::chrono::steady_clock::time_point> sent_at;
+  };
+
+  /// Existing connection to `to`, or a fresh non-blocking connect.
+  Result<Conn*> GetConn(const NetAddress& to);
+  Status SendAll(Conn& c, std::string_view bytes, double deadline_ms);
+  /// Reads until `call_id`'s response is available or the deadline
+  /// passes; fills `*out` on success.
+  Status ReadUntil(const NetAddress& to, Conn& c, uint64_t call_id,
+                   double deadline_ms, RpcEnvelope* out);
+  void CloseConn(const NetAddress& to);
+  void MarkAlive(const NetAddress& to, bool alive) { endpoints_[to] = alive; }
+
+  Options options_;
+  std::unordered_map<NetAddress, bool, NetAddressHash> endpoints_;
+  std::unordered_map<NetAddress, Conn, NetAddressHash> conns_;
+  NetworkStats stats_;
+  RpcStats rpc_;
+};
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_TCP_TRANSPORT_H_

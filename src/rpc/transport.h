@@ -1,0 +1,132 @@
+// Transport: the seam between the overlay protocols and the network.
+//
+// Everything above this interface — Chord routing, the §4 range-lookup
+// protocol, descriptor replication — speaks request/response with
+// deadlines and gets per-message byte/latency accounting; everything
+// below decides what a "message" physically is. Two implementations:
+//
+//  * SimTransport (rpc/sim_transport.h) charges messages through the
+//    in-process SimNetwork exactly as before, so the paper's simulated
+//    evaluation (message counts, latency model, loss injection) is
+//    bit-for-bit unchanged.
+//  * TcpTransport (rpc/tcp_transport.h) puts the same envelopes into
+//    CRC32C-framed TCP segments between real processes, with a poll
+//    event loop, non-blocking connects, and call-id multiplexing.
+#ifndef P2PRANGE_RPC_TRANSPORT_H_
+#define P2PRANGE_RPC_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/address.h"
+#include "net/sim_network.h"
+#include "rpc/message.h"
+
+namespace p2prange {
+namespace rpc {
+
+/// \brief Counters of the RPC layer proper (on top of NetworkStats'
+/// message/byte totals): how calls fared, not just what moved.
+struct RpcStats {
+  uint64_t requests_sent = 0;
+  uint64_t responses_received = 0;
+  uint64_t requests_served = 0;  ///< handler invocations (server side)
+  uint64_t timeouts = 0;         ///< calls that missed their deadline
+  uint64_t retransmits = 0;      ///< calls re-sent under a FaultPolicy
+  uint64_t connect_failures = 0; ///< TCP connects refused or timed out
+  uint64_t frame_errors = 0;     ///< CRC/length/envelope rejections
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t open_connections = 0;
+  uint64_t bytes_in = 0;   ///< framed bytes received
+  uint64_t bytes_out = 0;  ///< framed bytes sent
+
+  /// Single-line JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// \brief Abstract peer-to-peer message layer with request/response
+/// semantics, deadlines, and accounting.
+///
+/// The liveness registry half (Register/SetAlive/IsAlive) mirrors what
+/// the simulator needs to model churn; a real transport treats
+/// liveness as something it *observes* (connects and timeouts), so
+/// SetAlive is optional to support.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // --- Endpoint registry / liveness -----------------------------------
+
+  /// Registers an endpoint (idempotent); newly registered peers are
+  /// considered alive.
+  virtual void Register(const NetAddress& addr) = 0;
+
+  /// Marks a peer up or down. Simulation-only: a real transport
+  /// returns NotImplemented (liveness is discovered, not assigned).
+  virtual Status SetAlive(const NetAddress& addr, bool alive) = 0;
+
+  virtual bool IsRegistered(const NetAddress& addr) const = 0;
+  virtual bool IsAlive(const NetAddress& addr) const = 0;
+  virtual size_t num_registered() const = 0;
+
+  // --- One-way accounted delivery -------------------------------------
+
+  /// Accounts one control message from `from` to `to` and returns its
+  /// latency in ms. Unavailable means the peer is down/unreachable;
+  /// IOError means the message was lost (retrying may succeed).
+  Result<double> Deliver(const NetAddress& from, const NetAddress& to) {
+    return DeliverBytes(from, to, 0);
+  }
+
+  /// Same, carrying `payload_bytes` of payload.
+  virtual Result<double> DeliverBytes(const NetAddress& from,
+                                      const NetAddress& to,
+                                      uint64_t payload_bytes) = 0;
+
+  // --- Request/response ------------------------------------------------
+
+  struct CallOptions {
+    /// Wall-clock (TCP) or simulated (Sim) budget for one call,
+    /// request through response. <= 0 disables the deadline.
+    double deadline_ms = 1000.0;
+  };
+
+  struct CallResult {
+    std::string body;        ///< the handler's response payload
+    double latency_ms = 0.0; ///< request→response round trip
+  };
+
+  /// \brief One request/response exchange with `to`'s handler for
+  /// `type`. A missed deadline returns IOError (and counts in
+  /// rpc_stats().timeouts); an unreachable peer returns Unavailable; a
+  /// handler error is returned as that error. `from` identifies the
+  /// caller for accounting (a real transport derives it from the
+  /// socket instead).
+  virtual Result<CallResult> Call(const NetAddress& from, const NetAddress& to,
+                                  MsgType type, std::string_view request,
+                                  const CallOptions& options) = 0;
+
+  /// Same, with the default deadline.
+  Result<CallResult> Call(const NetAddress& from, const NetAddress& to,
+                          MsgType type, std::string_view request) {
+    return Call(from, to, type, request, CallOptions());
+  }
+
+  // --- Accounting -------------------------------------------------------
+
+  virtual const NetworkStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+  virtual const RpcStats& rpc_stats() const = 0;
+};
+
+/// \brief Single-line JSON rendering of the message/byte totals.
+std::string NetworkStatsToJson(const NetworkStats& s);
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_TRANSPORT_H_

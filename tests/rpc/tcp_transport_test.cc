@@ -1,0 +1,292 @@
+// The real transport over real sockets: loopback round trips, call-id
+// multiplexing, deadline timeouts, refused connections, corrupt
+// streams — each observable in the RpcStats counters the daemon
+// exports. Servers run on a background thread; every port is an
+// ephemeral kernel pick so parallel test jobs never collide.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rpc/node_service.h"
+#include "rpc/ring_client.h"
+#include "rpc/tcp.h"
+#include "rpc/tcp_transport.h"
+
+namespace p2prange {
+namespace rpc {
+namespace {
+
+NetAddress Loopback(uint16_t port) {
+  NetAddress a;
+  a.host = 0x7F000001;  // 127.0.0.1
+  a.port = port;
+  return a;
+}
+
+/// A TcpServer polled on a background thread until stopped.
+class ServerThread {
+ public:
+  static std::unique_ptr<ServerThread> Start(TcpServer::Handler handler) {
+    auto server = TcpServer::Listen(Loopback(0), std::move(handler));
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    if (!server.ok()) return nullptr;
+    return std::unique_ptr<ServerThread>(
+        new ServerThread(std::move(*server)));
+  }
+
+  ~ServerThread() {
+    stop_ = true;
+    thread_.join();
+  }
+
+  const NetAddress& address() const { return server_.address(); }
+  /// Safe to read after the loop stopped; racy-but-monotonic before.
+  const RpcStats& stats() const { return server_.stats(); }
+
+ private:
+  explicit ServerThread(TcpServer server) : server_(std::move(server)) {
+    thread_ = std::thread([this] {
+      while (!stop_) {
+        const Status st = server_.PollOnce(/*timeout_ms=*/20);
+        if (!st.ok()) break;
+      }
+    });
+  }
+
+  TcpServer server_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+TEST(TcpTransportTest, EchoRoundTripOverLoopback) {
+  auto server = ServerThread::Start(
+      [](MsgType type, std::string_view body) {
+        EXPECT_EQ(type, MsgType::kPing);
+        return Result<std::string>(std::string(body));
+      });
+  ASSERT_NE(server, nullptr);
+
+  TcpTransport transport;
+  transport.Register(server->address());
+  auto result = transport.Call(NetAddress{}, server->address(),
+                               MsgType::kPing, "echo me");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->body, "echo me");
+  EXPECT_GE(result->latency_ms, 0.0);
+  EXPECT_EQ(transport.rpc_stats().requests_sent, 1u);
+  EXPECT_EQ(transport.rpc_stats().responses_received, 1u);
+  EXPECT_EQ(transport.rpc_stats().connections_opened, 1u);
+  EXPECT_GT(transport.rpc_stats().bytes_out, 0u);
+  EXPECT_GT(transport.stats().bytes, 0u);
+  EXPECT_TRUE(transport.IsAlive(server->address()));
+}
+
+TEST(TcpTransportTest, DeliverBytesActuallyCrossesTheWire) {
+  std::atomic<size_t> seen{0};
+  auto server = ServerThread::Start(
+      [&seen](MsgType, std::string_view body) {
+        seen = body.size();
+        return Result<std::string>(std::string(body));
+      });
+  ASSERT_NE(server, nullptr);
+  TcpTransport transport;
+  auto latency =
+      transport.DeliverBytes(NetAddress{}, server->address(), 4096);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_EQ(seen, 4096u);
+  EXPECT_GE(*latency, 0.0);
+}
+
+TEST(TcpTransportTest, PipelinedCallsMatchResponsesByCallId) {
+  auto server = ServerThread::Start(
+      [](MsgType, std::string_view body) {
+        return Result<std::string>("re:" + std::string(body));
+      });
+  ASSERT_NE(server, nullptr);
+
+  TcpTransport transport;
+  auto first = transport.StartCall(server->address(), MsgType::kPing, "one");
+  auto second = transport.StartCall(server->address(), MsgType::kPing, "two");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(*first, *second);
+
+  // Await them out of order: the second's response forces the first's
+  // to be parked, then retrieved without touching the socket again.
+  auto r2 = transport.WaitCall(server->address(), *second, 2000.0);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->body, "re:two");
+  auto r1 = transport.WaitCall(server->address(), *first, 2000.0);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->body, "re:one");
+  // One connection carried both calls.
+  EXPECT_EQ(transport.rpc_stats().connections_opened, 1u);
+}
+
+TEST(TcpTransportTest, ServerHandlerErrorArrivesAsThatStatus) {
+  auto server = ServerThread::Start([](MsgType, std::string_view) {
+    return Result<std::string>(Status::NotFound("no partition here"));
+  });
+  ASSERT_NE(server, nullptr);
+  TcpTransport transport;
+  auto result = transport.Call(NetAddress{}, server->address(),
+                               MsgType::kFetchPartition, "");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_NE(result.status().message().find("no partition here"),
+            std::string::npos);
+}
+
+TEST(TcpTransportTest, ConnectRefusedIsUnavailableAndCounted) {
+  // Bind-then-close reserves a port with no listener behind it.
+  auto probe = Listen(Loopback(0));
+  ASSERT_TRUE(probe.ok());
+  const NetAddress dead = probe->bound;
+  ::close(probe->fd);
+
+  TcpTransport transport;
+  transport.Register(dead);
+  auto result = transport.Call(NetAddress{}, dead, MsgType::kPing, "");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_EQ(transport.rpc_stats().connect_failures, 1u);
+  EXPECT_FALSE(transport.IsAlive(dead));
+}
+
+TEST(TcpTransportTest, SilentServerMissesDeadlineAsIOError) {
+  // A listener that accepts into its backlog but never reads or
+  // replies: the connect succeeds, the call must die by deadline.
+  auto silent = Listen(Loopback(0));
+  ASSERT_TRUE(silent.ok());
+
+  TcpTransport::Options options;
+  options.connect_timeout_ms = 1000;
+  TcpTransport transport(options);
+  Transport::CallOptions call_options;
+  call_options.deadline_ms = 120.0;
+  auto result = transport.Call(NetAddress{}, silent->bound, MsgType::kPing,
+                               "anyone there?", call_options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_EQ(transport.rpc_stats().timeouts, 1u);
+  ::close(silent->fd);
+}
+
+TEST(TcpTransportTest, CorruptResponseStreamIsFrameErrorAndIOError) {
+  // A hand-rolled "server" that answers any request with garbage that
+  // can never pass the frame CRC.
+  auto listener = Listen(Loopback(0));
+  ASSERT_TRUE(listener.ok());
+  const int listen_fd = listener->fd;
+  std::thread evil([listen_fd] {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 5000) <= 0) return;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) return;
+    char buf[1024];
+    (void)!::read(conn, buf, sizeof(buf));
+    const char garbage[] = "\x10\x00\x00\x00\xde\xad\xbe\xefgarbagegarbage!!";
+    (void)!::write(conn, garbage, sizeof(garbage) - 1);
+    ::shutdown(conn, SHUT_WR);
+    ::usleep(200 * 1000);
+    ::close(conn);
+  });
+
+  TcpTransport transport;
+  Transport::CallOptions call_options;
+  call_options.deadline_ms = 2000.0;
+  auto result = transport.Call(NetAddress{}, listener->bound, MsgType::kPing,
+                               "hello", call_options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_EQ(transport.rpc_stats().frame_errors, 1u);
+  evil.join();
+  ::close(listen_fd);
+}
+
+// --- An in-process live ring: NodeServices behind TcpServers, driven
+// --- by a RingClient. The miniature of tools/p2prange_node.
+// ----------------------------------------------------------------------
+
+class MiniRing {
+ public:
+  explicit MiniRing(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      auto service = NodeService::Make(Loopback(0), NodeServiceOptions{});
+      EXPECT_TRUE(service.ok());
+      services_.push_back(std::move(*service));
+      NodeService* raw = services_.back().get();
+      auto server = ServerThread::Start(
+          [raw](MsgType type, std::string_view body) {
+            return raw->Handle(type, body);
+          });
+      EXPECT_NE(server, nullptr);
+      members_.push_back(server->address());
+      servers_.push_back(std::move(server));
+    }
+  }
+
+  const std::vector<NetAddress>& members() const { return members_; }
+
+ private:
+  std::vector<std::unique_ptr<NodeService>> services_;
+  std::vector<std::unique_ptr<ServerThread>> servers_;
+  std::vector<NetAddress> members_;
+};
+
+TEST(RingClientTest, PublishThenLookupFindsTheDescriptor) {
+  MiniRing ring(3);
+  RingClientOptions options;
+  options.lsh.k = 10;
+  options.lsh.l = 5;
+  auto client = RingClient::Make(ring.members(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const PartitionKey published{"T", "a", Range(100, 200)};
+  const NetAddress holder = ring.members()[0];
+  ASSERT_TRUE((*client)->Publish(published, holder).ok());
+
+  // The identical range collides on every bucket: a guaranteed hit.
+  auto outcome = (*client)->Lookup(published);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_FALSE(outcome->ranked.empty());
+  EXPECT_EQ(outcome->ranked.front().descriptor.key, published);
+  EXPECT_EQ(outcome->ranked.front().descriptor.holder, holder);
+  EXPECT_TRUE(outcome->ranked.front().exact);
+  EXPECT_EQ(outcome->probes_failed, 0);
+
+  // A disjoint range finds nothing (its buckets are elsewhere, and
+  // nothing similar was published).
+  auto miss = (*client)->Lookup(PartitionKey{"T", "a", Range(5000, 6000)});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->ranked.empty());
+}
+
+TEST(RingClientTest, PartitionBytesRoundTripThroughHolder) {
+  MiniRing ring(2);
+  RingClientOptions options;
+  auto client = RingClient::Make(ring.members(), options);
+  ASSERT_TRUE(client.ok());
+
+  Schema schema({Field{"a", ValueType::kInt64, AttributeDomain{0, 1000}}});
+  Relation tuples("T", schema);
+  ASSERT_TRUE(tuples.Append({Value(int64_t{150})}).ok());
+  const PartitionKey key{"T", "a", Range(100, 200)};
+  ASSERT_TRUE(
+      (*client)->StorePartition(key, tuples, ring.members()[1]).ok());
+  auto fetched = (*client)->FetchPartition(key, ring.members()[1]);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->num_rows(), 1u);
+  // Fetching from the wrong holder is a clean NotFound.
+  EXPECT_TRUE(
+      (*client)->FetchPartition(key, ring.members()[0]).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace p2prange

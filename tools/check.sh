@@ -33,6 +33,76 @@ run_bench_smoke() {
   done
 }
 
+# Boots a 3-node loopback ring of real p2prange_node processes, runs
+# the paper workload through p2prange_client over TCP, then SIGTERMs
+# every daemon and fails loudly if any child survives (a leaked daemon
+# would poison later stages and the build machine).
+run_live_smoke() {
+  local build_dir=$1
+  local scratch
+  scratch=$(mktemp -d)
+  local pids=()
+  local members=""
+  local failed=0
+
+  for i in 0 1 2; do
+    mkdir -p "$scratch/n$i"
+    "$build_dir/tools/p2prange_node" --listen=127.0.0.1:0 \
+      --wal_dir="$scratch/n$i" --metrics_json="$scratch/n$i/metrics.json" \
+      2> "$scratch/n$i/log" &
+    pids+=($!)
+  done
+
+  # Each daemon resolves port 0 to a real ephemeral port and announces
+  # it on stderr; collect the resolved addresses for the client.
+  for i in 0 1 2; do
+    local addr=""
+    for _ in $(seq 1 100); do
+      addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$scratch/n$i/log" | head -n1)
+      [[ -n "$addr" ]] && break
+      sleep 0.05
+    done
+    if [[ -z "$addr" ]]; then
+      echo "live smoke: node $i never announced its address" >&2
+      failed=1
+    else
+      members="${members:+$members,}$addr"
+    fi
+  done
+
+  if [[ $failed -eq 0 ]]; then
+    if ! "$build_dir/tools/p2prange_client" --members="$members" \
+        workload --publishes=40 --queries=30; then
+      echo "live smoke: workload failed" >&2
+      failed=1
+    fi
+  fi
+
+  kill -TERM "${pids[@]}" 2>/dev/null || true
+  local pid
+  for pid in "${pids[@]}"; do
+    for _ in $(seq 1 100); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.05
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+      echo "live smoke: daemon $pid ignored SIGTERM — leaked child, SIGKILL" >&2
+      kill -9 "$pid" 2>/dev/null || true
+      failed=1
+    fi
+    if ! wait "$pid"; then
+      echo "live smoke: daemon $pid exited non-zero" >&2
+      failed=1
+    fi
+  done
+
+  if [[ $failed -ne 0 ]]; then
+    echo "live smoke FAILED (logs in $scratch)" >&2
+    return 1
+  fi
+  rm -rf "$scratch"
+}
+
 echo "=== normal build + tests ==="
 run_suite build
 
@@ -45,6 +115,9 @@ echo "=== crash-consistency fuzz smoke (3000 crash points) ==="
 P2PRANGE_CRASH_FUZZ_POINTS=3000 \
   ./build/tests/p2prange_tests --gtest_filter='CrashConsistencyFuzz.*'
 
+echo "=== live-ring smoke (3 daemons over loopback TCP) ==="
+run_live_smoke build
+
 if [[ "${1:-}" != "--no-sanitize" && "${2:-}" != "--no-sanitize" ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
@@ -52,6 +125,8 @@ if [[ "${1:-}" != "--no-sanitize" && "${2:-}" != "--no-sanitize" ]]; then
   P2PRANGE_CRASH_FUZZ_POINTS=2000 \
     ./build-asan/tests/p2prange_tests \
     --gtest_filter='CrashConsistencyFuzz.*:SerdeFuzzTest.*:WalTest.*:SnapshotTest.*'
+  echo "=== sanitized live-ring smoke ==="
+  run_live_smoke build-asan
 fi
 
 echo "=== all checks passed ==="

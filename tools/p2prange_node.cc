@@ -1,0 +1,178 @@
+// p2prange_node: one deployable peer process.
+//
+// Hosts a NodeService (durable descriptor store + materialized
+// partitions) behind a TcpServer event loop. Every peer of a live ring
+// is one of these processes; clients and other peers reach it with the
+// framed RPC protocol of src/rpc.
+//
+//   p2prange_node --listen=127.0.0.1:7001
+//       [--wal_dir=/var/lib/p2prange/n1]
+//       [--store_capacity=0] [--checkpoint_every=64]
+//       [--metrics_json=/tmp/n1.json] [--quiet]
+//
+// SIGTERM / SIGINT shut the daemon down gracefully: the loop drains,
+// a final metrics snapshot is written, and the process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rpc/node_service.h"
+#include "rpc/tcp.h"
+#include "rpc/tcp_transport.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+struct Flags {
+  std::string listen;
+  std::string wal_dir;
+  std::string metrics_json;
+  size_t store_capacity = 0;
+  uint64_t checkpoint_every = 64;
+  bool quiet = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen=HOST:PORT [--wal_dir=DIR] "
+               "[--store_capacity=N] [--checkpoint_every=N] "
+               "[--metrics_json=PATH] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace p2prange;
+
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "listen", &flags.listen)) continue;
+    if (ParseFlag(arg, "wal_dir", &flags.wal_dir)) continue;
+    if (ParseFlag(arg, "metrics_json", &flags.metrics_json)) continue;
+    if (ParseFlag(arg, "store_capacity", &value)) {
+      flags.store_capacity = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (ParseFlag(arg, "checkpoint_every", &value)) {
+      flags.checkpoint_every = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (arg == "--quiet") {
+      flags.quiet = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return Usage(argv[0]);
+  }
+  if (flags.listen.empty()) return Usage(argv[0]);
+
+  auto listen_addr = rpc::ParseHostPort(flags.listen);
+  if (!listen_addr.ok()) {
+    std::fprintf(stderr, "--listen: %s\n",
+                 listen_addr.status().ToString().c_str());
+    return 2;
+  }
+
+  rpc::NodeServiceOptions service_options;
+  service_options.store_capacity = flags.store_capacity;
+  service_options.durability.checkpoint_every = flags.checkpoint_every;
+  service_options.wal_dir = flags.wal_dir;
+
+  // The server comes up first so a 0 port is resolved to the kernel's
+  // ephemeral pick before the service derives its id from the address.
+  // Requests cannot arrive before the poll loop below starts, so the
+  // handler's service pointer is always set by the time it runs.
+  rpc::NodeService* service_ptr = nullptr;
+  auto server = rpc::TcpServer::Listen(
+      *listen_addr,
+      [&service_ptr](rpc::MsgType type, std::string_view body) {
+        return service_ptr->Handle(type, body);
+      });
+  if (!server.ok()) {
+    std::fprintf(stderr, "listen %s: %s\n", flags.listen.c_str(),
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  auto service = rpc::NodeService::Make(server->address(), service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "node service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  service_ptr = service->get();
+
+  std::signal(SIGTERM, HandleStop);
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!flags.quiet) {
+    const auto& report = (*service)->recovery();
+    std::fprintf(stderr,
+                 "p2prange_node listening on %s (id=%u)"
+                 " recovered=%zu wal_replayed=%zu\n",
+                 server->address().ToString().c_str(), (*service)->id(),
+                 report.descriptors_restored, report.wal_records_replayed);
+  }
+
+  auto write_metrics = [&]() {
+    if (flags.metrics_json.empty()) return;
+    // Write-then-rename: a scraper reading mid-update must never see a
+    // truncated half-written file, only the previous complete snapshot.
+    const std::string tmp = flags.metrics_json + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      // The server observes no per-message latency model; its
+      // NetworkStats half carries the byte totals.
+      NetworkStats net;
+      net.messages = server->stats().requests_served;
+      net.bytes = server->stats().bytes_in + server->stats().bytes_out;
+      out << (*service)->MetricsJson(net, server->stats()) << "\n";
+    }
+    std::rename(tmp.c_str(), flags.metrics_json.c_str());
+  };
+
+  // Event loop: short poll timeout so a stop signal is honored fast;
+  // metrics rewritten periodically so scrapers always see fresh gauges.
+  write_metrics();  // the file exists from the moment we are reachable
+  int iterations_since_metrics = 0;
+  while (g_stop == 0) {
+    const Status st = server->PollOnce(/*timeout_ms=*/100);
+    if (!st.ok()) {
+      std::fprintf(stderr, "poll: %s\n", st.ToString().c_str());
+      write_metrics();
+      return 1;
+    }
+    if (++iterations_since_metrics >= 10) {
+      write_metrics();
+      iterations_since_metrics = 0;
+    }
+  }
+
+  write_metrics();
+  if (!flags.quiet) {
+    std::fprintf(stderr, "p2prange_node %s: graceful shutdown\n",
+                 server->address().ToString().c_str());
+  }
+  return 0;
+}
