@@ -69,8 +69,12 @@ int main() {
   // patient_id cache with a single-attribute query: the system serves
   // the leaf from the patient_id partition (a secondary attribute) and
   // filters the new age band locally.
-  (void)system->ExecuteQuery(
-      "SELECT * FROM Patient WHERE patient_id BETWEEN 100 AND 900");
+  // Warm-up only: the answer is irrelevant, we want the side effect of
+  // the patient_id partition landing in a peer cache.
+  system->ExecuteQuery(
+      "SELECT * FROM Patient WHERE patient_id BETWEEN 100 AND 900")
+      .status()
+      .IgnoreError();
   auto q3 = system->ExecuteQuery(
       "SELECT * FROM Patient WHERE age BETWEEN 60 AND 75 "
       "AND patient_id BETWEEN 100 AND 900");

@@ -43,7 +43,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // One insertion for the whole line (terminator included): cerr is
+    // unit-buffered, so concurrent writers interleave at line
+    // granularity instead of splicing a message and its '\n' apart.
+    stream_ << '\n';
+    std::cerr << stream_.str() << std::flush;
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

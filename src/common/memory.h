@@ -1,0 +1,25 @@
+// WrapUnique: the one sanctioned home for a naked `new`.
+#ifndef P2PRANGE_COMMON_MEMORY_H_
+#define P2PRANGE_COMMON_MEMORY_H_
+
+#include <memory>
+
+namespace p2prange {
+
+/// \brief Takes ownership of `ptr` as a std::unique_ptr<T>.
+///
+/// Factories returning Result<std::unique_ptr<T>> for classes with
+/// private constructors cannot use std::make_unique (it is not a
+/// friend), so they spell `WrapUnique(new T(...))` — the allocation and
+/// the ownership transfer sit in one expression, on one line. The
+/// invariant linter (tools/p2prange_lint.py, rule P2P003) rejects every
+/// `new` that is not inside a WrapUnique(...) argument, which is what
+/// keeps this the only leak-capable allocation pattern in the tree.
+template <typename T>
+std::unique_ptr<T> WrapUnique(T* ptr) {
+  return std::unique_ptr<T>(ptr);
+}
+
+}  // namespace p2prange
+
+#endif  // P2PRANGE_COMMON_MEMORY_H_

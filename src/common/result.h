@@ -16,15 +16,24 @@ namespace p2prange {
 /// \code
 ///   ASSIGN_OR_RETURN(auto node, ring.FindSuccessor(id));
 /// \endcode
+/// The class is [[nodiscard]]: dropping a returned Result<T> discards
+/// both the value and the error, so -Wunused-result flags it. Use
+/// status().IgnoreError() (with a reason comment) for intentional
+/// discards.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an error result. Aborts (in debug) if `status` is OK,
   /// because an OK Result must carry a value.
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // `return Status::NotFound(...)` must convert inside RETURN_NOT_OK
+  // chains, exactly as in arrow::Result.
+  Result(Status status) : repr_(std::move(status)) {
     DCHECK(!std::get<Status>(repr_).ok()) << "Result constructed from OK status";
   }
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // `return value;` is the ergonomic success path.
+  Result(T value) : repr_(std::move(value)) {}
 
   Result(const Result&) = default;
   Result(Result&&) noexcept = default;

@@ -31,7 +31,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// An OK status carries no allocation; error states allocate a small
 /// state block. Statuses are cheap to move and to copy-when-OK.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by
+/// value — including all the factory functions below — triggers
+/// -Wunused-result when the caller drops it on the floor. Intentional
+/// discards must go through IgnoreError() with a reason comment.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string msg);
@@ -91,6 +96,15 @@ class Status {
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;
+
+  /// \brief Explicitly discards this status.
+  ///
+  /// The only sanctioned way to drop a Status: it defeats the
+  /// class-level [[nodiscard]] and documents, at the call site, that
+  /// failure is acceptable there. Every use must carry a comment
+  /// explaining *why* the error does not matter (enforced by review;
+  /// the pattern is grep-able).
+  void IgnoreError() const {}
 
  private:
   struct State {

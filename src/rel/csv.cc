@@ -89,14 +89,12 @@ Result<Value> ParseTyped(const std::string& raw, const Field& field, size_t line
       return Value(v);
     }
     case ValueType::kDouble: {
-      try {
-        size_t consumed = 0;
-        const double d = std::stod(raw, &consumed);
-        if (consumed != raw.size()) throw std::invalid_argument(raw);
-        return Value(d);
-      } catch (const std::exception&) {
+      double d = 0.0;
+      auto [p, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), d);
+      if (ec != std::errc() || p != raw.data() + raw.size()) {
         return Status::InvalidArgument("csv: bad double '" + raw + "'" + where);
       }
+      return Value(d);
     }
     case ValueType::kDate: {
       auto date = ParseDate(raw);

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/memory.h"
+
 #include "hash/sha1.h"
 #include "wire/serde.h"
 
@@ -231,8 +233,8 @@ NodeService::NodeService(const NetAddress& self, NodeServiceOptions options)
 
 Result<std::unique_ptr<NodeService>> NodeService::Make(
     const NetAddress& self, NodeServiceOptions options) {
-  std::unique_ptr<NodeService> service(
-      new NodeService(self, std::move(options)));
+  std::unique_ptr<NodeService> service =
+      WrapUnique(new NodeService(self, std::move(options)));
   if (!service->options_.wal_dir.empty()) {
     RETURN_NOT_OK(service->LoadDurable());
   }

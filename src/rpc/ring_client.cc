@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/memory.h"
+
 namespace p2prange {
 namespace rpc {
 
@@ -26,7 +28,7 @@ Result<std::unique_ptr<RingClient>> RingClient::Make(
   }
   ASSIGN_OR_RETURN(RingView view, RingView::Make(members));
   ASSIGN_OR_RETURN(LshScheme lsh, LshScheme::Make(options.lsh));
-  return std::unique_ptr<RingClient>(
+  return WrapUnique(
       new RingClient(std::move(view), std::move(lsh), std::move(options)));
 }
 

@@ -122,26 +122,30 @@ void FaultInjector::ApplyStep(size_t step) {
     if (ev.step != step) continue;
     for (int i = 0; i < ev.count; ++i) {
       switch (ev.action) {
+        // NotFound (no eligible peer left) is a legal no-op: fault
+        // schedules are best-effort against whatever peers remain.
         case FaultAction::kCrash:
-          (void)CrashRandomPeer();
+          CrashRandomPeer().IgnoreError();
           break;
         case FaultAction::kRecover:
-          (void)RecoverOneCrashedPeer();
+          RecoverOneCrashedPeer().IgnoreError();
           break;
         case FaultAction::kKill:
-          (void)KillRandomPeer();
+          KillRandomPeer().IgnoreError();
           break;
       }
     }
   }
+  // As above: running out of crashable/recoverable peers mid-schedule
+  // is expected under heavy fault rates, not an error to propagate.
   if (config_.crash_prob > 0.0 && rng_.NextBernoulli(config_.crash_prob)) {
-    (void)CrashRandomPeer();
+    CrashRandomPeer().IgnoreError();
   }
   if (config_.recover_prob > 0.0 && rng_.NextBernoulli(config_.recover_prob)) {
-    (void)RecoverOneCrashedPeer();
+    RecoverOneCrashedPeer().IgnoreError();
   }
   if (config_.kill_prob > 0.0 && rng_.NextBernoulli(config_.kill_prob)) {
-    (void)KillRandomPeer();
+    KillRandomPeer().IgnoreError();
   }
   if (config_.stabilize_every > 0 &&
       step % static_cast<size_t>(config_.stabilize_every) == 0 && step > 0) {
@@ -153,7 +157,8 @@ void FaultInjector::ApplyStep(size_t step) {
 void FaultInjector::OnProtocolStep(const char* /*stage*/) {
   if (config_.mid_query_crash_prob <= 0.0) return;
   if (rng_.NextBernoulli(config_.mid_query_crash_prob)) {
-    (void)CrashRandomPeer();
+    // Mid-query crashes are opportunistic; no victim available is fine.
+    CrashRandomPeer().IgnoreError();
   }
 }
 

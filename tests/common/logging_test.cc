@@ -1,0 +1,91 @@
+// Logging under concurrency: these tests exist chiefly for the
+// ThreadSanitizer configuration (tools/check.sh --tsan builds
+// -DP2PRANGE_SANITIZE=thread and runs them alongside the TCP transport
+// suite). The assertions are deliberately light — the property under
+// test is "no data race between concurrent LogMessage emission and
+// SetLogThreshold", and TSan is the real assertion.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace p2prange {
+namespace {
+
+using internal::GetLogThreshold;
+using internal::LogLevel;
+using internal::SetLogThreshold;
+
+/// Restores the global threshold on scope exit so test order never
+/// leaks a changed default into other suites.
+class ThresholdGuard {
+ public:
+  ThresholdGuard() : saved_(GetLogThreshold()) {}
+  ~ThresholdGuard() { SetLogThreshold(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, ThresholdFiltersBelowAndPassesAtOrAbove) {
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kWarning);
+
+  testing::internal::CaptureStderr();
+  LOG_INFO() << "filtered out";
+  LOG_WARNING() << "kept-warning";
+  LOG_ERROR() << "kept-error";
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(err.find("filtered out"), std::string::npos) << err;
+  EXPECT_NE(err.find("kept-warning"), std::string::npos) << err;
+  EXPECT_NE(err.find("kept-error"), std::string::npos) << err;
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos) << err;
+}
+
+TEST(LoggingTest, ConcurrentLoggingAndThresholdFlipsAreRaceFree) {
+  ThresholdGuard guard;
+  constexpr int kThreads = 4;
+  constexpr int kLinesPerThread = 200;
+
+  testing::internal::CaptureStderr();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        LOG_INFO() << "worker " << t << " line " << i;
+        LOG_DEBUG() << "usually filtered " << i;
+      }
+    });
+  }
+  // Flip the threshold while the workers stream: the atomic load in the
+  // LogMessage constructor must never race with these stores.
+  for (int flip = 0; flip < 100; ++flip) {
+    SetLogThreshold(flip % 2 == 0 ? LogLevel::kDebug : LogLevel::kError);
+  }
+  for (std::thread& w : workers) w.join();
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  // Every emitted line is intact (no interleaved torn prefixes): each
+  // non-empty line starts with its "[LEVEL " tag.
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < err.size()) {
+    size_t end = err.find('\n', start);
+    if (end == std::string::npos) end = err.size();
+    const std::string line = err.substr(start, end - start);
+    if (!line.empty()) {
+      ++lines;
+      EXPECT_EQ(line[0], '[') << "torn log line: " << line;
+    }
+    start = end + 1;
+  }
+  EXPECT_LE(lines, static_cast<size_t>(kThreads * kLinesPerThread * 2));
+}
+
+}  // namespace
+}  // namespace p2prange

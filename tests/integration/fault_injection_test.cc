@@ -180,7 +180,7 @@ void CrashOwnersMidQuery(RangeCacheSystem* sys,
     if (std::string(stage) != "probe") return;
     for (const NetAddress& owner : owners) {
       if (owner == sys->source_address() || owner == origin) continue;
-      (void)sys->CrashPeer(owner);  // idempotent across probes
+      sys->CrashPeer(owner).IgnoreError();  // idempotent across probes
     }
   });
 }
@@ -247,7 +247,9 @@ TEST(CrashRecoverTest, StaleDescriptorsRepairedAndQueryFallsToSource) {
   }
   ASSERT_NE(client, holder);
   sys.set_step_hook([&sys, holder](const char* stage) {
-    if (std::string(stage) == "fetch") (void)sys.CrashPeer(holder);
+    if (std::string(stage) == "fetch") {
+      sys.CrashPeer(holder).IgnoreError();  // repeat fetches: already down
+    }
   });
   auto second = sys.ExecuteQueryFrom(client, sql);
   sys.set_step_hook(nullptr);

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/memory.h"
 #include "rpc/node_service.h"
 #include "rpc/ring_client.h"
 #include "rpc/tcp.h"
@@ -35,8 +36,7 @@ class ServerThread {
     auto server = TcpServer::Listen(Loopback(0), std::move(handler));
     EXPECT_TRUE(server.ok()) << server.status().ToString();
     if (!server.ok()) return nullptr;
-    return std::unique_ptr<ServerThread>(
-        new ServerThread(std::move(*server)));
+    return WrapUnique(new ServerThread(std::move(*server)));
   }
 
   ~ServerThread() {

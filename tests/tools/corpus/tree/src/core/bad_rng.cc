@@ -1,0 +1,10 @@
+// Corpus: P2P002 must fire on every unseeded randomness source.
+#include <cstdlib>
+#include <random>
+
+unsigned Sample() {
+  std::random_device rd;  // line 6: random_device
+  std::mt19937 gen(rd());  // line 7: mt19937
+  (void)gen;
+  return static_cast<unsigned>(rand());  // line 9: rand()
+}

@@ -1,0 +1,15 @@
+// Corpus: P2P000 must fire on malformed or reason-less suppressions.
+#include <cstdlib>
+
+unsigned A() {
+  return static_cast<unsigned>(rand());  // p2plint: allow(P2P002)
+}
+
+unsigned B() {
+  return static_cast<unsigned>(rand());  // p2plint: allowed?
+}
+
+unsigned C() {
+  // A well-formed suppression silences the rule and is NOT reported.
+  return static_cast<unsigned>(rand());  // p2plint: allow(P2P002): corpus demo
+}

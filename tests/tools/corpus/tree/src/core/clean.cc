@@ -1,0 +1,41 @@
+// Corpus: a clean file exercising every rule's near-miss patterns.
+// The linter must report nothing here.
+#include <map>
+#include <memory>
+#include <string>
+#include <sys/socket.h>
+
+#include "common/logging.h"
+#include "common/memory.h"
+#include "common/random.h"
+
+struct Entry {
+  int weight = 0;
+};
+
+// Keywords inside comments never fire: throw, try, catch, rand(),
+// new Widget, DCHECK(x), ::write(fd).
+int Lookup(std::map<std::string, Entry>* m, const std::string& k) {
+  // try_emplace contains `try` as a prefix, not as a token.
+  auto [it, inserted] = m->try_emplace(k);
+  (void)inserted;
+  const char* msg = "never throw; rand() in a string; new in a string";
+  (void)msg;
+  DCHECK(m != nullptr);  // src/core is a trusted path: DCHECK is fine
+  return it->second.weight;
+}
+
+std::unique_ptr<Entry> Make() {
+  auto a = std::make_unique<Entry>();  // make_unique, not naked new
+  (void)a;
+  return p2prange::WrapUnique(new Entry());  // the sanctioned spelling
+}
+
+void SafeSend(int fd, const char* data, unsigned len) {
+  (void)::send(fd, data, len, MSG_NOSIGNAL);
+}
+
+unsigned Seeded() {
+  p2prange::Rng rng(42);  // the project RNG is always allowed
+  return static_cast<unsigned>(rng.Next32());
+}

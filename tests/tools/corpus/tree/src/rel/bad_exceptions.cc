@@ -1,0 +1,11 @@
+// Corpus: P2P001 must fire on each exception keyword in library code.
+#include <stdexcept>
+
+int Parse(const char* s) {
+  if (!s) throw std::invalid_argument("null");  // line 5: throw
+  try {  // line 6: try
+    return 1;
+  } catch (const std::exception&) {  // line 8: catch
+    return 0;
+  }
+}

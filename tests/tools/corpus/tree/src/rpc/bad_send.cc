@@ -1,0 +1,12 @@
+// Corpus: P2P005 must fire on SIGPIPE-capable socket writes.
+#include <sys/socket.h>
+#include <unistd.h>
+
+void Flush(int fd, const char* data, unsigned len) {
+  (void)::send(fd, data, len, 0);  // line 6: send without MSG_NOSIGNAL
+  (void)::write(fd, data, len);  // line 7: write on a socket
+}
+
+void FlushSafe(int fd, const char* data, unsigned len) {
+  (void)::send(fd, data, len, MSG_NOSIGNAL);  // sanctioned: not flagged
+}

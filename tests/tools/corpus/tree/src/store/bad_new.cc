@@ -1,0 +1,21 @@
+// Corpus: P2P003 must fire on a naked new but not on WrapUnique(new).
+#include <memory>
+
+#include "common/memory.h"
+
+struct Widget {
+  int x = 0;
+};
+
+Widget* Leaky() {
+  return new Widget();  // line 11: naked new
+}
+
+std::unique_ptr<Widget> Owned() {
+  return p2prange::WrapUnique(new Widget());  // sanctioned: not flagged
+}
+
+std::unique_ptr<Widget> OwnedMultiline() {
+  return p2prange::WrapUnique(
+      new Widget());  // sanctioned across a line break: not flagged
+}

@@ -1,0 +1,8 @@
+// Corpus: P2P004 must also fire on the WAL replay path (disk bytes are
+// as untrusted as wire bytes).
+#include "common/logging.h"
+
+int ReplayRecord(int seq) {
+  DCHECK_GT(seq, 0);  // line 6: DCHECK_GT on the WAL path
+  return seq;
+}

@@ -1,0 +1,8 @@
+// Corpus: P2P004 must fire on DCHECK over wire-derived data.
+#include "common/logging.h"
+
+int DecodeLength(const unsigned char* buf, int size) {
+  DCHECK(buf != nullptr);  // line 5: DCHECK on untrusted path
+  DCHECK_GE(size, 4);  // line 6: DCHECK_GE on untrusted path
+  return size;
+}

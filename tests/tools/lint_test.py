@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Golden-corpus test for tools/p2prange_lint.py.
+
+Three assertions:
+  1. On the corpus tree (one deliberate violation file per rule plus a
+     clean file), the linter reports *exactly* the findings in
+     expected.txt — same files, same rule ids, same line numbers — and
+     exits 1. A linter that stops firing on a known-bad snippet is a
+     broken gate, not a quiet success.
+  2. Every rule id (P2P000–P2P005) appears at least once in the corpus
+     output, so adding a rule without a corpus snippet fails loudly.
+  3. On the corpus's clean file alone, the linter exits 0 with no
+     output.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINTER = os.path.join(REPO, "tools", "p2prange_lint.py")
+CORPUS = os.path.join(HERE, "corpus", "tree")
+EXPECTED = os.path.join(HERE, "corpus", "expected.txt")
+
+ALL_RULES = ["P2P000", "P2P001", "P2P002", "P2P003", "P2P004", "P2P005"]
+
+
+def fail(msg):
+    print("lint_test: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def run(args):
+    proc = subprocess.run([sys.executable, LINTER] + args,
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    rc, out = run(["--root", CORPUS])
+    if rc != 1:
+        fail("corpus run exited %d, want 1\n%s" % (rc, out))
+
+    with open(EXPECTED, encoding="utf-8") as f:
+        expected = f.read()
+    if out != expected:
+        import difflib
+        diff = "\n".join(difflib.unified_diff(
+            expected.splitlines(), out.splitlines(),
+            "expected.txt", "actual", lineterm=""))
+        fail("corpus findings diverge from golden file:\n%s" % diff)
+
+    for rule in ALL_RULES:
+        if rule + " " not in out and "for " + rule not in out:
+            fail("rule %s has no firing corpus snippet" % rule)
+
+    clean = os.path.join(CORPUS, "src", "core", "clean.cc")
+    rc, out = run(["--root", CORPUS, clean])
+    if rc != 0 or out:
+        fail("clean file produced rc=%d output:\n%s" % (rc, out))
+
+    print("lint_test: PASS (%d golden findings, %d rules)" %
+          (len(expected.splitlines()), len(ALL_RULES)))
+
+
+if __name__ == "__main__":
+    main()

@@ -104,16 +104,18 @@ TEST(SerdeFuzzTest, GarbageBytesNeverMisbehave) {
   for (int trial = 0; trial < 2000; ++trial) {
     std::string garbage(rng.NextBounded(64), '\0');
     for (char& c : garbage) c = static_cast<char>(rng.Next32());
+    // Outcomes are irrelevant: the property under test is "no crash,
+    // no UB" on garbage, and the sanitizers are the assertion.
     Decoder d1(garbage);
-    (void)DecodePartitionDescriptor(&d1);
+    DecodePartitionDescriptor(&d1).status().IgnoreError();
     Decoder d2(garbage);
-    (void)DecodeNetAddress(&d2);
+    DecodeNetAddress(&d2).status().IgnoreError();
     Decoder d3(garbage);
-    (void)DecodeSchema(&d3);
+    DecodeSchema(&d3).status().IgnoreError();
     Decoder d4(garbage);
-    (void)DecodeRelation(&d4);
+    DecodeRelation(&d4).status().IgnoreError();
     Decoder d5(garbage);
-    (void)DecodeValue(&d5);
+    DecodeValue(&d5).status().IgnoreError();
   }
 }
 

@@ -1,25 +1,61 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build + full test suite, first in the normal
-# configuration, then under AddressSanitizer + UBSan
-# (-DP2PRANGE_SANITIZE="address;undefined"). Both must pass.
-# In between, every bench binary is run in its tiny --smoke
-# configuration, so signature-affecting regressions in the figure
-# harnesses are caught before anyone pays for a full regeneration run.
+# Tier-1 gate. Stages, in order:
 #
-# A dedicated crash-consistency stage then re-runs the durability
-# fuzzer at an elevated crash-point budget — and again under the
-# sanitizers, so every WAL replay / torn-tail / bit-flip recovery path
-# is exercised with UBSan watching.
+#   lint         p2prange_lint.py (repo invariants) + run_tidy.sh
+#                (clang-tidy when installed, NOLINT hygiene always)
+#   build+test   normal configuration with -DP2PRANGE_WERROR=ON —
+#                Status/Result are [[nodiscard]], so an unchecked error
+#                return is a build break here, not a warning
+#   bench smoke  every bench binary in its tiny --smoke configuration,
+#                so signature-affecting regressions in the figure
+#                harnesses are caught before a full regeneration run
+#   crash fuzz   the durability fuzzer at an elevated crash-point budget
+#   live smoke   a 3-node loopback ring of real daemons + client workload
+#   asan         full build + tests under AddressSanitizer + UBSan, then
+#                the crash fuzzer and live smoke again, sanitized
+#   tsan         ThreadSanitizer build (mutually exclusive with asan —
+#                separate tree) running the threaded suites: TCP
+#                transport/server and concurrent logging
 #
-# Usage: tools/check.sh [--no-sanitize] [--no-bench-smoke]
+# Usage: tools/check.sh [--lint-only] [--no-lint] [--no-sanitize]
+#                       [--no-tsan] [--no-bench-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+usage() {
+  sed -n 's/^# Usage: //p' "$0"
+  exit 2
+}
+
+do_lint=1
+do_sanitize=1
+do_tsan=1
+do_bench_smoke=1
+lint_only=0
+for arg in "$@"; do
+  case "$arg" in
+    --lint-only) lint_only=1 ;;
+    --no-lint) do_lint=0 ;;
+    --no-sanitize) do_sanitize=0 ;;
+    --no-tsan) do_tsan=0 ;;
+    --no-bench-smoke) do_bench_smoke=0 ;;
+    -h | --help) usage ;;
+    *)
+      echo "check.sh: unknown flag: $arg" >&2
+      usage
+      ;;
+  esac
+done
+if [[ $lint_only -eq 1 && $do_lint -eq 0 ]]; then
+  echo "check.sh: --lint-only and --no-lint are contradictory" >&2
+  exit 2
+fi
+
 run_suite() {
   local build_dir=$1
   shift
-  cmake -B "$build_dir" -S . "$@"
+  cmake -B "$build_dir" -S . -DP2PRANGE_WERROR=ON "$@"
   cmake --build "$build_dir" -j
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 }
@@ -103,10 +139,21 @@ run_live_smoke() {
   rm -rf "$scratch"
 }
 
-echo "=== normal build + tests ==="
+if [[ $do_lint -eq 1 ]]; then
+  echo "=== lint: p2prange invariants (tools/p2prange_lint.py) ==="
+  python3 tools/p2prange_lint.py
+  echo "=== lint: clang-tidy (tools/run_tidy.sh) ==="
+  tools/run_tidy.sh build
+  if [[ $lint_only -eq 1 ]]; then
+    echo "=== lint-only: all lint checks passed ==="
+    exit 0
+  fi
+fi
+
+echo "=== normal build + tests (with -Werror) ==="
 run_suite build
 
-if [[ "${1:-}" != "--no-bench-smoke" && "${2:-}" != "--no-bench-smoke" ]]; then
+if [[ $do_bench_smoke -eq 1 ]]; then
   echo "=== bench smoke runs (--smoke) ==="
   run_bench_smoke build/bench
 fi
@@ -118,7 +165,7 @@ P2PRANGE_CRASH_FUZZ_POINTS=3000 \
 echo "=== live-ring smoke (3 daemons over loopback TCP) ==="
 run_live_smoke build
 
-if [[ "${1:-}" != "--no-sanitize" && "${2:-}" != "--no-sanitize" ]]; then
+if [[ $do_sanitize -eq 1 ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
   echo "=== sanitized crash-consistency fuzz (torn/bit-flip WAL replay under UBSan) ==="
@@ -127,6 +174,18 @@ if [[ "${1:-}" != "--no-sanitize" && "${2:-}" != "--no-sanitize" ]]; then
     --gtest_filter='CrashConsistencyFuzz.*:SerdeFuzzTest.*:WalTest.*:SnapshotTest.*'
   echo "=== sanitized live-ring smoke ==="
   run_live_smoke build-asan
+fi
+
+if [[ $do_tsan -eq 1 ]]; then
+  # TSan cannot share a tree (or a process) with ASan; build-tsan is
+  # its own configuration. Scope: the suites that actually run threads
+  # today — TCP transport/server (background poll threads) and the
+  # concurrent logging test — ahead of the multi-threaded daemon work.
+  echo "=== tsan build + threaded suites (thread) ==="
+  cmake -B build-tsan -S . -DP2PRANGE_WERROR=ON -DP2PRANGE_SANITIZE=thread
+  cmake --build build-tsan -j
+  ./build-tsan/tests/p2prange_tests \
+    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*'
 fi
 
 echo "=== all checks passed ==="
