@@ -29,7 +29,7 @@ uint32_t GetU32Le(const char* p) {
 }  // namespace
 
 size_t AppendFrame(std::string_view payload, std::string* out) {
-  CHECK(payload.size() <= kMaxFramePayload)
+  CHECK(payload.size() <= kMaxFramePayload)  // p2plint: allow(P2P004): encode-side cap on a locally produced payload, not wire input
       << "frame payload of " << payload.size() << " bytes exceeds the "
       << kMaxFramePayload << "-byte cap";
   const size_t before = out->size();

@@ -19,13 +19,27 @@ const char* MsgTypeName(MsgType t) {
       return "fetch_partition";
     case MsgType::kMetrics:
       return "metrics";
+    case MsgType::kJoin:
+      return "join";
+    case MsgType::kLeave:
+      return "leave";
+    case MsgType::kNotify:
+      return "notify";
+    case MsgType::kGetNeighbors:
+      return "get_neighbors";
+    case MsgType::kGossip:
+      return "gossip";
+    case MsgType::kPullBuckets:
+      return "pull_buckets";
+    case MsgType::kHandoff:
+      return "handoff";
   }
   return "unknown";
 }
 
 bool IsKnownMsgType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kPing) &&
-         raw <= static_cast<uint8_t>(MsgType::kMetrics);
+         raw <= static_cast<uint8_t>(MsgType::kHandoff);
 }
 
 std::string EncodeEnvelope(const RpcHeader& header, std::string_view body) {

@@ -27,6 +27,15 @@ enum class MsgType : uint8_t {
   kStorePartition = 4,   ///< materialize partition tuples at the holder
   kFetchPartition = 5,   ///< fetch a materialized partition's tuples
   kMetrics = 6,          ///< single-line JSON metrics snapshot
+  // Live-ring membership (DESIGN.md §9). All of these carry
+  // MemberEntry lists encoded by rpc/membership.h.
+  kJoin = 7,             ///< joiner announces itself; reply = full view
+  kLeave = 8,            ///< graceful departure announcement
+  kNotify = 9,           ///< Chord notify: "I may be your predecessor"
+  kGetNeighbors = 10,    ///< stabilize query: predecessor/self/successor
+  kGossip = 11,          ///< push-pull view exchange; reply = full view
+  kPullBuckets = 12,     ///< joiner pulls the descriptors of an id arc
+  kHandoff = 13,         ///< bulk descriptor transfer (leave / repair)
 };
 
 /// Human-readable name ("ping", "store_descriptor", ...).

@@ -7,7 +7,7 @@
 
 #include "common/memory.h"
 
-#include "hash/sha1.h"
+#include "rpc/membership.h"
 #include "wire/serde.h"
 
 namespace p2prange {
@@ -52,60 +52,6 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
 }
 
 }  // namespace
-
-// --------------------------------------------------------------------------
-// RingView
-// --------------------------------------------------------------------------
-
-chord::ChordId RingView::IdOf(const NetAddress& addr) {
-  return Sha1::Hash32(addr.ToString());
-}
-
-Result<RingView> RingView::Make(const std::vector<NetAddress>& members) {
-  if (members.empty()) {
-    return Status::InvalidArgument("a ring view needs at least one member");
-  }
-  std::vector<std::pair<chord::ChordId, NetAddress>> sorted;
-  sorted.reserve(members.size());
-  for (const NetAddress& m : members) {
-    sorted.emplace_back(IdOf(m), m);
-  }
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (size_t i = 1; i < sorted.size(); ++i) {
-    if (sorted[i].first == sorted[i - 1].first) {
-      return Status::InvalidArgument(
-          "members " + sorted[i - 1].second.ToString() + " and " +
-          sorted[i].second.ToString() + " collide on identifier " +
-          std::to_string(sorted[i].first));
-    }
-  }
-  return RingView(std::move(sorted));
-}
-
-const NetAddress& RingView::Owner(chord::ChordId id) const {
-  // Successor: first member id >= target, wrapping to the smallest.
-  auto it = std::lower_bound(
-      sorted_.begin(), sorted_.end(), id,
-      [](const auto& m, chord::ChordId target) { return m.first < target; });
-  if (it == sorted_.end()) it = sorted_.begin();
-  return it->second;
-}
-
-std::vector<NetAddress> RingView::Replicas(chord::ChordId id, int count) const {
-  auto it = std::lower_bound(
-      sorted_.begin(), sorted_.end(), id,
-      [](const auto& m, chord::ChordId target) { return m.first < target; });
-  if (it == sorted_.end()) it = sorted_.begin();
-  std::vector<NetAddress> out;
-  const size_t want =
-      std::min(static_cast<size_t>(std::max(count, 1)), sorted_.size());
-  size_t pos = static_cast<size_t>(it - sorted_.begin());
-  for (size_t i = 0; i < want; ++i) {
-    out.push_back(sorted_[(pos + i) % sorted_.size()].second);
-  }
-  return out;
-}
 
 // --------------------------------------------------------------------------
 // Protocol bodies
@@ -220,6 +166,58 @@ Result<PartitionKey> DecodeFetchPartitionRequest(std::string_view body) {
   return key;
 }
 
+std::string EncodePullBucketsRequest(const PullBucketsRequest& req) {
+  wire::Encoder enc;
+  enc.PutVarint(req.lo);
+  enc.PutVarint(req.hi);
+  return enc.Take();
+}
+
+Result<PullBucketsRequest> DecodePullBucketsRequest(std::string_view body) {
+  wire::Decoder dec(body);
+  PullBucketsRequest req;
+  ASSIGN_OR_RETURN(uint64_t lo, dec.Varint());
+  ASSIGN_OR_RETURN(uint64_t hi, dec.Varint());
+  if (lo > UINT32_MAX || hi > UINT32_MAX) {
+    return Status::InvalidArgument("pull interval out of id space");
+  }
+  req.lo = static_cast<chord::ChordId>(lo);
+  req.hi = static_cast<chord::ChordId>(hi);
+  if (!dec.AtEnd()) return Status::InvalidArgument("trailing request bytes");
+  return req;
+}
+
+std::string EncodeHandoffBatch(const HandoffBatch& batch) {
+  wire::Encoder enc;
+  enc.PutVarint(batch.entries.size());
+  for (const auto& [bucket, descriptor] : batch.entries) {
+    enc.PutVarint(bucket);
+    wire::EncodePartitionDescriptor(descriptor, &enc);
+  }
+  return enc.Take();
+}
+
+Result<HandoffBatch> DecodeHandoffBatch(std::string_view body) {
+  wire::Decoder dec(body);
+  // A bucket varint plus the smallest possible descriptor is well over
+  // two bytes; 2 is a safe floor for the pre-allocation guard.
+  ASSIGN_OR_RETURN(const size_t n, dec.GuardedCount(2, kMaxHandoffEntries));
+  HandoffBatch batch;
+  batch.entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint64_t bucket, dec.Varint());
+    if (bucket > UINT32_MAX) {
+      return Status::InvalidArgument("bucket id out of range");
+    }
+    ASSIGN_OR_RETURN(PartitionDescriptor descriptor,
+                     wire::DecodePartitionDescriptor(&dec));
+    batch.entries.emplace_back(static_cast<chord::ChordId>(bucket),
+                               std::move(descriptor));
+  }
+  if (!dec.AtEnd()) return Status::InvalidArgument("trailing batch bytes");
+  return batch;
+}
+
 // --------------------------------------------------------------------------
 // NodeService
 // --------------------------------------------------------------------------
@@ -292,9 +290,107 @@ Result<std::string> NodeService::Handle(MsgType type, std::string_view body) {
       // The daemon wraps Handle() to merge transport stats in; served
       // bare, the node's own counters still tell most of the story.
       return MetricsJson(NetworkStats{}, RpcStats{});
+    case MsgType::kJoin:
+    case MsgType::kLeave:
+    case MsgType::kNotify:
+    case MsgType::kGetNeighbors:
+    case MsgType::kGossip:
+      return HandleMembership(type, body);
+    case MsgType::kPullBuckets:
+      return HandlePullBuckets(body);
+    case MsgType::kHandoff:
+      return HandleHandoff(body);
   }
   ++counters_.bad_requests;
   return Status::InvalidArgument("unhandled message type");
+}
+
+Result<std::string> NodeService::HandleMembership(MsgType type,
+                                                  std::string_view body) {
+  if (membership_ == nullptr) {
+    // A static deployment: the caller learns this ring does not speak
+    // membership and falls back to its configured view.
+    return Status::NotImplemented("membership not enabled on " +
+                                  self_.ToString());
+  }
+  switch (type) {
+    case MsgType::kJoin:
+      return membership_->HandleJoin(body);
+    case MsgType::kLeave:
+      return membership_->HandleLeave(body);
+    case MsgType::kNotify:
+      return membership_->HandleNotify(body);
+    case MsgType::kGetNeighbors:
+      return membership_->HandleGetNeighbors(body);
+    case MsgType::kGossip:
+      return membership_->HandleGossip(body);
+    default:
+      ++counters_.bad_requests;
+      return Status::InvalidArgument("not a membership message");
+  }
+}
+
+std::optional<NetAddress> NodeService::RedirectFor(
+    chord::ChordId bucket) const {
+  if (membership_ == nullptr || membership_->num_alive() < 2) {
+    return std::nullopt;
+  }
+  auto ring = membership_->AliveRing();
+  if (!ring.ok()) return std::nullopt;
+  const auto replicas =
+      ring->Replicas(bucket, options_.descriptor_replication);
+  for (const NetAddress& r : replicas) {
+    if (r == self_) return std::nullopt;
+  }
+  return replicas.front();
+}
+
+Status NodeService::InsertDescriptor(chord::ChordId bucket,
+                                     const PartitionDescriptor& descriptor) {
+  store_->Insert(bucket, descriptor);
+  ++counters_.descriptors_stored;
+  return SaveDurable();
+}
+
+Result<std::string> NodeService::HandlePullBuckets(std::string_view body) {
+  auto req = DecodePullBucketsRequest(body);
+  if (!req.ok()) {
+    ++counters_.bad_requests;
+    return req.status();
+  }
+  HandoffBatch batch;
+  for (auto& [bucket, descriptor] : store_->store().EntriesOldestFirst()) {
+    if (!chord::InOpenClosed(req->lo, req->hi, bucket)) continue;
+    if (batch.entries.size() >= kMaxHandoffEntries) break;
+    batch.entries.emplace_back(bucket, std::move(descriptor));
+  }
+  ++counters_.buckets_pulled;
+  return EncodeHandoffBatch(batch);
+}
+
+Result<size_t> NodeService::ApplyHandoff(const HandoffBatch& batch) {
+  for (const auto& [bucket, descriptor] : batch.entries) {
+    store_->Insert(bucket, descriptor);
+    ++counters_.descriptors_stored;
+  }
+  // One durable flush for the whole batch, not one per descriptor —
+  // handoff happens under churn, when write amplification hurts most.
+  RETURN_NOT_OK(SaveDurable());
+  ++counters_.handoffs_received;
+  counters_.handoff_descriptors += batch.entries.size();
+  return batch.entries.size();
+}
+
+Result<std::string> NodeService::HandleHandoff(std::string_view body) {
+  auto batch = DecodeHandoffBatch(body);
+  if (!batch.ok()) {
+    ++counters_.bad_requests;
+    return batch.status();
+  }
+  ASSIGN_OR_RETURN(const size_t applied, ApplyHandoff(*batch));
+  wire::Encoder enc;
+  enc.PutVarint(applied);
+  return enc.Take();
 }
 
 Result<std::string> NodeService::HandleStoreDescriptor(std::string_view body) {
@@ -303,9 +399,14 @@ Result<std::string> NodeService::HandleStoreDescriptor(std::string_view body) {
     ++counters_.bad_requests;
     return req.status();
   }
-  store_->Insert(req->bucket, req->descriptor);
-  ++counters_.descriptors_stored;
-  RETURN_NOT_OK(SaveDurable());
+  // A store reaching a non-replica means the publisher's view is
+  // stale (a member joined between its refresh and this call): teach
+  // it the real owner instead of accepting a misplaced descriptor.
+  if (const auto owner = RedirectFor(req->bucket)) {
+    ++counters_.redirects_sent;
+    return Status::OutOfRange(WrongOwnerMessage(*owner));
+  }
+  RETURN_NOT_OK(InsertDescriptor(req->bucket, req->descriptor));
   wire::Encoder enc;
   enc.PutVarint(store_->store().num_descriptors());
   return enc.Take();
@@ -320,6 +421,16 @@ Result<std::string> NodeService::HandleProbeBucket(std::string_view body) {
   ++counters_.probes_served;
   const std::optional<MatchCandidate> best =
       store_->store().BestMatch(req->bucket, req->query, req->criterion);
+  // Descriptors are immutable, so anything we still hold is a correct
+  // answer even if ownership moved; redirect only an *empty* miss on a
+  // bucket that is no longer ours — the data, if any, lives at the
+  // new owner.
+  if (!best.has_value()) {
+    if (const auto owner = RedirectFor(req->bucket)) {
+      ++counters_.redirects_sent;
+      return Status::OutOfRange(WrongOwnerMessage(*owner));
+    }
+  }
   if (best.has_value()) ++counters_.probe_hits;
   return EncodeProbeBucketResponse(best);
 }
@@ -354,7 +465,8 @@ Result<std::string> NodeService::HandleFetchPartition(std::string_view body) {
 }
 
 std::string NodeService::MetricsJson(const NetworkStats& net,
-                                     const RpcStats& rpc) const {
+                                     const RpcStats& rpc,
+                                     std::string_view extra) const {
   std::string out = "{\"node\":{";
   out += "\"addr\":\"" + self_.ToString() + "\"";
   out += ",\"id\":" + std::to_string(id_);
@@ -368,6 +480,12 @@ std::string NodeService::MetricsJson(const NetworkStats& net,
   out += ",\"partitions_fetched\":" +
          std::to_string(counters_.partitions_fetched);
   out += ",\"bad_requests\":" + std::to_string(counters_.bad_requests);
+  out += ",\"handoffs_received\":" +
+         std::to_string(counters_.handoffs_received);
+  out += ",\"handoff_descriptors\":" +
+         std::to_string(counters_.handoff_descriptors);
+  out += ",\"buckets_pulled\":" + std::to_string(counters_.buckets_pulled);
+  out += ",\"redirects_sent\":" + std::to_string(counters_.redirects_sent);
   out += ",\"store_descriptors\":" +
          std::to_string(store_->store().num_descriptors());
   out += ",\"store_buckets\":" + std::to_string(store_->store().num_buckets());
@@ -379,6 +497,7 @@ std::string NodeService::MetricsJson(const NetworkStats& net,
          std::to_string(recovery_.wal_records_replayed);
   out += "},\"network\":" + NetworkStatsToJson(net);
   out += ",\"rpc\":" + rpc.ToJson();
+  out += extra;
   out += "}";
   return out;
 }

@@ -25,6 +25,7 @@
 #include "net/address.h"
 #include "rel/relation.h"
 #include "rpc/message.h"
+#include "rpc/ring_view.h"
 #include "rpc/transport.h"
 #include "store/bucket_store.h"
 #include "store/durable_store.h"
@@ -32,40 +33,7 @@
 namespace p2prange {
 namespace rpc {
 
-// --------------------------------------------------------------------------
-// RingView: static full membership
-// --------------------------------------------------------------------------
-
-/// \brief A converged view of the ring: every member's address and
-/// SHA-1-derived identifier, sorted. Owner(id) is the identifier's
-/// successor — one-hop routing, as in a fully stabilized overlay.
-class RingView {
- public:
-  /// Builds the view; duplicate addresses are rejected.
-  static Result<RingView> Make(const std::vector<NetAddress>& members);
-
-  /// The member owning identifier `id` (its successor on the ring).
-  const NetAddress& Owner(chord::ChordId id) const;
-
-  /// Owner plus the next `count - 1` distinct successors — where
-  /// replicated descriptors live (mirrors the simulator's placement).
-  std::vector<NetAddress> Replicas(chord::ChordId id, int count) const;
-
-  size_t size() const { return sorted_.size(); }
-
-  /// Members in identifier order.
-  const std::vector<std::pair<chord::ChordId, NetAddress>>& members() const {
-    return sorted_;
-  }
-
-  /// The identifier a member address maps to.
-  static chord::ChordId IdOf(const NetAddress& addr);
-
- private:
-  explicit RingView(std::vector<std::pair<chord::ChordId, NetAddress>> sorted)
-      : sorted_(std::move(sorted)) {}
-  std::vector<std::pair<chord::ChordId, NetAddress>> sorted_;
-};
+class LiveMembership;  // rpc/membership.h
 
 // --------------------------------------------------------------------------
 // Protocol bodies
@@ -106,6 +74,26 @@ Result<StorePartitionRequest> DecodeStorePartitionRequest(
 std::string EncodeFetchPartitionRequest(const PartitionKey& key);
 Result<PartitionKey> DecodeFetchPartitionRequest(std::string_view body);
 
+/// \brief A joiner's request for the descriptors of the identifier arc
+/// (lo, hi] it is about to own (kPullBuckets).
+struct PullBucketsRequest {
+  chord::ChordId lo = 0;
+  chord::ChordId hi = 0;
+};
+std::string EncodePullBucketsRequest(const PullBucketsRequest& req);
+Result<PullBucketsRequest> DecodePullBucketsRequest(std::string_view body);
+
+/// \brief A bulk descriptor transfer: re-replication pushes, graceful
+/// handoff, and the kPullBuckets response all carry one of these.
+struct HandoffBatch {
+  std::vector<std::pair<chord::ChordId, PartitionDescriptor>> entries;
+};
+/// Most entries one batch may carry (senders chunk at this size; a
+/// hostile count beyond it is rejected before any allocation).
+inline constexpr size_t kMaxHandoffEntries = 65536;
+std::string EncodeHandoffBatch(const HandoffBatch& batch);
+Result<HandoffBatch> DecodeHandoffBatch(std::string_view body);
+
 // --------------------------------------------------------------------------
 // NodeService
 // --------------------------------------------------------------------------
@@ -118,6 +106,11 @@ struct NodeServiceOptions {
   /// durability in memory only (tests); non-empty persists every
   /// mutation so a restarted process recovers its descriptors.
   std::string wal_dir;
+  /// Replicas per descriptor the ring runs with. Used for wrong-owner
+  /// redirects: with live membership attached, a store/probe for a
+  /// bucket whose replica set excludes this node is answered with a
+  /// redirect to the real owner instead of being silently accepted.
+  int descriptor_replication = 1;
 };
 
 /// \brief Counters of one node's service activity.
@@ -129,6 +122,10 @@ struct NodeCounters {
   uint64_t partitions_stored = 0;
   uint64_t partitions_fetched = 0;
   uint64_t bad_requests = 0;
+  uint64_t handoffs_received = 0;     ///< kHandoff batches applied
+  uint64_t handoff_descriptors = 0;   ///< descriptors those batches held
+  uint64_t buckets_pulled = 0;        ///< kPullBuckets requests served
+  uint64_t redirects_sent = 0;        ///< wrong-owner answers returned
 };
 
 class NodeService {
@@ -145,9 +142,33 @@ class NodeService {
   /// The protocol handler: plug into TcpServer or SimTransport.
   Result<std::string> Handle(MsgType type, std::string_view body);
 
+  /// Attaches live membership: its handlers serve the membership
+  /// messages, and its alive ring drives wrong-owner redirects.
+  /// Without one (static deployments, tests) membership messages are
+  /// answered NotImplemented and no redirects are ever sent. The
+  /// object must outlive this service.
+  void set_membership(LiveMembership* membership) {
+    membership_ = membership;
+  }
+
+  /// \brief Stores one descriptor durably (insert + WAL/snapshot
+  /// flush) — the local half of every descriptor-bearing message, also
+  /// used directly by the re-replicator.
+  Status InsertDescriptor(chord::ChordId bucket,
+                          const PartitionDescriptor& descriptor);
+
+  /// \brief Applies one handoff batch durably (all inserts, then a
+  /// single flush) and returns how many descriptors it held. Serves
+  /// kHandoff and the re-replicator's pull path.
+  Result<size_t> ApplyHandoff(const HandoffBatch& batch);
+
   /// Single-line JSON: this node's counters + store gauges + the
   /// supplied transport counters (the daemon passes its server stats).
-  std::string MetricsJson(const NetworkStats& net, const RpcStats& rpc) const;
+  /// `extra` is spliced in as additional top-level sections — the
+  /// daemon passes its membership/re-replication gauges (must be
+  /// either empty or a ",\"key\":{...}" fragment).
+  std::string MetricsJson(const NetworkStats& net, const RpcStats& rpc,
+                          std::string_view extra = {}) const;
 
   const NetAddress& self() const { return self_; }
   chord::ChordId id() const { return id_; }
@@ -163,6 +184,14 @@ class NodeService {
   Result<std::string> HandleProbeBucket(std::string_view body);
   Result<std::string> HandleStorePartition(std::string_view body);
   Result<std::string> HandleFetchPartition(std::string_view body);
+  Result<std::string> HandleMembership(MsgType type, std::string_view body);
+  Result<std::string> HandlePullBuckets(std::string_view body);
+  Result<std::string> HandleHandoff(std::string_view body);
+
+  /// The redirect decision: with membership attached and >1 alive
+  /// member, returns the bucket's owner when this node is not among
+  /// its replicas (nullopt = serve locally).
+  std::optional<NetAddress> RedirectFor(chord::ChordId bucket) const;
 
   /// Loads WAL + snapshot images from wal_dir (missing files = fresh).
   Status LoadDurable();
@@ -172,6 +201,7 @@ class NodeService {
   NetAddress self_;
   chord::ChordId id_;
   NodeServiceOptions options_;
+  LiveMembership* membership_ = nullptr;
   std::unique_ptr<store::DurableDescriptorStore> store_;
   std::unordered_map<PartitionKey, Relation, PartitionKeyHash> partitions_;
   NodeCounters counters_;

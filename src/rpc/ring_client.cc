@@ -3,18 +3,31 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/memory.h"
+#include "rpc/membership.h"
 
 namespace p2prange {
 namespace rpc {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
 
 RingClient::RingClient(RingView view, LshScheme lsh, RingClientOptions options)
     : view_(std::move(view)),
       lsh_(std::make_unique<LshScheme>(std::move(lsh))),
       options_(std::move(options)),
-      transport_(options_.transport) {
+      transport_(options_.transport),
+      retry_rng_(options_.retry_jitter_seed) {
   for (const auto& [id, addr] : view_.members()) {
     transport_.Register(addr);
   }
@@ -36,18 +49,40 @@ Result<std::string> RingClient::CallWithPolicy(const NetAddress& to,
                                                MsgType type,
                                                const std::string& body) {
   const FaultPolicy& policy = options_.fault;
+  const auto started = std::chrono::steady_clock::now();
   Transport::CallOptions call_options;
   call_options.deadline_ms = options_.deadline_ms;
   double wait_ms = policy.backoff_base_ms;
   Status last;
   for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
     if (attempt > 0) {
-      // Real wall-clock backoff before the retransmission (the
-      // simulator charges the same wait as simulated latency).
-      ::usleep(static_cast<useconds_t>(wait_ms * 1000.0));
+      // Real wall-clock backoff before the retransmission, spread by
+      // the policy's jitter so synchronized clients desynchronize
+      // instead of stampeding a recovering peer.
+      const double sleep_ms =
+          wait_ms * (1.0 - policy.backoff_jitter +
+                     policy.backoff_jitter * retry_rng_.NextDouble());
+      if (policy.op_budget_ms > 0.0 &&
+          ElapsedMs(started) + sleep_ms >= policy.op_budget_ms) {
+        return Status(last.code(),
+                      last.message() + " (op budget of " +
+                          std::to_string(policy.op_budget_ms) +
+                          "ms exhausted after " + std::to_string(attempt) +
+                          " attempts)");
+      }
+      ::usleep(static_cast<useconds_t>(sleep_ms * 1000.0));
       wait_ms = std::min(wait_ms * policy.backoff_multiplier,
                          policy.backoff_max_ms);
       ++transport_.mutable_rpc_stats().retransmits;
+    }
+    if (policy.op_budget_ms > 0.0) {
+      // The last attempt before the budget line gets only what's left
+      // of it, so the operation as a whole lands inside the budget.
+      const double remaining = policy.op_budget_ms - ElapsedMs(started);
+      call_options.deadline_ms = std::min(options_.deadline_ms, remaining);
+      if (call_options.deadline_ms <= 0.0) {
+        return last.ok() ? Status::IOError("op budget exhausted") : last;
+      }
     }
     auto result = transport_.Call(NetAddress{}, to, type, body, call_options);
     if (result.ok()) return std::move(result->body);
@@ -57,6 +92,55 @@ Result<std::string> RingClient::CallWithPolicy(const NetAddress& to,
     if (!last.IsIOError()) return last;
   }
   return last;
+}
+
+Status RingClient::RefreshView() {
+  // A gossip exchange with an empty entry list is a pure read of the
+  // peer's membership table. Any reachable member will do; a static
+  // ring answers NotImplemented and the view is left untouched.
+  Transport::CallOptions call_options;
+  call_options.deadline_ms = options_.deadline_ms;
+  std::vector<NetAddress> contacts;
+  for (const auto& [id, addr] : view_.members()) contacts.push_back(addr);
+  Status last = Status::Unavailable("no members to refresh the view from");
+  for (const NetAddress& contact : contacts) {
+    auto result = transport_.Call(NetAddress{}, contact, MsgType::kGossip,
+                                  EncodeViewMessage({}), call_options);
+    if (!result.ok()) {
+      last = result.status();
+      continue;
+    }
+    auto entries = DecodeViewMessage(result->body);
+    if (!entries.ok()) {
+      last = entries.status();
+      continue;
+    }
+    std::vector<NetAddress> alive;
+    for (const MemberEntry& e : *entries) {
+      if (e.status == MemberStatus::kAlive) alive.push_back(e.addr);
+    }
+    auto fresh = RingView::Make(alive);
+    if (!fresh.ok()) {
+      last = fresh.status();
+      continue;
+    }
+    for (const NetAddress& a : alive) transport_.Register(a);
+    view_ = std::move(*fresh);
+    return Status::OK();
+  }
+  return last;
+}
+
+void RingClient::LearnMember(const NetAddress& addr) {
+  if (view_.Contains(addr)) return;
+  std::vector<NetAddress> members{addr};
+  for (const auto& [id, a] : view_.members()) members.push_back(a);
+  auto fresh = RingView::Make(members);
+  // An identifier collision keeps the old view: routing to the wrong
+  // half of a collision is worse than one more redirect.
+  if (!fresh.ok()) return;
+  transport_.Register(addr);
+  view_ = std::move(*fresh);
 }
 
 Status RingClient::Publish(const PartitionKey& key, const NetAddress& holder) {
@@ -73,6 +157,14 @@ Status RingClient::Publish(const PartitionKey& key, const NetAddress& holder) {
     for (const NetAddress& replica :
          view_.Replicas(id, options_.descriptor_replication)) {
       auto result = CallWithPolicy(replica, MsgType::kStoreDescriptor, body);
+      if (!result.ok() && result.status().IsOutOfRange()) {
+        // The replica's view says this bucket lives elsewhere (a
+        // member joined since our refresh): follow the redirect.
+        if (const auto owner = ParseWrongOwner(result.status().message())) {
+          LearnMember(*owner);
+          result = CallWithPolicy(*owner, MsgType::kStoreDescriptor, body);
+        }
+      }
       if (result.ok()) {
         ++stored;
       } else {
@@ -143,6 +235,7 @@ Result<LiveLookupOutcome> RingClient::Lookup(const PartitionKey& query) {
 
   std::vector<MatchCandidate> candidates;
   std::set<std::string> candidates_seen;
+  bool refreshed = false;  // at most one view refresh per lookup
 
   auto collect = [&](const std::string& body) -> Status {
     ASSIGN_OR_RETURN(std::optional<MatchCandidate> candidate,
@@ -171,16 +264,36 @@ Result<LiveLookupOutcome> RingClient::Lookup(const PartitionKey& query) {
 
     // Retry the owner under the fault policy, then fail over to the
     // bucket's replicas — the live analogue of the simulator's
-    // owner-then-successors probe sequence.
-    if (!answered) {
+    // owner-then-successors probe sequence. A wrong-owner redirect
+    // from any replica is followed (and its member learned) at once.
+    auto probe_replicas = [&](bool* answered_out) {
       const auto replicas = view_.Replicas(out.identifiers[g],
                                            options_.descriptor_replication);
-      for (size_t r = 0; r < replicas.size() && !answered; ++r) {
+      for (size_t r = 0; r < replicas.size() && !*answered_out; ++r) {
         auto result =
             CallWithPolicy(replicas[r], MsgType::kProbeBucket, probe.body);
+        if (!result.ok() && result.status().IsOutOfRange()) {
+          if (const auto owner = ParseWrongOwner(result.status().message())) {
+            LearnMember(*owner);
+            ++out.redirects;
+            result = CallWithPolicy(*owner, MsgType::kProbeBucket, probe.body);
+          }
+        }
         if (!result.ok()) continue;
-        answered = collect(*result).ok();
-        if (answered && r > 0) ++out.failovers;
+        *answered_out = collect(*result).ok();
+        if (*answered_out && r > 0) ++out.failovers;
+      }
+    };
+    if (!answered) probe_replicas(&answered);
+
+    // Every replica of this bucket failed: our view may predate a
+    // wave of churn. Refresh it from the ring's gossip (once per
+    // lookup) and give the probe one more round at the new owners.
+    if (!answered && options_.refresh_on_failure && !refreshed) {
+      refreshed = true;
+      if (RefreshView().ok()) {
+        ++out.view_refreshes;
+        probe_replicas(&answered);
       }
     }
 

@@ -11,8 +11,19 @@
 //
 // Fault handling wires the existing FaultPolicy into the real network:
 // an IOError (deadline missed, stream corrupted) is retried with
-// exponential backoff and counted as a retransmission; Unavailable (the
-// peer is gone) fails over to the next replica of the bucket.
+// jittered exponential backoff — FaultPolicy.backoff_jitter spreads the
+// retry instants so synchronized clients do not stampede a recovering
+// peer — under an optional per-operation budget
+// (FaultPolicy.op_budget_ms), and counted as a retransmission;
+// Unavailable (the peer is gone) fails over to the next replica of the
+// bucket.
+//
+// Against a membership-enabled ring (DESIGN.md §9) the client's view is
+// dynamic: a wrong-owner redirect teaches it the member it was missing,
+// and when every replica of a bucket fails it refreshes the whole view
+// from any reachable member's gossip before giving up on the probe.
+// Static rings answer the refresh with NotImplemented, which degrades
+// to exactly the old fixed-view behavior.
 #ifndef P2PRANGE_RPC_RING_CLIENT_H_
 #define P2PRANGE_RPC_RING_CLIENT_H_
 
@@ -20,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "core/fault_policy.h"
 #include "hash/lsh.h"
 #include "rel/relation.h"
@@ -42,6 +54,11 @@ struct RingClientOptions {
   double deadline_ms = 1000.0;
   /// Replicas per descriptor (owner + successors), as in the sim.
   int descriptor_replication = 1;
+  /// When every replica of a bucket fails, pull a fresh membership
+  /// view from the ring (kGossip) and retry once at the new owners.
+  bool refresh_on_failure = true;
+  /// Seed of the retry-jitter stream (deterministic tests).
+  uint64_t retry_jitter_seed = 0x5e41c1ed5eedULL;
   TcpTransport::Options transport;
 };
 
@@ -51,6 +68,8 @@ struct LiveLookupOutcome {
   std::vector<MatchCandidate> ranked;    ///< deduped, best first
   int probes_failed = 0;                 ///< groups with no reachable replica
   int failovers = 0;                     ///< probes answered by a successor
+  int redirects = 0;                     ///< wrong-owner redirects followed
+  int view_refreshes = 0;                ///< gossip view pulls performed
   double latency_ms = 0.0;               ///< wall-clock across all probes
 };
 
@@ -81,6 +100,15 @@ class RingClient {
   /// fan-out; the outcome reports how many.
   Result<LiveLookupOutcome> Lookup(const PartitionKey& query);
 
+  /// \brief Replaces the routing view with the alive members of any
+  /// reachable peer's gossip view. Fails (without touching the view)
+  /// when no member answers or the ring is static (NotImplemented).
+  Status RefreshView();
+
+  /// Adds one member to the routing view (from a wrong-owner
+  /// redirect); no-op if already present or its identifier collides.
+  void LearnMember(const NetAddress& addr);
+
   /// One liveness round trip (also the readiness check for harnesses).
   Result<double> Ping(const NetAddress& node);
 
@@ -95,7 +123,8 @@ class RingClient {
   RingClient(RingView view, LshScheme lsh, RingClientOptions options);
 
   /// One call with the FaultPolicy retry loop: IOError retries with
-  /// backoff (counted as retransmits), anything else returns at once.
+  /// jittered backoff (counted as retransmits) while the per-operation
+  /// budget lasts, anything else returns at once.
   Result<std::string> CallWithPolicy(const NetAddress& to, MsgType type,
                                      const std::string& body);
 
@@ -103,6 +132,7 @@ class RingClient {
   std::unique_ptr<LshScheme> lsh_;
   RingClientOptions options_;
   TcpTransport transport_;
+  Rng retry_rng_;
 };
 
 }  // namespace rpc

@@ -1,0 +1,89 @@
+#include "rpc/ring_view.h"
+
+#include <algorithm>
+#include <string>
+
+#include "hash/sha1.h"
+
+namespace p2prange {
+namespace rpc {
+
+chord::ChordId RingView::IdOf(const NetAddress& addr) {
+  return Sha1::Hash32(addr.ToString());
+}
+
+Result<RingView> RingView::Make(const std::vector<NetAddress>& members) {
+  if (members.empty()) {
+    return Status::InvalidArgument("a ring view needs at least one member");
+  }
+  std::vector<std::pair<chord::ChordId, NetAddress>> sorted;
+  sorted.reserve(members.size());
+  for (const NetAddress& m : members) {
+    sorted.emplace_back(IdOf(m), m);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].first == sorted[i - 1].first) {
+      return Status::InvalidArgument(
+          "members " + sorted[i - 1].second.ToString() + " and " +
+          sorted[i].second.ToString() + " collide on identifier " +
+          std::to_string(sorted[i].first));
+    }
+  }
+  return RingView(std::move(sorted));
+}
+
+const NetAddress& RingView::Owner(chord::ChordId id) const {
+  // Successor: first member id >= target, wrapping to the smallest.
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const auto& m, chord::ChordId target) { return m.first < target; });
+  if (it == sorted_.end()) it = sorted_.begin();
+  return it->second;
+}
+
+std::vector<NetAddress> RingView::Replicas(chord::ChordId id, int count) const {
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const auto& m, chord::ChordId target) { return m.first < target; });
+  if (it == sorted_.end()) it = sorted_.begin();
+  std::vector<NetAddress> out;
+  const size_t want =
+      std::min(static_cast<size_t>(std::max(count, 1)), sorted_.size());
+  size_t pos = static_cast<size_t>(it - sorted_.begin());
+  for (size_t i = 0; i < want; ++i) {
+    out.push_back(sorted_[(pos + i) % sorted_.size()].second);
+  }
+  return out;
+}
+
+const NetAddress& RingView::SuccessorOf(chord::ChordId id) const {
+  // Strictly greater, wrapping: upper_bound instead of Owner's
+  // lower_bound, so a member's own id maps to the *next* member.
+  auto it = std::upper_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](chord::ChordId target, const auto& m) { return target < m.first; });
+  if (it == sorted_.end()) it = sorted_.begin();
+  return it->second;
+}
+
+const NetAddress& RingView::PredecessorOf(chord::ChordId id) const {
+  // Strictly smaller, wrapping to the largest.
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const auto& m, chord::ChordId target) { return m.first < target; });
+  if (it == sorted_.begin()) it = sorted_.end();
+  return (it - 1)->second;
+}
+
+bool RingView::Contains(const NetAddress& addr) const {
+  const chord::ChordId id = IdOf(addr);
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const auto& m, chord::ChordId target) { return m.first < target; });
+  return it != sorted_.end() && it->first == id && it->second == addr;
+}
+
+}  // namespace rpc
+}  // namespace p2prange

@@ -1,0 +1,66 @@
+// A snapshot of ring membership: every member's address and
+// SHA-1-derived identifier, sorted by identifier.
+//
+// Owner(id) is the identifier's successor — one-hop routing, as in a
+// fully stabilized overlay. The view itself is immutable; dynamic
+// membership (rpc/membership.h) rebuilds it from the current alive set
+// whenever the overlay changes, and RingClient swaps its copy when
+// gossip or a wrong-owner redirect teaches it something new.
+#ifndef P2PRANGE_RPC_RING_VIEW_H_
+#define P2PRANGE_RPC_RING_VIEW_H_
+
+#include <utility>
+#include <vector>
+
+#include "chord/id.h"
+#include "common/result.h"
+#include "net/address.h"
+
+namespace p2prange {
+namespace rpc {
+
+/// \brief A converged view of the ring: every member's address and
+/// SHA-1-derived identifier, sorted. Owner(id) is the identifier's
+/// successor — one-hop routing, as in a fully stabilized overlay.
+class RingView {
+ public:
+  /// Builds the view; duplicate addresses are rejected.
+  static Result<RingView> Make(const std::vector<NetAddress>& members);
+
+  /// The member owning identifier `id` (its successor on the ring).
+  const NetAddress& Owner(chord::ChordId id) const;
+
+  /// Owner plus the next `count - 1` distinct successors — where
+  /// replicated descriptors live (mirrors the simulator's placement).
+  std::vector<NetAddress> Replicas(chord::ChordId id, int count) const;
+
+  /// The member strictly after `id` on the ring (wrapping). With one
+  /// member this is that member — a node is its own successor.
+  const NetAddress& SuccessorOf(chord::ChordId id) const;
+
+  /// The member strictly before `id` on the ring (wrapping).
+  const NetAddress& PredecessorOf(chord::ChordId id) const;
+
+  /// True iff `addr` is a member of this view.
+  bool Contains(const NetAddress& addr) const;
+
+  size_t size() const { return sorted_.size(); }
+
+  /// Members in identifier order.
+  const std::vector<std::pair<chord::ChordId, NetAddress>>& members() const {
+    return sorted_;
+  }
+
+  /// The identifier a member address maps to.
+  static chord::ChordId IdOf(const NetAddress& addr);
+
+ private:
+  explicit RingView(std::vector<std::pair<chord::ChordId, NetAddress>> sorted)
+      : sorted_(std::move(sorted)) {}
+  std::vector<std::pair<chord::ChordId, NetAddress>> sorted_;
+};
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_RING_VIEW_H_

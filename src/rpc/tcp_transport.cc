@@ -421,6 +421,27 @@ Status TcpTransport::ReadUntil(const NetAddress& to, Conn& c, uint64_t call_id,
   }
 }
 
+Result<Transport::CallResult> TcpTransport::FinishCall(const NetAddress& to,
+                                                       Conn& c,
+                                                       uint64_t call_id,
+                                                       RpcEnvelope envelope) {
+  CallResult result;
+  auto sent = c.sent_at.find(call_id);
+  if (sent != c.sent_at.end()) {
+    result.latency_ms = MsSince(sent->second);
+    c.sent_at.erase(sent);
+  }
+  stats_.total_latency_ms += result.latency_ms;
+  MarkAlive(to, true);
+
+  if (envelope.header.status != StatusCode::kOk) {
+    // The server's handler failed; surface its error as our own.
+    return Status(envelope.header.status, std::move(envelope.body));
+  }
+  result.body = std::move(envelope.body);
+  return result;
+}
+
 Result<Transport::CallResult> TcpTransport::WaitCall(const NetAddress& to,
                                                      uint64_t call_id,
                                                      double deadline_ms) {
@@ -443,22 +464,93 @@ Result<Transport::CallResult> TcpTransport::WaitCall(const NetAddress& to,
       return st;
     }
   }
+  return FinishCall(to, conn, call_id, std::move(envelope));
+}
 
-  CallResult result;
-  auto sent = conn.sent_at.find(call_id);
-  if (sent != conn.sent_at.end()) {
-    result.latency_ms = MsSince(sent->second);
-    conn.sent_at.erase(sent);
+Status TcpTransport::DrainReady(const NetAddress& to, Conn& c) {
+  // One pass over whatever the kernel already buffered; never blocks
+  // (poll with a zero timeout). A detected close is reported to the
+  // caller *after* parking the frames that preceded it, so a response
+  // followed by a FIN still reaches its call.
+  char buf[kReadChunk];
+  Status death = Status::OK();
+  for (;;) {
+    pollfd pfd;
+    pfd.fd = c.fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      death = Status::IOError(std::string("poll: ") + ::strerror(errno));
+      break;
+    }
+    if (n == 0) break;  // nothing more buffered
+    const ssize_t got = ::read(c.fd, buf, sizeof(buf));
+    if (got > 0) {
+      stats_.bytes += static_cast<uint64_t>(got);
+      c.parser.Feed(std::string_view(buf, static_cast<size_t>(got)));
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (got < 0 && errno == EINTR) continue;
+    // 0 = orderly close; <0 = reset.
+    death = Status::Unavailable("connection to " + to.ToString() +
+                                " closed mid-call");
+    break;
   }
-  stats_.total_latency_ms += result.latency_ms;
-  MarkAlive(to, true);
+  for (;;) {
+    auto next = c.parser.Next();
+    if (!next.ok()) {
+      ++rpc_.frame_errors;
+      return Status::IOError("corrupt frame from " + to.ToString() + ": " +
+                             next.status().message());
+    }
+    if (!next->has_value()) break;
+    auto envelope = DecodeEnvelope(**next);
+    if (!envelope.ok() || !envelope->header.is_response) {
+      ++rpc_.frame_errors;
+      return Status::IOError("bad envelope from " + to.ToString());
+    }
+    ++rpc_.responses_received;
+    rpc_.bytes_in += envelope->body.size();
+    ++stats_.messages;
+    c.parked[envelope->header.call_id] = std::move(*envelope);
+  }
+  return death;
+}
 
-  if (envelope.header.status != StatusCode::kOk) {
-    // The server's handler failed; surface its error as our own.
-    return Status(envelope.header.status, std::move(envelope.body));
+Result<std::optional<Transport::CallResult>> TcpTransport::PollCall(
+    const NetAddress& to, uint64_t call_id) {
+  auto it = conns_.find(to);
+  if (it == conns_.end()) {
+    return Status::IOError("no connection to " + to.ToString() +
+                           " (call abandoned)");
   }
-  result.body = std::move(envelope.body);
-  return result;
+  Conn& conn = it->second;
+
+  Status drained = Status::OK();
+  auto parked = conn.parked.find(call_id);
+  if (parked == conn.parked.end()) {
+    drained = DrainReady(to, conn);
+    parked = conn.parked.find(call_id);
+  }
+  if (parked != conn.parked.end()) {
+    RpcEnvelope envelope = std::move(parked->second);
+    conn.parked.erase(parked);
+    ASSIGN_OR_RETURN(CallResult result,
+                     FinishCall(to, conn, call_id, std::move(envelope)));
+    return std::optional<CallResult>(std::move(result));
+  }
+  if (!drained.ok()) {
+    ++stats_.failed_deliveries;
+    CloseConn(to);
+    if (drained.IsUnavailable()) MarkAlive(to, false);
+    return drained;
+  }
+  // Still in flight: nothing charged, the deadline is the caller's to
+  // keep (membership turns "unanswered past its budget" into a miss).
+  return std::optional<CallResult>();
 }
 
 Result<Transport::CallResult> TcpTransport::Call(const NetAddress& from,

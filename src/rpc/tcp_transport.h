@@ -28,6 +28,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -163,6 +164,17 @@ class TcpTransport final : public Transport {
   Result<CallResult> WaitCall(const NetAddress& to, uint64_t call_id,
                               double deadline_ms);
 
+  /// \brief Non-blocking check for `call_id`'s response: drains
+  /// whatever the kernel already buffered, then either returns the
+  /// response, an empty optional ("not yet" — the call stays in
+  /// flight, nothing is charged as a timeout), or an error (the
+  /// connection died, or the server answered with a non-OK status).
+  /// The poll-loop-friendly half of the multiplexing API: a daemon's
+  /// membership exchanges ride on this so its event loop never blocks
+  /// on a peer.
+  Result<std::optional<CallResult>> PollCall(const NetAddress& to,
+                                             uint64_t call_id);
+
   /// Drops the connection to `to`, if any (abandons in-flight calls).
   void Disconnect(const NetAddress& to);
 
@@ -184,6 +196,13 @@ class TcpTransport final : public Transport {
   /// Existing connection to `to`, or a fresh non-blocking connect.
   Result<Conn*> GetConn(const NetAddress& to);
   Status SendAll(Conn& c, std::string_view bytes, double deadline_ms);
+  /// Parks every complete response frame already buffered on `c`
+  /// (reading whatever the kernel holds, without blocking).
+  Status DrainReady(const NetAddress& to, Conn& c);
+  /// Builds a CallResult from a parked envelope (latency accounting,
+  /// liveness mark, error-status unwrapping).
+  Result<CallResult> FinishCall(const NetAddress& to, Conn& c,
+                                uint64_t call_id, RpcEnvelope envelope);
   /// Reads until `call_id`'s response is available or the deadline
   /// passes; fills `*out` on success.
   Status ReadUntil(const NetAddress& to, Conn& c, uint64_t call_id,

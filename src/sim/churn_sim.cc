@@ -1,5 +1,6 @@
 #include "sim/churn_sim.h"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 
@@ -14,6 +15,42 @@ double NextArrival(Rng& rng, double rate_hz) {
   return -std::log(1.0 - rng.NextDouble()) / rate_hz;
 }
 }  // namespace
+
+const char* LiveChurnEventKindName(LiveChurnEventKind kind) {
+  switch (kind) {
+    case LiveChurnEventKind::kJoin:
+      return "join";
+    case LiveChurnEventKind::kKill:
+      return "kill";
+    case LiveChurnEventKind::kRestart:
+      return "restart";
+  }
+  return "unknown";
+}
+
+std::vector<LiveChurnEvent> GenerateLiveChurnSchedule(
+    const ChurnScenarioConfig& config) {
+  // Two independent Poisson processes, exactly as the simulator draws
+  // them; departures split into kill/restart per event so the
+  // fail_fraction holds in expectation at any schedule length.
+  Rng rng(config.seed);
+  std::vector<LiveChurnEvent> events;
+  for (double t = NextArrival(rng, config.join_rate_hz);
+       t <= config.duration_s; t += NextArrival(rng, config.join_rate_hz)) {
+    events.push_back({t, LiveChurnEventKind::kJoin});
+  }
+  for (double t = NextArrival(rng, config.leave_rate_hz);
+       t <= config.duration_s; t += NextArrival(rng, config.leave_rate_hz)) {
+    events.push_back({t, rng.NextBernoulli(config.fail_fraction)
+                             ? LiveChurnEventKind::kKill
+                             : LiveChurnEventKind::kRestart});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const LiveChurnEvent& a, const LiveChurnEvent& b) {
+              return a.t_s < b.t_s;
+            });
+  return events;
+}
 
 ChurnSimulator::ChurnSimulator(RangeCacheSystem* system,
                                std::function<PartitionKey()> make_query,

@@ -63,6 +63,37 @@ struct ChurnTimeSlice {
   uint64_t descriptors_repaired = 0;
 };
 
+// --------------------------------------------------------------------------
+// Live-process churn schedules
+// --------------------------------------------------------------------------
+//
+// The live-ring harnesses (bench/ablation_live_churn, the integration
+// acceptance test) replay the same Poisson membership processes the
+// simulator draws — but against real daemons, where a "leave" is a
+// SIGKILL or a rolling restart and a "join" forks a process. The
+// schedule is materialized up front so one seed reproduces one exact
+// event sequence across runs and machines.
+
+enum class LiveChurnEventKind : uint8_t {
+  kJoin = 0,     ///< fork a fresh daemon that --join's the ring
+  kKill = 1,     ///< SIGKILL a running member (abrupt failure)
+  kRestart = 2,  ///< SIGTERM (graceful handoff) then rejoin
+};
+const char* LiveChurnEventKindName(LiveChurnEventKind kind);
+
+struct LiveChurnEvent {
+  double t_s = 0.0;
+  LiveChurnEventKind kind = LiveChurnEventKind::kJoin;
+};
+
+/// \brief Materializes a deterministic event schedule from the same
+/// config the simulator runs: joins at join_rate_hz; departures at
+/// leave_rate_hz, split into kills (fail_fraction) and graceful
+/// restarts (the rest). Query traffic stays with the caller. Events
+/// are returned in time order.
+std::vector<LiveChurnEvent> GenerateLiveChurnSchedule(
+    const ChurnScenarioConfig& config);
+
 /// \brief Result of a scenario run.
 struct ChurnReport {
   std::vector<ChurnTimeSlice> slices;

@@ -47,6 +47,22 @@ Result<int64_t> Decoder::ZigZag() {
   return UnZigZag(raw);
 }
 
+Result<size_t> Decoder::GuardedCount(size_t min_bytes_per_item,
+                                     size_t max_items) {
+  ASSIGN_OR_RETURN(const uint64_t n, Varint());
+  if (n > max_items) {
+    return Status::InvalidArgument("element count " + std::to_string(n) +
+                                   " exceeds cap " +
+                                   std::to_string(max_items));
+  }
+  const size_t per_item = min_bytes_per_item == 0 ? 1 : min_bytes_per_item;
+  if (n > remaining() / per_item) {
+    return Status::InvalidArgument("element count " + std::to_string(n) +
+                                   " exceeds remaining buffer");
+  }
+  return static_cast<size_t>(n);
+}
+
 Result<std::string> Decoder::String() {
   ASSIGN_OR_RETURN(const uint64_t len, Varint());
   if (len > remaining()) {

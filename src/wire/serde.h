@@ -52,6 +52,14 @@ class Decoder {
   Result<int64_t> ZigZag();
   Result<std::string> String();
 
+  /// \brief Reads a varint element count and validates it before any
+  /// allocation: the count must not exceed `max_items`, and the buffer
+  /// must hold at least `min_bytes_per_item` bytes per element. The
+  /// one sanctioned way to read a repeated-field length from untrusted
+  /// bytes — a hostile prefix can then neither force a huge reserve()
+  /// nor spin a decode loop past the payload.
+  Result<size_t> GuardedCount(size_t min_bytes_per_item, size_t max_items);
+
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 

@@ -1,0 +1,103 @@
+// RingView edge cases the live ring actually hits: rings of one,
+// wraparound neighbors on rings of two, collapsing back to self after
+// a mass departure, and duplicate addresses in a membership list.
+#include "rpc/ring_view.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/address.h"
+
+namespace p2prange {
+namespace rpc {
+namespace {
+
+NetAddress Addr(uint16_t port) {
+  NetAddress a;
+  a.host = (127u << 24) | 1u;  // 127.0.0.1
+  a.port = port;
+  return a;
+}
+
+TEST(RingViewTest, SingleNodeOwnsEverythingAndIsItsOwnNeighbor) {
+  const NetAddress only = Addr(7001);
+  auto view = RingView::Make({only});
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->size(), 1u);
+  // Every identifier — including the node's own — maps to the node.
+  for (const chord::ChordId id :
+       {chord::ChordId{0}, RingView::IdOf(only), chord::ChordId{0xffffffff}}) {
+    EXPECT_EQ(view->Owner(id), only);
+    EXPECT_EQ(view->SuccessorOf(id), only);
+    EXPECT_EQ(view->PredecessorOf(id), only);
+  }
+  // Asking for more replicas than members yields each member once.
+  EXPECT_EQ(view->Replicas(42, 3), std::vector<NetAddress>{only});
+}
+
+TEST(RingViewTest, TwoNodeRingWrapsAround) {
+  const NetAddress a = Addr(7001);
+  const NetAddress b = Addr(7002);
+  auto view = RingView::Make({a, b});
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_EQ(view->size(), 2u);
+
+  const auto& lo = view->members()[0].second;
+  const auto& hi = view->members()[1].second;
+  const chord::ChordId lo_id = view->members()[0].first;
+  const chord::ChordId hi_id = view->members()[1].first;
+  ASSERT_LT(lo_id, hi_id);
+
+  // Each node's successor and predecessor is the other, in both the
+  // forward and the wrapping direction.
+  EXPECT_EQ(view->SuccessorOf(lo_id), hi);
+  EXPECT_EQ(view->SuccessorOf(hi_id), lo);  // wraps past the top
+  EXPECT_EQ(view->PredecessorOf(lo_id), hi);  // wraps past zero
+  EXPECT_EQ(view->PredecessorOf(hi_id), lo);
+
+  // Ownership: (lo, hi] belongs to hi, the wrapped arc (hi, lo] to lo.
+  EXPECT_EQ(view->Owner(lo_id + 1), hi);
+  EXPECT_EQ(view->Owner(hi_id), hi);
+  EXPECT_EQ(view->Owner(hi_id + 1), lo);
+  EXPECT_EQ(view->Owner(0), lo);
+
+  // Two replicas cover both members, owner first.
+  const auto reps = view->Replicas(lo_id + 1, 2);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0], hi);
+  EXPECT_EQ(reps[1], lo);
+}
+
+TEST(RingViewTest, MassDepartureCollapsesToSelf) {
+  // After every other member leaves, the survivor rebuilds its view
+  // from the alive set {self} — and must again be its own successor,
+  // exactly like a fresh ring of one.
+  const NetAddress self = Addr(7001);
+  auto full = RingView::Make({self, Addr(7002), Addr(7003), Addr(7004)});
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->size(), 4u);
+
+  auto collapsed = RingView::Make({self});
+  ASSERT_TRUE(collapsed.ok());
+  EXPECT_EQ(collapsed->SuccessorOf(RingView::IdOf(self)), self);
+  EXPECT_EQ(collapsed->Owner(0), self);
+  EXPECT_TRUE(collapsed->Contains(self));
+  EXPECT_FALSE(collapsed->Contains(Addr(7002)));
+}
+
+TEST(RingViewTest, RejectsDuplicateAddresses) {
+  const auto dup = RingView::Make({Addr(7001), Addr(7002), Addr(7001)});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_TRUE(dup.status().IsInvalidArgument()) << dup.status().ToString();
+}
+
+TEST(RingViewTest, RejectsEmptyMembership) {
+  const auto empty = RingView::Make({});
+  EXPECT_FALSE(empty.ok());
+  EXPECT_TRUE(empty.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace p2prange

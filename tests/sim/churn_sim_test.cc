@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rel/generator.h"
 #include "workload/range_workload.h"
 
@@ -191,6 +193,72 @@ TEST(ChurnSimTest, ReplicationHelpsUnderChurn) {
     }
   }
   EXPECT_GE(matched_r3, matched_r1 - 0.02);
+}
+
+TEST(LiveChurnScheduleTest, DeterministicPerSeedAndTimeOrdered) {
+  ChurnScenarioConfig cfg;
+  cfg.duration_s = 120.0;
+  cfg.join_rate_hz = 0.2;
+  cfg.leave_rate_hz = 0.1;
+  cfg.fail_fraction = 0.5;
+  cfg.seed = 42;
+
+  const auto a = GenerateLiveChurnSchedule(cfg);
+  const auto b = GenerateLiveChurnSchedule(cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_s, b[i].t_s);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_GT(a[i].t_s, 0.0);
+    EXPECT_LE(a[i].t_s, cfg.duration_s);
+    if (i > 0) {
+      EXPECT_GE(a[i].t_s, a[i - 1].t_s);
+    }
+  }
+
+  cfg.seed = 43;
+  const auto c = GenerateLiveChurnSchedule(cfg);
+  EXPECT_TRUE(a.size() != c.size() ||
+              !std::equal(a.begin(), a.end(), c.begin(),
+                          [](const LiveChurnEvent& x, const LiveChurnEvent& y) {
+                            return x.t_s == y.t_s && x.kind == y.kind;
+                          }));
+}
+
+TEST(LiveChurnScheduleTest, RatesShapeTheMix) {
+  ChurnScenarioConfig cfg;
+  cfg.duration_s = 2000.0;
+  cfg.join_rate_hz = 0.1;
+  cfg.leave_rate_hz = 0.1;
+  cfg.fail_fraction = 1.0;  // every departure is a kill
+  cfg.seed = 7;
+  size_t joins = 0, kills = 0, restarts = 0;
+  for (const LiveChurnEvent& e : GenerateLiveChurnSchedule(cfg)) {
+    joins += e.kind == LiveChurnEventKind::kJoin;
+    kills += e.kind == LiveChurnEventKind::kKill;
+    restarts += e.kind == LiveChurnEventKind::kRestart;
+  }
+  // ~200 events per process; equality of rates holds loosely, the
+  // fail_fraction split exactly.
+  EXPECT_GT(joins, 100u);
+  EXPECT_GT(kills, 100u);
+  EXPECT_EQ(restarts, 0u);
+
+  cfg.fail_fraction = 0.0;  // every departure is a graceful restart
+  kills = 0;
+  restarts = 0;
+  for (const LiveChurnEvent& e : GenerateLiveChurnSchedule(cfg)) {
+    kills += e.kind == LiveChurnEventKind::kKill;
+    restarts += e.kind == LiveChurnEventKind::kRestart;
+  }
+  EXPECT_EQ(kills, 0u);
+  EXPECT_GT(restarts, 100u);
+
+  // Zero rates produce an empty schedule, not a hang.
+  cfg.join_rate_hz = 0.0;
+  cfg.leave_rate_hz = 0.0;
+  EXPECT_TRUE(GenerateLiveChurnSchedule(cfg).empty());
 }
 
 }  // namespace

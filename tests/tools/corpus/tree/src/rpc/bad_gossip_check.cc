@@ -1,0 +1,9 @@
+// Corpus: P2P004 must fire on CHECK over membership wire input — a
+// hostile gossip or join body must surface as Status, not crash us.
+#include "common/logging.h"
+
+int DecodeGossipEntry(const unsigned char* body, int size) {
+  CHECK(size >= 4);  // line 6: CHECK on decoded gossip bytes
+  CHECK_EQ(static_cast<int>(body[0]), 1);  // line 7: CHECK_EQ on wire input
+  return size;
+}

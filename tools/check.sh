@@ -11,6 +11,9 @@
 #                harnesses are caught before a full regeneration run
 #   crash fuzz   the durability fuzzer at an elevated crash-point budget
 #   live smoke   a 3-node loopback ring of real daemons + client workload
+#   live churn   the dynamic-membership acceptance test: a ring grown by
+#                --join, one SIGKILL, one rolling restart, all under a
+#                seeded query load that must never fail
 #   asan         full build + tests under AddressSanitizer + UBSan, then
 #                the crash fuzzer and live smoke again, sanitized
 #   tsan         ThreadSanitizer build (mutually exclusive with asan —
@@ -165,6 +168,9 @@ P2PRANGE_CRASH_FUZZ_POINTS=3000 \
 echo "=== live-ring smoke (3 daemons over loopback TCP) ==="
 run_live_smoke build
 
+echo "=== live-churn smoke (joins + SIGKILL + rolling restart under load) ==="
+./build/tests/p2prange_tests --gtest_filter='LiveChurnTest.*'
+
 if [[ $do_sanitize -eq 1 ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
@@ -179,13 +185,14 @@ fi
 if [[ $do_tsan -eq 1 ]]; then
   # TSan cannot share a tree (or a process) with ASan; build-tsan is
   # its own configuration. Scope: the suites that actually run threads
-  # today — TCP transport/server (background poll threads) and the
-  # concurrent logging test — ahead of the multi-threaded daemon work.
+  # today — TCP transport/server (background poll threads), concurrent
+  # logging, the membership join/leave tests (helper poll threads), and
+  # the live-churn acceptance test (client thread + forked daemons).
   echo "=== tsan build + threaded suites (thread) ==="
   cmake -B build-tsan -S . -DP2PRANGE_WERROR=ON -DP2PRANGE_SANITIZE=thread
   cmake --build build-tsan -j
   ./build-tsan/tests/p2prange_tests \
-    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*'
+    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*:MembershipTest.*:LiveChurnTest.*'
 fi
 
 echo "=== all checks passed ==="

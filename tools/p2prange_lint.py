@@ -21,13 +21,16 @@ Rules
                               WrapUnique (src/common/memory.h) is the one
                               ownership-transfer spelling; everything else
                               is std::make_unique or a container.
-  P2P004 no-dcheck-untrusted  DCHECK* on the untrusted-input paths
-                              (src/wire/, src/rpc/, src/store/wal*,
-                              src/store/snapshot*). Wire- and disk-derived
-                              bytes are attacker-controlled: validation
-                              there must be a real branch returning
-                              Status, not an assert compiled out of
-                              release builds.
+  P2P004 no-dcheck-untrusted  DCHECK* / CHECK* on the untrusted-input
+                              paths (src/wire/, src/rpc/ — including the
+                              membership gossip/join decode paths —
+                              src/store/wal*, src/store/snapshot*).
+                              Wire- and disk-derived bytes are
+                              attacker-controlled: validation there must
+                              be a real branch returning Status. DCHECK
+                              is compiled out of release builds; CHECK
+                              is worse — it lets any peer that sends a
+                              malformed body crash the daemon.
   P2P005 msg-nosignal         In socket code (src/, tools/): `::send()`
                               must pass MSG_NOSIGNAL in the same call, and
                               `::write()` on sockets is forbidden outright
@@ -202,6 +205,8 @@ RE_RNG = re.compile(r"\b(?:s?rand)\s*\(|(?:std\s*::\s*)?random_device\b|"
                     r"\bmt19937(?:_64)?\b")
 RE_NEW = re.compile(r"\bnew\b(?!\s*\()")  # `new (nothrow)` has no home either
 RE_DCHECK = re.compile(r"\bDCHECK(?:_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\(")
+# \bCHECK does not match the tail of DCHECK (no word boundary after D).
+RE_CHECK = re.compile(r"\bCHECK(?:_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\(")
 RE_SEND = re.compile(r"::\s*send\s*\(")
 RE_WRITE = re.compile(r"::\s*write\s*\(")
 RE_SOCKET_HEADER = re.compile(r'#\s*include\s*<sys/socket\.h>')
@@ -266,6 +271,11 @@ def lint_file(root, rel):
                  "DCHECK on an untrusted-input path; validate with a real "
                  "branch returning Status (DCHECK vanishes in release "
                  "builds)")
+        for m in RE_CHECK.finditer(stripped):
+            emit(m.start(), "P2P004",
+                 "CHECK on an untrusted-input path would let a hostile "
+                 "peer crash the process; validate with a real branch "
+                 "returning Status")
 
     if in_src_or_tools and RE_SOCKET_HEADER.search(text):
         for m in RE_SEND.finditer(stripped):

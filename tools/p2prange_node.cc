@@ -5,23 +5,40 @@
 // is one of these processes; clients and other peers reach it with the
 // framed RPC protocol of src/rpc.
 //
+// The daemon runs live membership (DESIGN.md §9): started with
+// --join=HOST:PORT it enters an existing ring through that member,
+// pulls the descriptor arc it now owns, and from then on the periodic
+// probe/gossip/stabilize loop keeps its view converged while the
+// re-replicator repairs descriptor placement after every membership
+// change. Without --join it starts a ring of one that others may join.
+//
 //   p2prange_node --listen=127.0.0.1:7001
+//       [--join=HOST:PORT] [--replication=2]
 //       [--wal_dir=/var/lib/p2prange/n1]
 //       [--store_capacity=0] [--checkpoint_every=64]
+//       [--probe_ms=500] [--gossip_ms=1000] [--stabilize_ms=1000]
+//       [--probe_timeout_ms=250]
 //       [--metrics_json=/tmp/n1.json] [--quiet]
 //
-// SIGTERM / SIGINT shut the daemon down gracefully: the loop drains,
-// a final metrics snapshot is written, and the process exits 0.
+// SIGTERM / SIGINT shut the daemon down gracefully: with ring peers
+// present the local descriptors are handed off to the successor and
+// the departure announced (so lookups never miss), a final metrics
+// snapshot is written, and the process exits 0.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <unistd.h>
+
+#include <chrono>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "rpc/membership.h"
 #include "rpc/node_service.h"
+#include "rpc/rereplicate.h"
 #include "rpc/tcp.h"
 #include "rpc/tcp_transport.h"
 
@@ -33,10 +50,16 @@ void HandleStop(int) { g_stop = 1; }
 
 struct Flags {
   std::string listen;
+  std::string join;
   std::string wal_dir;
   std::string metrics_json;
   size_t store_capacity = 0;
   uint64_t checkpoint_every = 64;
+  int replication = 2;
+  double probe_ms = 500.0;
+  double gossip_ms = 1000.0;
+  double stabilize_ms = 1000.0;
+  double probe_timeout_ms = 250.0;
   bool quiet = false;
 };
 
@@ -50,11 +73,23 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --listen=HOST:PORT [--wal_dir=DIR] "
+               "usage: %s --listen=HOST:PORT [--join=HOST:PORT] "
+               "[--replication=N] [--wal_dir=DIR] "
                "[--store_capacity=N] [--checkpoint_every=N] "
+               "[--probe_ms=MS] [--gossip_ms=MS] [--stabilize_ms=MS] "
+               "[--probe_timeout_ms=MS] "
                "[--metrics_json=PATH] [--quiet]\n",
                argv0);
   return 2;
+}
+
+/// The member's incarnation: any value that grows across restarts of
+/// the same address works; wall-clock startup ms is the simplest.
+uint64_t StartupIncarnation() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -67,6 +102,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     std::string value;
     if (ParseFlag(arg, "listen", &flags.listen)) continue;
+    if (ParseFlag(arg, "join", &flags.join)) continue;
     if (ParseFlag(arg, "wal_dir", &flags.wal_dir)) continue;
     if (ParseFlag(arg, "metrics_json", &flags.metrics_json)) continue;
     if (ParseFlag(arg, "store_capacity", &value)) {
@@ -75,6 +111,26 @@ int main(int argc, char** argv) {
     }
     if (ParseFlag(arg, "checkpoint_every", &value)) {
       flags.checkpoint_every = std::strtoull(value.c_str(), nullptr, 10);
+      continue;
+    }
+    if (ParseFlag(arg, "replication", &value)) {
+      flags.replication = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "probe_ms", &value)) {
+      flags.probe_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (ParseFlag(arg, "gossip_ms", &value)) {
+      flags.gossip_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (ParseFlag(arg, "stabilize_ms", &value)) {
+      flags.stabilize_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (ParseFlag(arg, "probe_timeout_ms", &value)) {
+      flags.probe_timeout_ms = std::strtod(value.c_str(), nullptr);
       continue;
     }
     if (arg == "--quiet") {
@@ -97,6 +153,7 @@ int main(int argc, char** argv) {
   service_options.store_capacity = flags.store_capacity;
   service_options.durability.checkpoint_every = flags.checkpoint_every;
   service_options.wal_dir = flags.wal_dir;
+  service_options.descriptor_replication = flags.replication;
 
   // The server comes up first so a 0 port is resolved to the kernel's
   // ephemeral pick before the service derives its id from the address.
@@ -122,6 +179,35 @@ int main(int argc, char** argv) {
   }
   service_ptr = service->get();
 
+  // Outbound half of the peer: membership exchanges and descriptor
+  // re-replication ride their own client transport.
+  rpc::TcpTransport transport{rpc::TcpTransport::Options{}};
+
+  rpc::MembershipConfig membership_config;
+  membership_config.probe_period_ms = flags.probe_ms;
+  membership_config.gossip_period_ms = flags.gossip_ms;
+  membership_config.stabilize_period_ms = flags.stabilize_ms;
+  membership_config.probe_timeout_ms = flags.probe_timeout_ms;
+  membership_config.seed = rpc::RingView::IdOf(server->address());
+  auto membership = rpc::LiveMembership::Make(
+      server->address(), StartupIncarnation(), membership_config, &transport);
+  if (!membership.ok()) {
+    std::fprintf(stderr, "membership: %s\n",
+                 membership.status().ToString().c_str());
+    return 1;
+  }
+  (*service)->set_membership(&*membership);
+
+  rpc::RereplicateConfig rereplicate_config;
+  rereplicate_config.replication = flags.replication;
+  auto rereplicator = rpc::Rereplicator::Make(service->get(), &*membership,
+                                              &transport, rereplicate_config);
+  if (!rereplicator.ok()) {
+    std::fprintf(stderr, "rereplication: %s\n",
+                 rereplicator.status().ToString().c_str());
+    return 1;
+  }
+
   std::signal(SIGTERM, HandleStop);
   std::signal(SIGINT, HandleStop);
   std::signal(SIGPIPE, SIG_IGN);
@@ -133,6 +219,39 @@ int main(int argc, char** argv) {
                  " recovered=%zu wal_replayed=%zu\n",
                  server->address().ToString().c_str(), (*service)->id(),
                  report.descriptors_restored, report.wal_records_replayed);
+  }
+
+  if (!flags.join.empty()) {
+    auto bootstrap = rpc::ParseHostPort(flags.join);
+    if (!bootstrap.ok()) {
+      std::fprintf(stderr, "--join: %s\n",
+                   bootstrap.status().ToString().c_str());
+      return 2;
+    }
+    // The bootstrap peer may still be coming up (rings are grown by
+    // scripts that start daemons in quick succession): retry for ~10s.
+    Status joined = Status::Unavailable("never attempted");
+    for (int attempt = 0; attempt < 50 && g_stop == 0; ++attempt) {
+      joined = membership->Join(*bootstrap, /*deadline_ms=*/1000.0);
+      if (joined.ok()) break;
+      ::usleep(200 * 1000);
+    }
+    if (!joined.ok()) {
+      std::fprintf(stderr, "join %s: %s\n", flags.join.c_str(),
+                   joined.ToString().c_str());
+      return 1;
+    }
+    // Pull the arc this node now owns; push sweeps from the existing
+    // members cover the rest, so a failed pull degrades, not fails.
+    const Status pulled = rereplicator->PullPartition();
+    if (!pulled.ok() && !flags.quiet) {
+      std::fprintf(stderr, "pull partition: %s\n", pulled.ToString().c_str());
+    }
+    if (!flags.quiet) {
+      std::fprintf(stderr, "p2prange_node %s: joined ring via %s (%zu alive)\n",
+                   server->address().ToString().c_str(), flags.join.c_str(),
+                   membership->num_alive());
+    }
   }
 
   auto write_metrics = [&]() {
@@ -147,26 +266,43 @@ int main(int argc, char** argv) {
       NetworkStats net;
       net.messages = server->stats().requests_served;
       net.bytes = server->stats().bytes_in + server->stats().bytes_out;
-      out << (*service)->MetricsJson(net, server->stats()) << "\n";
+      const std::string extra = ",\"membership\":" +
+                                membership->counters().ToJson() +
+                                ",\"rereplication\":" +
+                                rereplicator->counters().ToJson();
+      out << (*service)->MetricsJson(net, server->stats(), extra) << "\n";
     }
     std::rename(tmp.c_str(), flags.metrics_json.c_str());
   };
 
-  // Event loop: short poll timeout so a stop signal is honored fast;
-  // metrics rewritten periodically so scrapers always see fresh gauges.
+  // Event loop: short poll timeout so the membership/re-replication
+  // ticks and a stop signal are honored fast; metrics rewritten
+  // periodically so scrapers always see fresh gauges.
   write_metrics();  // the file exists from the moment we are reachable
   int iterations_since_metrics = 0;
   while (g_stop == 0) {
-    const Status st = server->PollOnce(/*timeout_ms=*/100);
+    const Status st = server->PollOnce(/*timeout_ms=*/20);
     if (!st.ok()) {
       std::fprintf(stderr, "poll: %s\n", st.ToString().c_str());
       write_metrics();
       return 1;
     }
-    if (++iterations_since_metrics >= 10) {
+    membership->Tick();
+    rereplicator->Tick();
+    if (++iterations_since_metrics >= 50) {
       write_metrics();
       iterations_since_metrics = 0;
     }
+  }
+
+  // Graceful leave: hand the local descriptors to the successor and
+  // tell the neighbors, so the ring never serves a hole for them.
+  if (membership->num_alive() > 1) {
+    const Status handed = rereplicator->HandoffAll();
+    if (!handed.ok() && !flags.quiet) {
+      std::fprintf(stderr, "handoff: %s\n", handed.ToString().c_str());
+    }
+    membership->AnnounceLeave(/*deadline_ms=*/500.0);
   }
 
   write_metrics();
