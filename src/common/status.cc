@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kInternal = 6,
   kUnavailable = 7,
   kIOError = 8,
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns a human-readable name for a StatusCode.
@@ -77,6 +78,11 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  /// An overloaded component shed the request; the work was not done
+  /// but the system is healthy — back off and retry later.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -93,6 +99,7 @@ class [[nodiscard]] Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,133 @@
+// Worker-pool executor for the node daemon's data path.
+//
+// The daemon's poll loop stays the only socket owner; what moves off
+// it is the handler work. The loop submits each decoded request as a
+// job tagged with its connection; a fixed pool of worker threads
+// drains a bounded work queue, runs the job, and pushes the encoded
+// response onto a completion queue. A pipe doorbell makes completions
+// visible to poll(): workers write one byte after pushing, the loop
+// polls the read end alongside its sockets, and on readable drains
+// both the pipe and the completion queue, then writes each response
+// back on the connection that asked for it.
+//
+// The work queue is bounded on purpose — it is the daemon's admission
+// controller. TrySubmit never blocks and never grows the queue past
+// `queue_depth`; when the pool is saturated the submit fails and the
+// caller sheds the request with ResourceExhausted instead of letting
+// latency grow without bound. Shutdown stops intake, lets the workers
+// finish every job already admitted, and joins them.
+//
+// Thread-safety: TrySubmit / DrainCompletions / doorbell_fd / stats
+// may be called from the poll thread while workers run; the queues are
+// mutex-protected and the counters atomic.
+#ifndef P2PRANGE_RPC_EXECUTOR_H_
+#define P2PRANGE_RPC_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace p2prange {
+namespace rpc {
+
+/// \brief Executor health counters. `snapshot()` is safe to call from
+/// the poll thread while workers run.
+struct ExecutorStats {
+  uint64_t submitted = 0;    ///< jobs accepted into the work queue
+  uint64_t shed = 0;         ///< TrySubmit refusals (queue was full)
+  uint64_t completed = 0;    ///< jobs whose result reached the completion queue
+  uint64_t max_queue = 0;    ///< high-water mark of the work queue
+};
+
+/// \brief Bounded work queue drained by N worker threads, with a
+/// completion queue and a pipe doorbell for poll()-based pickup.
+class Executor {
+ public:
+  struct Options {
+    /// Worker threads. Must be >= 1 (a value of 0 means "no executor";
+    /// callers dispatch inline and never construct one).
+    int workers = 4;
+    /// Jobs the work queue may hold; beyond it TrySubmit sheds.
+    size_t queue_depth = 128;
+  };
+
+  /// A unit of handler work. Runs on a worker thread; the returned
+  /// bytes surface in DrainCompletions under the job's tag.
+  using WorkFn = std::function<std::string()>;
+
+  /// \brief One finished job: the submitter's tag and the WorkFn's
+  /// return value, ready to write back.
+  struct Completion {
+    uint64_t tag = 0;
+    std::string payload;
+  };
+
+  /// Spawns the pool. Fails (Internal) only if the doorbell pipe
+  /// cannot be created; rejects workers < 1 / queue_depth == 0 with
+  /// InvalidArgument.
+  static Result<std::unique_ptr<Executor>> Make(const Options& options);
+
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// \brief Admits one job, or refuses because the queue is full.
+  /// Never blocks. Returns false on refusal — the caller must shed
+  /// (the job is dropped, not queued).
+  bool TrySubmit(uint64_t tag, WorkFn work);
+
+  /// \brief Takes every finished job, clearing the doorbell. Call when
+  /// poll() reports the doorbell readable (calling it spuriously is
+  /// harmless).
+  std::vector<Completion> DrainCompletions();
+
+  /// Read end of the doorbell pipe: becomes readable whenever a
+  /// completion is pending. Poll it alongside the sockets.
+  int doorbell_fd() const { return doorbell_rd_; }
+
+  /// \brief Stops intake, finishes every admitted job, joins the
+  /// workers. Idempotent; also run by the destructor. Completions
+  /// produced by the final jobs remain drainable afterwards.
+  void Shutdown();
+
+  ExecutorStats snapshot() const;
+
+ private:
+  struct Job {
+    uint64_t tag = 0;
+    WorkFn work;
+  };
+
+  Executor(Options options, int doorbell_rd, int doorbell_wr)
+      : options_(options), doorbell_rd_(doorbell_rd), doorbell_wr_(doorbell_wr) {}
+
+  void WorkerLoop();
+  void RingDoorbell();
+
+  const Options options_;
+  const int doorbell_rd_;
+  const int doorbell_wr_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Job> work_;                   ///< guarded by mu_
+  std::vector<Completion> completions_;    ///< guarded by mu_
+  ExecutorStats stats_;                    ///< guarded by mu_
+  bool stopping_ = false;                  ///< guarded by mu_
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_EXECUTOR_H_

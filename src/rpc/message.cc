@@ -33,13 +33,15 @@ const char* MsgTypeName(MsgType t) {
       return "pull_buckets";
     case MsgType::kHandoff:
       return "handoff";
+    case MsgType::kMultiOp:
+      return "multi_op";
   }
   return "unknown";
 }
 
 bool IsKnownMsgType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kPing) &&
-         raw <= static_cast<uint8_t>(MsgType::kHandoff);
+         raw <= static_cast<uint8_t>(MsgType::kMultiOp);
 }
 
 std::string EncodeEnvelope(const RpcHeader& header, std::string_view body) {
@@ -72,7 +74,7 @@ Result<RpcEnvelope> DecodeEnvelope(std::string_view payload) {
                                    std::to_string(flags));
   }
   ASSIGN_OR_RETURN(const uint8_t raw_status, dec.U8());
-  if (raw_status > static_cast<uint8_t>(StatusCode::kIOError)) {
+  if (raw_status > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
     return Status::InvalidArgument("unknown status code " +
                                    std::to_string(raw_status));
   }

@@ -36,6 +36,7 @@ enum class MsgType : uint8_t {
   kGossip = 11,          ///< push-pull view exchange; reply = full view
   kPullBuckets = 12,     ///< joiner pulls the descriptors of an id arc
   kHandoff = 13,         ///< bulk descriptor transfer (leave / repair)
+  kMultiOp = 14,         ///< batch of data-path ops in one round trip
 };
 
 /// Human-readable name ("ping", "store_descriptor", ...).

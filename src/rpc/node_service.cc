@@ -8,6 +8,7 @@
 #include "common/memory.h"
 
 #include "rpc/membership.h"
+#include "rpc/multi_op.h"
 #include "wire/serde.h"
 
 namespace p2prange {
@@ -300,6 +301,8 @@ Result<std::string> NodeService::Handle(MsgType type, std::string_view body) {
       return HandlePullBuckets(body);
     case MsgType::kHandoff:
       return HandleHandoff(body);
+    case MsgType::kMultiOp:
+      return HandleMultiOp(body);
   }
   ++counters_.bad_requests;
   return Status::InvalidArgument("unhandled message type");
@@ -330,15 +333,42 @@ Result<std::string> NodeService::HandleMembership(MsgType type,
   }
 }
 
+void NodeService::PublishRedirectRing() {
+  std::shared_ptr<const RingView> fresh;
+  if (membership_ != nullptr && membership_->num_alive() >= 2) {
+    auto ring = membership_->AliveRing();
+    if (ring.ok()) {
+      fresh = std::make_shared<const RingView>(std::move(*ring));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    redirect_ring_ = std::move(fresh);
+  }
+  redirect_uses_snapshot_.store(true, std::memory_order_release);
+}
+
 std::optional<NetAddress> NodeService::RedirectFor(
     chord::ChordId bucket) const {
-  if (membership_ == nullptr || membership_->num_alive() < 2) {
-    return std::nullopt;
+  std::shared_ptr<const RingView> snapshot;
+  if (redirect_uses_snapshot_.load(std::memory_order_acquire)) {
+    // Worker-pool mode: the poll thread published an immutable ring;
+    // membership itself is off limits from here.
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    snapshot = redirect_ring_;
+    if (snapshot == nullptr) return std::nullopt;
   }
-  auto ring = membership_->AliveRing();
-  if (!ring.ok()) return std::nullopt;
-  const auto replicas =
-      ring->Replicas(bucket, options_.descriptor_replication);
+  std::vector<NetAddress> replicas;
+  if (snapshot != nullptr) {
+    replicas = snapshot->Replicas(bucket, options_.descriptor_replication);
+  } else {
+    if (membership_ == nullptr || membership_->num_alive() < 2) {
+      return std::nullopt;
+    }
+    auto ring = membership_->AliveRing();
+    if (!ring.ok()) return std::nullopt;
+    replicas = ring->Replicas(bucket, options_.descriptor_replication);
+  }
   for (const NetAddress& r : replicas) {
     if (r == self_) return std::nullopt;
   }
@@ -347,6 +377,7 @@ std::optional<NetAddress> NodeService::RedirectFor(
 
 Status NodeService::InsertDescriptor(chord::ChordId bucket,
                                      const PartitionDescriptor& descriptor) {
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
   store_->Insert(bucket, descriptor);
   ++counters_.descriptors_stored;
   return SaveDurable();
@@ -359,23 +390,29 @@ Result<std::string> NodeService::HandlePullBuckets(std::string_view body) {
     return req.status();
   }
   HandoffBatch batch;
-  for (auto& [bucket, descriptor] : store_->store().EntriesOldestFirst()) {
-    if (!chord::InOpenClosed(req->lo, req->hi, bucket)) continue;
-    if (batch.entries.size() >= kMaxHandoffEntries) break;
-    batch.entries.emplace_back(bucket, std::move(descriptor));
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    for (auto& [bucket, descriptor] : store_->store().EntriesOldestFirst()) {
+      if (!chord::InOpenClosed(req->lo, req->hi, bucket)) continue;
+      if (batch.entries.size() >= kMaxHandoffEntries) break;
+      batch.entries.emplace_back(bucket, std::move(descriptor));
+    }
   }
   ++counters_.buckets_pulled;
   return EncodeHandoffBatch(batch);
 }
 
 Result<size_t> NodeService::ApplyHandoff(const HandoffBatch& batch) {
-  for (const auto& [bucket, descriptor] : batch.entries) {
-    store_->Insert(bucket, descriptor);
-    ++counters_.descriptors_stored;
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    for (const auto& [bucket, descriptor] : batch.entries) {
+      store_->Insert(bucket, descriptor);
+      ++counters_.descriptors_stored;
+    }
+    // One durable flush for the whole batch, not one per descriptor —
+    // handoff happens under churn, when write amplification hurts most.
+    RETURN_NOT_OK(SaveDurable());
   }
-  // One durable flush for the whole batch, not one per descriptor —
-  // handoff happens under churn, when write amplification hurts most.
-  RETURN_NOT_OK(SaveDurable());
   ++counters_.handoffs_received;
   counters_.handoff_descriptors += batch.entries.size();
   return batch.entries.size();
@@ -408,7 +445,10 @@ Result<std::string> NodeService::HandleStoreDescriptor(std::string_view body) {
   }
   RETURN_NOT_OK(InsertDescriptor(req->bucket, req->descriptor));
   wire::Encoder enc;
-  enc.PutVarint(store_->store().num_descriptors());
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    enc.PutVarint(store_->store().num_descriptors());
+  }
   return enc.Take();
 }
 
@@ -419,8 +459,11 @@ Result<std::string> NodeService::HandleProbeBucket(std::string_view body) {
     return req.status();
   }
   ++counters_.probes_served;
-  const std::optional<MatchCandidate> best =
-      store_->store().BestMatch(req->bucket, req->query, req->criterion);
+  std::optional<MatchCandidate> best;
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    best = store_->store().BestMatch(req->bucket, req->query, req->criterion);
+  }
   // Descriptors are immutable, so anything we still hold is a correct
   // answer even if ownership moved; redirect only an *empty* miss on a
   // bucket that is no longer ours — the data, if any, lives at the
@@ -442,7 +485,10 @@ Result<std::string> NodeService::HandleStorePartition(std::string_view body) {
     return req.status();
   }
   ++counters_.partitions_stored;
-  partitions_[req->key] = std::move(req->tuples);
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    partitions_[req->key] = std::move(req->tuples);
+  }
   return std::string();
 }
 
@@ -452,6 +498,7 @@ Result<std::string> NodeService::HandleFetchPartition(std::string_view body) {
     ++counters_.bad_requests;
     return key.status();
   }
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
   auto it = partitions_.find(*key);
   if (it == partitions_.end()) {
     ++counters_.partitions_fetched;  // the miss still served a request
@@ -462,6 +509,33 @@ Result<std::string> NodeService::HandleFetchPartition(std::string_view body) {
   wire::Encoder enc;
   wire::EncodeRelation(it->second, &enc);
   return enc.Take();
+}
+
+Result<std::string> NodeService::HandleMultiOp(std::string_view body) {
+  auto req = DecodeMultiOpRequest(body);
+  if (!req.ok()) {
+    ++counters_.bad_requests;
+    return req.status();
+  }
+  // One slot per sub-op, in order; a failing sub-op (bad body,
+  // wrong-owner redirect, miss) fails its own slot and the rest of the
+  // batch still serves. The decoder already refused non-batchable
+  // types, so each dispatch below stays on the data path.
+  MultiOpResponse resp;
+  resp.results.reserve(req->ops.size());
+  for (const MultiOp& op : req->ops) {
+    auto r = Handle(op.type, op.body);
+    MultiOpResult slot;
+    if (r.ok()) {
+      slot.body = std::move(*r);
+    } else {
+      slot.status = r.status().code();
+      slot.body = r.status().message();
+    }
+    resp.results.push_back(std::move(slot));
+  }
+  ++counters_.multi_ops;
+  return EncodeMultiOpResponse(resp);
 }
 
 std::string NodeService::MetricsJson(const NetworkStats& net,
@@ -486,11 +560,16 @@ std::string NodeService::MetricsJson(const NetworkStats& net,
          std::to_string(counters_.handoff_descriptors);
   out += ",\"buckets_pulled\":" + std::to_string(counters_.buckets_pulled);
   out += ",\"redirects_sent\":" + std::to_string(counters_.redirects_sent);
-  out += ",\"store_descriptors\":" +
-         std::to_string(store_->store().num_descriptors());
-  out += ",\"store_buckets\":" + std::to_string(store_->store().num_buckets());
-  out += ",\"wal_bytes\":" + std::to_string(store_->wal().image().size());
-  out += ",\"checkpoints\":" + std::to_string(store_->checkpoints());
+  out += ",\"multi_ops\":" + std::to_string(counters_.multi_ops);
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    out += ",\"store_descriptors\":" +
+           std::to_string(store_->store().num_descriptors());
+    out +=
+        ",\"store_buckets\":" + std::to_string(store_->store().num_buckets());
+    out += ",\"wal_bytes\":" + std::to_string(store_->wal().image().size());
+    out += ",\"checkpoints\":" + std::to_string(store_->checkpoints());
+  }
   out += ",\"recovered_descriptors\":" +
          std::to_string(recovery_.descriptors_restored);
   out += ",\"recovery_wal_replayed\":" +

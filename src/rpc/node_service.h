@@ -13,9 +13,12 @@
 #ifndef P2PRANGE_RPC_NODE_SERVICE_H_
 #define P2PRANGE_RPC_NODE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -113,19 +116,23 @@ struct NodeServiceOptions {
   int descriptor_replication = 1;
 };
 
-/// \brief Counters of one node's service activity.
+/// \brief Counters of one node's service activity. Atomic because the
+/// data-path handlers bump them from worker threads while the poll
+/// thread reads them for metrics; read individual fields, the struct
+/// itself is neither copyable nor a consistent snapshot.
 struct NodeCounters {
-  uint64_t pings = 0;
-  uint64_t descriptors_stored = 0;
-  uint64_t probes_served = 0;
-  uint64_t probe_hits = 0;
-  uint64_t partitions_stored = 0;
-  uint64_t partitions_fetched = 0;
-  uint64_t bad_requests = 0;
-  uint64_t handoffs_received = 0;     ///< kHandoff batches applied
-  uint64_t handoff_descriptors = 0;   ///< descriptors those batches held
-  uint64_t buckets_pulled = 0;        ///< kPullBuckets requests served
-  uint64_t redirects_sent = 0;        ///< wrong-owner answers returned
+  std::atomic<uint64_t> pings{0};
+  std::atomic<uint64_t> descriptors_stored{0};
+  std::atomic<uint64_t> probes_served{0};
+  std::atomic<uint64_t> probe_hits{0};
+  std::atomic<uint64_t> partitions_stored{0};
+  std::atomic<uint64_t> partitions_fetched{0};
+  std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint64_t> handoffs_received{0};    ///< kHandoff batches applied
+  std::atomic<uint64_t> handoff_descriptors{0};  ///< descriptors those held
+  std::atomic<uint64_t> buckets_pulled{0};       ///< kPullBuckets served
+  std::atomic<uint64_t> redirects_sent{0};       ///< wrong-owner answers
+  std::atomic<uint64_t> multi_ops{0};            ///< kMultiOp batches served
 };
 
 class NodeService {
@@ -151,6 +158,15 @@ class NodeService {
     membership_ = membership;
   }
 
+  /// \brief Publishes an immutable snapshot of the alive ring for the
+  /// redirect decision. LiveMembership belongs to the poll thread, so
+  /// a worker-pool daemon must call this from that thread after every
+  /// membership tick; from the first call on, RedirectFor consults
+  /// only the snapshot and worker threads never touch membership.
+  /// Inline (no-executor) deployments never call it and keep the
+  /// direct, always-fresh path.
+  void PublishRedirectRing();
+
   /// \brief Stores one descriptor durably (insert + WAL/snapshot
   /// flush) — the local half of every descriptor-bearing message, also
   /// used directly by the re-replicator.
@@ -174,6 +190,15 @@ class NodeService {
   chord::ChordId id() const { return id_; }
   const NodeCounters& counters() const { return counters_; }
   const store::DurableDescriptorStore& store() const { return *store_; }
+
+  /// A locked snapshot of every (bucket, descriptor), oldest first —
+  /// for the poll-thread maintenance paths (re-replication sweeps,
+  /// graceful handoff) that enumerate the store while workers insert.
+  std::vector<std::pair<chord::ChordId, PartitionDescriptor>> SnapshotEntries()
+      const {
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    return store_->store().EntriesOldestFirst();
+  }
   /// What startup recovery rebuilt (zeros when wal_dir was empty/new).
   const store::RecoveryReport& recovery() const { return recovery_; }
 
@@ -187,6 +212,7 @@ class NodeService {
   Result<std::string> HandleMembership(MsgType type, std::string_view body);
   Result<std::string> HandlePullBuckets(std::string_view body);
   Result<std::string> HandleHandoff(std::string_view body);
+  Result<std::string> HandleMultiOp(std::string_view body);
 
   /// The redirect decision: with membership attached and >1 alive
   /// member, returns the bucket's owner when this node is not among
@@ -206,6 +232,19 @@ class NodeService {
   std::unordered_map<PartitionKey, Relation, PartitionKeyHash> partitions_;
   NodeCounters counters_;
   store::RecoveryReport recovery_;
+
+  /// Guards store_ + partitions_ against concurrent data-path
+  /// handlers: shared for the read-heavy probe/fetch side, exclusive
+  /// for inserts and the durable flush that follows them. Membership
+  /// handlers never take it (they touch neither).
+  mutable std::shared_mutex data_mu_;
+
+  /// The published redirect snapshot (see PublishRedirectRing);
+  /// nullptr while fewer than two members are alive. ring_mu_ guards
+  /// the pointer swap only — the pointee is immutable.
+  mutable std::mutex ring_mu_;
+  std::shared_ptr<const RingView> redirect_ring_;
+  std::atomic<bool> redirect_uses_snapshot_{false};
 };
 
 }  // namespace rpc

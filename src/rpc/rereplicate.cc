@@ -58,8 +58,7 @@ void Rereplicator::PlanSweep(const ViewChange& change) {
 
   const NetAddress self = membership_->self();
   std::unordered_map<NetAddress, HandoffBatch, NetAddressHash> per_dest;
-  for (const auto& [bucket, descriptor] :
-       service_->store().store().EntriesOldestFirst()) {
+  for (const auto& [bucket, descriptor] : service_->SnapshotEntries()) {
     const auto old_reps = old_ring->Replicas(bucket, config_.replication);
     const auto new_reps = new_ring->Replicas(bucket, config_.replication);
     // Only the bucket's previous or current replicas push it; a node
@@ -148,7 +147,7 @@ Status Rereplicator::PullPartition() {
 Status Rereplicator::HandoffAll() {
   const auto succ = membership_->Successor();
   if (!succ.has_value()) return Status::OK();  // alone: nowhere to hand off
-  const auto entries = service_->store().store().EntriesOldestFirst();
+  const auto entries = service_->SnapshotEntries();
   Status last = Status::OK();
   for (size_t off = 0; off < entries.size(); off += config_.batch_entries) {
     Job job;

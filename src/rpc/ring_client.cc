@@ -1,13 +1,13 @@
 #include "rpc/ring_client.h"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <set>
 
 #include "common/memory.h"
 #include "rpc/membership.h"
+#include "rpc/multi_op.h"
 
 namespace p2prange {
 namespace rpc {
@@ -70,7 +70,10 @@ Result<std::string> RingClient::CallWithPolicy(const NetAddress& to,
                           "ms exhausted after " + std::to_string(attempt) +
                           " attempts)");
       }
-      ::usleep(static_cast<useconds_t>(sleep_ms * 1000.0));
+      // Pump, don't sleep: other pipelined calls' responses keep
+      // draining (parked for their own waits) while this one backs
+      // off, so one flaky peer cannot freeze the rest of a lookup.
+      transport_.PumpFor(sleep_ms);
       wait_ms = std::min(wait_ms * policy.backoff_multiplier,
                          policy.backoff_max_ms);
       ++transport_.mutable_rpc_stats().retransmits;
@@ -143,7 +146,8 @@ void RingClient::LearnMember(const NetAddress& addr) {
   view_ = std::move(*fresh);
 }
 
-Status RingClient::Publish(const PartitionKey& key, const NetAddress& holder) {
+Status RingClient::Publish(const PartitionKey& key, const NetAddress& holder,
+                           PublishStats* stats) {
   std::vector<uint32_t> ids;
   lsh_->IdentifiersInto(key.range, &ids);
   StoreDescriptorRequest req;
@@ -152,31 +156,42 @@ Status RingClient::Publish(const PartitionKey& key, const NetAddress& holder) {
   for (const uint32_t id : ids) {
     req.bucket = id;
     const std::string body = EncodeStoreDescriptorRequest(req);
-    size_t stored = 0;
+    // Distinct addresses that accepted the bucket — a set, not a
+    // count, because a wrong-owner redirect can land on a member that
+    // is itself one of our replicas and a redirected store must not
+    // count as two copies.
+    std::set<NetAddress> stored_at;
     Status last;
     for (const NetAddress& replica :
          view_.Replicas(id, options_.descriptor_replication)) {
-      auto result = CallWithPolicy(replica, MsgType::kStoreDescriptor, body);
+      NetAddress target = replica;
+      auto result = CallWithPolicy(target, MsgType::kStoreDescriptor, body);
       if (!result.ok() && result.status().IsOutOfRange()) {
         // The replica's view says this bucket lives elsewhere (a
         // member joined since our refresh): follow the redirect.
         if (const auto owner = ParseWrongOwner(result.status().message())) {
           LearnMember(*owner);
-          result = CallWithPolicy(*owner, MsgType::kStoreDescriptor, body);
+          target = *owner;
+          if (stats != nullptr) ++stats->redirects;
+          result = CallWithPolicy(target, MsgType::kStoreDescriptor, body);
         }
       }
       if (result.ok()) {
-        ++stored;
+        stored_at.insert(target);
       } else {
         last = result.status();
       }
     }
     // Replication tolerates partial failure; a bucket stored nowhere
     // is a lost publish and must surface.
-    if (stored == 0) {
+    if (stored_at.empty()) {
       return Status(last.code(), "bucket " + std::to_string(id) + " of " +
                                      key.ToString() +
                                      " stored nowhere: " + last.message());
+    }
+    if (stats != nullptr) {
+      ++stats->buckets;
+      stats->copies_stored += static_cast<int>(stored_at.size());
     }
   }
   return Status::OK();
@@ -213,18 +228,63 @@ Result<LiveLookupOutcome> RingClient::Lookup(const PartitionKey& query) {
   req.criterion = options_.criterion;
 
   // First wave, pipelined: every group's probe goes to its bucket's
-  // primary owner before any response is awaited.
+  // primary owner before any response is awaited. Probes sharing an
+  // owner coalesce into one kMultiOp frame (batch_probes); a batch of
+  // one stays a plain kProbeBucket.
   struct Probe {
     NetAddress owner;
     std::string body;
     uint64_t call_id = 0;
     bool started = false;
+    size_t batch = SIZE_MAX;  ///< index into batches, SIZE_MAX = solo
+    size_t slot = 0;          ///< this probe's position in the batch
+  };
+  struct Batch {
+    NetAddress owner;
+    std::vector<size_t> groups;  ///< probe indices, in op order
+    uint64_t call_id = 0;
+    bool started = false;
+    bool waited = false;
+    /// Filled at wait time when the whole batch round trip succeeded.
+    std::optional<MultiOpResponse> response;
   };
   std::vector<Probe> probes(l);
+  std::vector<Batch> batches;
   for (size_t g = 0; g < l; ++g) {
     req.bucket = out.identifiers[g];
     probes[g].owner = view_.Owner(out.identifiers[g]);
     probes[g].body = EncodeProbeBucketRequest(req);
+  }
+  if (options_.batch_probes) {
+    std::map<NetAddress, size_t> batch_of;
+    for (size_t g = 0; g < l; ++g) {
+      auto [it, fresh] = batch_of.try_emplace(probes[g].owner, batches.size());
+      if (fresh) {
+        batches.push_back(Batch{});
+        batches.back().owner = probes[g].owner;
+      }
+      batches[it->second].groups.push_back(g);
+    }
+  }
+  for (Batch& batch : batches) {
+    if (batch.groups.size() < 2) continue;  // solo probes ship plain
+    MultiOpRequest mreq;
+    for (size_t i = 0; i < batch.groups.size(); ++i) {
+      const size_t g = batch.groups[i];
+      mreq.ops.push_back(MultiOp{MsgType::kProbeBucket, probes[g].body});
+      probes[g].batch = static_cast<size_t>(&batch - batches.data());
+      probes[g].slot = i;
+    }
+    auto started = transport_.StartCall(batch.owner, MsgType::kMultiOp,
+                                        EncodeMultiOpRequest(mreq));
+    if (started.ok()) {
+      batch.call_id = *started;
+      batch.started = true;
+      out.batched_probes += static_cast<int>(batch.groups.size());
+    }
+  }
+  for (size_t g = 0; g < l; ++g) {
+    if (probes[g].batch != SIZE_MAX) continue;
     auto started = transport_.StartCall(probes[g].owner, MsgType::kProbeBucket,
                                         probes[g].body);
     if (started.ok()) {
@@ -252,12 +312,36 @@ Result<LiveLookupOutcome> RingClient::Lookup(const PartitionKey& query) {
   for (size_t g = 0; g < l; ++g) {
     Probe& probe = probes[g];
     bool answered = false;
+    const auto probe_started = std::chrono::steady_clock::now();
 
-    if (probe.started) {
+    if (probe.batch != SIZE_MAX) {
+      Batch& batch = batches[probe.batch];
+      if (batch.started && !batch.waited) {
+        // First probe of the batch to be collected pays the wait; its
+        // siblings read their slots from the decoded response.
+        batch.waited = true;
+        auto waited = transport_.WaitCall(batch.owner, batch.call_id,
+                                          options_.deadline_ms);
+        if (waited.ok()) {
+          auto decoded = DecodeMultiOpResponse(waited->body);
+          if (decoded.ok() && decoded->results.size() == batch.groups.size()) {
+            batch.response = std::move(*decoded);
+          }
+        }
+      }
+      if (batch.response.has_value()) {
+        const MultiOpResult& slot = batch.response->results[probe.slot];
+        if (slot.status == StatusCode::kOk) {
+          answered = collect(slot.body).ok();
+        }
+        // A non-OK slot (redirect, shed, decode error) falls through
+        // to the per-replica path below, which knows how to follow
+        // redirects and fail over.
+      }
+    } else if (probe.started) {
       auto waited = transport_.WaitCall(probe.owner, probe.call_id,
                                         options_.deadline_ms);
       if (waited.ok()) {
-        out.latency_ms += waited->latency_ms;
         answered = collect(waited->body).ok();
       }
     }
@@ -298,6 +382,11 @@ Result<LiveLookupOutcome> RingClient::Lookup(const PartitionKey& query) {
     }
 
     if (!answered) ++out.probes_failed;
+    // Wall clock this probe actually consumed, whatever path it took —
+    // the first-wave wait, retries with their backoff, failover,
+    // redirects, the view refresh. (Summing transport round-trip
+    // latencies instead misses every one of those but the first.)
+    out.latency_ms += ElapsedMs(probe_started);
   }
 
   // Same ranking rule as the simulator: higher similarity first,

@@ -7,7 +7,9 @@
 // its owner, per-probe best matches are deduplicated and ranked by
 // (similarity desc, exact tie-break). Probes are pipelined over the
 // call-id multiplexing of TcpTransport — all l requests go out before
-// the first response is awaited.
+// the first response is awaited — and probes whose buckets share an
+// owner coalesce into a single kMultiOp round trip (small rings put
+// several of the l identifiers on the same peer).
 //
 // Fault handling wires the existing FaultPolicy into the real network:
 // an IOError (deadline missed, stream corrupted) is retried with
@@ -57,6 +59,12 @@ struct RingClientOptions {
   /// When every replica of a bucket fails, pull a fresh membership
   /// view from the ring (kGossip) and retry once at the new owners.
   bool refresh_on_failure = true;
+  /// Coalesce first-wave probes that share an owner into one kMultiOp
+  /// round trip instead of one frame each. Off forces the one-frame-
+  /// per-probe wire behavior (ablation baselines, old-server rings);
+  /// on, a batch the server rejects wholesale degrades to the per-
+  /// replica fallback path, so correctness never depends on it.
+  bool batch_probes = true;
   /// Seed of the retry-jitter stream (deterministic tests).
   uint64_t retry_jitter_seed = 0x5e41c1ed5eedULL;
   TcpTransport::Options transport;
@@ -70,7 +78,11 @@ struct LiveLookupOutcome {
   int failovers = 0;                     ///< probes answered by a successor
   int redirects = 0;                     ///< wrong-owner redirects followed
   int view_refreshes = 0;                ///< gossip view pulls performed
-  double latency_ms = 0.0;               ///< wall-clock across all probes
+  int batched_probes = 0;                ///< probes that rode a kMultiOp
+  /// Wall clock the lookup spent per probe, summed — every path
+  /// counts: the first-wave wait, retries and their backoff, failover,
+  /// redirects, and the view refresh.
+  double latency_ms = 0.0;
 };
 
 class RingClient {
@@ -81,10 +93,20 @@ class RingClient {
   RingClient(const RingClient&) = delete;
   RingClient& operator=(const RingClient&) = delete;
 
+  /// \brief What one Publish did, for tests and observability.
+  struct PublishStats {
+    int buckets = 0;        ///< identifiers the key published into
+    int copies_stored = 0;  ///< distinct addresses holding a copy, summed
+    int redirects = 0;      ///< wrong-owner redirects followed
+  };
+
   /// \brief Publishes `key`'s descriptor (holder = `holder`) into the
   /// bucket of each of its l identifiers, at every replica. Fails only
-  /// if some bucket could not be stored anywhere.
-  Status Publish(const PartitionKey& key, const NetAddress& holder);
+  /// if some bucket could not be stored anywhere. A replica that
+  /// redirects to an address already holding the bucket adds no copy:
+  /// copies are counted per distinct address.
+  Status Publish(const PartitionKey& key, const NetAddress& holder,
+                 PublishStats* stats = nullptr);
 
   /// Materializes `tuples` at `holder` (the bytes the descriptors
   /// point at).

@@ -51,10 +51,14 @@ TcpServer::TcpServer(TcpServer&& other) noexcept
     : listen_fd_(other.listen_fd_),
       addr_(other.addr_),
       handler_(std::move(other.handler_)),
+      async_(std::move(other.async_)),
       conns_(std::move(other.conns_)),
+      wake_fds_(std::move(other.wake_fds_)),
+      next_conn_id_(other.next_conn_id_),
       stats_(other.stats_) {
   other.listen_fd_ = -1;
   other.conns_.clear();
+  other.wake_fds_.clear();
 }
 
 TcpServer& TcpServer::operator=(TcpServer&& other) noexcept {
@@ -66,10 +70,14 @@ TcpServer& TcpServer::operator=(TcpServer&& other) noexcept {
   listen_fd_ = other.listen_fd_;
   addr_ = other.addr_;
   handler_ = std::move(other.handler_);
+  async_ = std::move(other.async_);
   conns_ = std::move(other.conns_);
+  wake_fds_ = std::move(other.wake_fds_);
+  next_conn_id_ = other.next_conn_id_;
   stats_ = other.stats_;
   other.listen_fd_ = -1;
   other.conns_.clear();
+  other.wake_fds_.clear();
   return *this;
 }
 
@@ -84,7 +92,7 @@ Status TcpServer::PollOnce(int timeout_ms) {
   if (listen_fd_ < 0) return Status::Internal("server not listening");
 
   std::vector<pollfd> fds;
-  fds.reserve(conns_.size() + 1);
+  fds.reserve(conns_.size() + wake_fds_.size() + 1);
   pollfd lp;
   lp.fd = listen_fd_;
   lp.events = POLLIN;
@@ -98,6 +106,15 @@ Status TcpServer::PollOnce(int timeout_ms) {
     p.revents = 0;
     fds.push_back(p);
   }
+  // Wake fds ride at the tail: a readable one ends the poll() wait but
+  // needs no handling here — its owner drains it after PollOnce.
+  for (const int wfd : wake_fds_) {
+    pollfd w;
+    w.fd = wfd;
+    w.events = POLLIN;
+    w.revents = 0;
+    fds.push_back(w);
+  }
 
   const int n = ::poll(fds.data(), fds.size(), timeout_ms);
   if (n < 0) {
@@ -108,9 +125,10 @@ Status TcpServer::PollOnce(int timeout_ms) {
 
   if (fds[0].revents & (POLLIN | POLLERR)) AcceptReady();
 
-  // conns_ may grow during AcceptReady; only the first `fds.size()-1`
-  // entries correspond to polled connections.
-  for (size_t i = 1; i < fds.size(); ++i) {
+  // conns_ may grow during AcceptReady; only the entries between the
+  // listener and the wake fds correspond to polled connections.
+  const size_t num_polled = fds.size() - 1 - wake_fds_.size();
+  for (size_t i = 1; i <= num_polled; ++i) {
     Conn& c = *conns_[i - 1];
     if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) c.dead = true;
     if (!c.dead && (fds[i].revents & POLLIN)) ReadReady(c);
@@ -144,6 +162,7 @@ void TcpServer::AcceptReady() {
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->id = next_conn_id_++;
     conns_.push_back(std::move(conn));
     ++stats_.connections_opened;
   }
@@ -191,6 +210,7 @@ void TcpServer::DispatchFrames(Conn& c) {
     }
 
     ++stats_.requests_served;
+    if (async_ && async_(c.id, *envelope)) continue;  // response deferred
     auto response = handler_(envelope->header.type, envelope->body);
 
     RpcHeader rh;
@@ -228,6 +248,21 @@ void TcpServer::WriteReady(Conn& c) {
   c.out.clear();
   c.out_pos = 0;
 }
+
+bool TcpServer::Respond(uint64_t conn_id, std::string_view envelope_payload) {
+  for (auto& c : conns_) {
+    if (c->id != conn_id || c->dead) continue;
+    AppendFrame(envelope_payload, &c->out);
+    // Flush opportunistically so a one-shot exchange completes without
+    // waiting for the next POLLOUT wakeup; a dead conn stays in conns_
+    // until PollOnce's reap, like every other death.
+    WriteReady(*c);
+    return true;
+  }
+  return false;
+}
+
+void TcpServer::AddWakeFd(int fd) { wake_fds_.push_back(fd); }
 
 void TcpServer::CloseConn(Conn& c) {
   if (c.fd >= 0) {
@@ -285,6 +320,44 @@ void TcpTransport::CloseConn(const NetAddress& to) {
 }
 
 void TcpTransport::Disconnect(const NetAddress& to) { CloseConn(to); }
+
+void TcpTransport::PumpFor(double ms) {
+  const auto started = Clock::now();
+  // A connection that dies mid-pump is left alone — its parked
+  // responses must survive for their WaitCalls, which will rediscover
+  // the death — but excluded from further polling here, or its
+  // level-triggered HUP would turn the rest of the wait into a spin.
+  std::vector<NetAddress> dead;
+  for (;;) {
+    const double left = ms - MsSince(started);
+    if (left <= 0.0) return;
+    std::vector<pollfd> fds;
+    std::vector<NetAddress> addrs;
+    for (const auto& [addr, conn] : conns_) {
+      if (std::find(dead.begin(), dead.end(), addr) != dead.end()) continue;
+      pollfd p;
+      p.fd = conn.fd;
+      p.events = POLLIN;
+      p.revents = 0;
+      fds.push_back(p);
+      addrs.push_back(addr);
+    }
+    if (fds.empty()) {
+      ::usleep(static_cast<useconds_t>(left * 1000.0));
+      return;
+    }
+    const int n =
+        ::poll(fds.data(), fds.size(), std::max(1, static_cast<int>(left)));
+    if (n < 0 && errno != EINTR) return;
+    if (n <= 0) continue;  // quiet wait; budget re-checked at loop top
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP))) continue;
+      auto it = conns_.find(addrs[i]);
+      if (it == conns_.end()) continue;
+      if (!DrainReady(addrs[i], it->second).ok()) dead.push_back(addrs[i]);
+    }
+  }
+}
 
 Status TcpTransport::SendAll(Conn& c, std::string_view bytes,
                              double deadline_ms) {

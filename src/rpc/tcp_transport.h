@@ -48,6 +48,15 @@ class TcpServer {
   using Handler =
       std::function<Result<std::string>(MsgType, std::string_view body)>;
 
+  /// First look at every decoded request, for daemons that move
+  /// handler work off the poll thread: called with the connection's
+  /// stable id and the request envelope. Returning true claims the
+  /// request — the server sends nothing and the response must arrive
+  /// later through Respond() under the same conn id. Returning false
+  /// falls through to the synchronous Handler.
+  using AsyncDispatch =
+      std::function<bool(uint64_t conn_id, const RpcEnvelope& env)>;
+
   /// Binds and listens on `bind_addr` (port 0 picks an ephemeral
   /// port; see address()).
   static Result<TcpServer> Listen(const NetAddress& bind_addr, Handler handler);
@@ -70,9 +79,30 @@ class TcpServer {
 
   const RpcStats& stats() const { return stats_; }
 
+  /// Installs the async intercept (see AsyncDispatch). Poll-thread
+  /// only, like every other method here.
+  void set_async_dispatch(AsyncDispatch dispatch) {
+    async_ = std::move(dispatch);
+  }
+
+  /// \brief Queues an already-encoded response envelope on the
+  /// connection that made the request. The caller vanished mid-flight
+  /// when this returns false — the response is dropped, which is
+  /// exactly what a dead TCP peer gets anyway.
+  bool Respond(uint64_t conn_id, std::string_view envelope_payload);
+
+  /// Adds an fd (e.g. a worker pool's completion doorbell) to the
+  /// poll set: readable wakes PollOnce immediately instead of burning
+  /// the remaining timeout. The fd is polled, never read — draining
+  /// it is its owner's job.
+  void AddWakeFd(int fd);
+
  private:
   struct Conn {
     int fd = -1;
+    /// Stable identity for deferred responses: fds are recycled by
+    /// the kernel the moment a connection closes, ids never are.
+    uint64_t id = 0;
     FrameParser parser;
     std::string out;       ///< bytes queued for write
     size_t out_pos = 0;    ///< first unsent byte of `out`
@@ -92,7 +122,10 @@ class TcpServer {
   int listen_fd_ = -1;
   NetAddress addr_;
   Handler handler_;
+  AsyncDispatch async_;
   std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<int> wake_fds_;
+  uint64_t next_conn_id_ = 1;
   RpcStats stats_;
 };
 
@@ -174,6 +207,15 @@ class TcpTransport final : public Transport {
   /// on a peer.
   Result<std::optional<CallResult>> PollCall(const NetAddress& to,
                                              uint64_t call_id);
+
+  /// \brief Waits out `ms` of wall clock without going deaf: polls
+  /// every open connection and parks whatever responses arrive, so a
+  /// retry backoff doubles as a drain for the caller's other in-flight
+  /// calls instead of freezing them (their WaitCall then completes
+  /// from the parked frame instantly). A connection that dies while
+  /// pumping is closed; its in-flight calls surface the failure on
+  /// their own wait. With no open connections this is a plain sleep.
+  void PumpFor(double ms);
 
   /// Drops the connection to `to`, if any (abandons in-flight calls).
   void Disconnect(const NetAddress& to);

@@ -32,6 +32,13 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, ResourceExhaustedRendersItsName) {
+  const Status s = Status::ResourceExhausted("queue full");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: queue full");
 }
 
 TEST(StatusTest, CopyPreservesState) {

@@ -1,0 +1,146 @@
+// The kMultiOp batch codec: round trips, per-slot statuses, and the
+// hostile-decode discipline every wire path carries — counts are
+// guarded before allocation, sub-op types must be batchable (never
+// kMultiOp itself, never a membership message), trailing bytes are an
+// error, not padding.
+#include "rpc/multi_op.h"
+
+#include <gtest/gtest.h>
+
+#include "wire/serde.h"
+
+namespace p2prange {
+namespace rpc {
+namespace {
+
+TEST(MultiOpTest, RequestRoundTripsWithOrderPreserved) {
+  MultiOpRequest req;
+  req.ops.push_back(MultiOp{MsgType::kProbeBucket, "probe-one"});
+  req.ops.push_back(MultiOp{MsgType::kPing, ""});
+  req.ops.push_back(MultiOp{MsgType::kStoreDescriptor, "store-body"});
+
+  auto decoded = DecodeMultiOpRequest(EncodeMultiOpRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->ops.size(), 3u);
+  EXPECT_EQ(decoded->ops[0].type, MsgType::kProbeBucket);
+  EXPECT_EQ(decoded->ops[0].body, "probe-one");
+  EXPECT_EQ(decoded->ops[1].type, MsgType::kPing);
+  EXPECT_TRUE(decoded->ops[1].body.empty());
+  EXPECT_EQ(decoded->ops[2].type, MsgType::kStoreDescriptor);
+  EXPECT_EQ(decoded->ops[2].body, "store-body");
+}
+
+TEST(MultiOpTest, ResponseRoundTripsPerSlotStatuses) {
+  MultiOpResponse resp;
+  resp.results.push_back(MultiOpResult{StatusCode::kOk, "found"});
+  resp.results.push_back(
+      MultiOpResult{StatusCode::kOutOfRange, "wrong owner 127.0.0.1:9"});
+  resp.results.push_back(
+      MultiOpResult{StatusCode::kResourceExhausted, "work queue full"});
+
+  auto decoded = DecodeMultiOpResponse(EncodeMultiOpResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->results.size(), 3u);
+  EXPECT_EQ(decoded->results[0].status, StatusCode::kOk);
+  EXPECT_EQ(decoded->results[0].body, "found");
+  EXPECT_EQ(decoded->results[1].status, StatusCode::kOutOfRange);
+  EXPECT_EQ(decoded->results[2].status, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->results[2].body, "work queue full");
+}
+
+TEST(MultiOpTest, OnlyDataPathTypesAreBatchable) {
+  EXPECT_TRUE(IsBatchableMsgType(MsgType::kPing));
+  EXPECT_TRUE(IsBatchableMsgType(MsgType::kStoreDescriptor));
+  EXPECT_TRUE(IsBatchableMsgType(MsgType::kProbeBucket));
+  EXPECT_TRUE(IsBatchableMsgType(MsgType::kFetchPartition));
+  // Membership mutates poll-thread state; a nested batch would let one
+  // frame amplify into recursion. Neither may ride in a batch.
+  EXPECT_FALSE(IsBatchableMsgType(MsgType::kJoin));
+  EXPECT_FALSE(IsBatchableMsgType(MsgType::kGossip));
+  EXPECT_FALSE(IsBatchableMsgType(MsgType::kHandoff));
+  EXPECT_FALSE(IsBatchableMsgType(MsgType::kMultiOp));
+}
+
+TEST(MultiOpTest, DecodeRejectsEmptyBatch) {
+  wire::Encoder enc;
+  enc.PutVarint(0);
+  EXPECT_TRUE(DecodeMultiOpRequest(enc.Take()).status().IsInvalidArgument());
+}
+
+TEST(MultiOpTest, DecodeRejectsNonBatchableSubOp) {
+  wire::Encoder enc;
+  enc.PutVarint(1);
+  enc.PutU8(static_cast<uint8_t>(MsgType::kGossip));
+  enc.PutString("entries");
+  EXPECT_TRUE(DecodeMultiOpRequest(enc.Take()).status().IsInvalidArgument());
+}
+
+TEST(MultiOpTest, DecodeRejectsNestedMultiOp) {
+  wire::Encoder enc;
+  enc.PutVarint(1);
+  enc.PutU8(static_cast<uint8_t>(MsgType::kMultiOp));
+  enc.PutString("a batch in a batch");
+  EXPECT_TRUE(DecodeMultiOpRequest(enc.Take()).status().IsInvalidArgument());
+}
+
+TEST(MultiOpTest, DecodeRejectsUnknownSubOpType) {
+  wire::Encoder enc;
+  enc.PutVarint(1);
+  enc.PutU8(99);
+  enc.PutString("");
+  EXPECT_TRUE(DecodeMultiOpRequest(enc.Take()).status().IsInvalidArgument());
+}
+
+TEST(MultiOpTest, HostileCountIsRejectedBeforeAllocation) {
+  // Claims 10 million sub-ops in a 3-byte body: the guarded count must
+  // refuse before reserving anything.
+  wire::Encoder enc;
+  enc.PutVarint(10'000'000);
+  auto decoded = DecodeMultiOpRequest(enc.Take());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(MultiOpTest, BatchAboveTheCapIsRejected) {
+  MultiOpRequest req;
+  for (size_t i = 0; i < kMaxMultiOps + 1; ++i) {
+    req.ops.push_back(MultiOp{MsgType::kPing, "x"});
+  }
+  EXPECT_FALSE(DecodeMultiOpRequest(EncodeMultiOpRequest(req)).ok());
+}
+
+TEST(MultiOpTest, TrailingBytesAreAnError) {
+  MultiOpRequest req;
+  req.ops.push_back(MultiOp{MsgType::kPing, "p"});
+  std::string bytes = EncodeMultiOpRequest(req);
+  bytes.push_back('\0');
+  EXPECT_TRUE(DecodeMultiOpRequest(bytes).status().IsInvalidArgument());
+
+  MultiOpResponse resp;
+  resp.results.push_back(MultiOpResult{StatusCode::kOk, "r"});
+  std::string rbytes = EncodeMultiOpResponse(resp);
+  rbytes.push_back('\0');
+  EXPECT_TRUE(DecodeMultiOpResponse(rbytes).status().IsInvalidArgument());
+}
+
+TEST(MultiOpTest, ResponseWithUnknownStatusByteIsRejected) {
+  wire::Encoder enc;
+  enc.PutVarint(1);
+  enc.PutU8(200);  // far beyond the last StatusCode
+  enc.PutString("");
+  EXPECT_TRUE(DecodeMultiOpResponse(enc.Take()).status().IsInvalidArgument());
+}
+
+TEST(MultiOpTest, TruncatedBodyNeverCrashes) {
+  MultiOpRequest req;
+  req.ops.push_back(MultiOp{MsgType::kProbeBucket, "a longer body here"});
+  req.ops.push_back(MultiOp{MsgType::kPing, "pong"});
+  const std::string bytes = EncodeMultiOpRequest(req);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = DecodeMultiOpRequest(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << cut << " decoded";
+  }
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace p2prange

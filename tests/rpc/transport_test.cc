@@ -5,10 +5,13 @@
 // must behave identically no matter which transport carries it.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "chord/ring.h"
 #include "net/sim_network.h"
+#include "rpc/multi_op.h"
 #include "rpc/node_service.h"
 #include "rpc/sim_transport.h"
 
@@ -333,6 +336,101 @@ TEST(RpcStatsTest, JsonCoversEveryCounter) {
   EXPECT_NE(json.find("\"bytes_in\":4"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_out\":5"), std::string::npos);
   EXPECT_NE(json.find("\"open_connections\":6"), std::string::npos);
+}
+
+TEST(NodeServiceTest, MultiOpRunsEverySlotAndIsolatesFailures) {
+  auto service = NodeService::Make(Addr(1, 1), NodeServiceOptions{});
+  ASSERT_TRUE(service.ok());
+
+  StoreDescriptorRequest store;
+  store.bucket = 7;
+  store.descriptor =
+      PartitionDescriptor{PartitionKey{"T", "a", Range(100, 200)}, Addr(9, 9)};
+  ProbeBucketRequest probe;
+  probe.bucket = 7;
+  probe.query = PartitionKey{"T", "a", Range(110, 190)};
+
+  // One batch: a store, a probe of the stored bucket, a garbage body.
+  // The garbage fails its own slot only.
+  MultiOpRequest batch;
+  batch.ops.push_back(
+      MultiOp{MsgType::kStoreDescriptor, EncodeStoreDescriptorRequest(store)});
+  batch.ops.push_back(
+      MultiOp{MsgType::kProbeBucket, EncodeProbeBucketRequest(probe)});
+  batch.ops.push_back(MultiOp{MsgType::kProbeBucket, "\xFF\xFF garbage"});
+
+  auto raw = (*service)->Handle(MsgType::kMultiOp,
+                                EncodeMultiOpRequest(batch));
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  auto resp = DecodeMultiOpResponse(*raw);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->results.size(), 3u);
+  EXPECT_EQ(resp->results[0].status, StatusCode::kOk);
+  EXPECT_EQ(resp->results[1].status, StatusCode::kOk);
+  auto candidate = DecodeProbeBucketResponse(resp->results[1].body);
+  ASSERT_TRUE(candidate.ok());
+  ASSERT_TRUE(candidate->has_value());
+  EXPECT_EQ((*candidate)->descriptor, store.descriptor);
+  EXPECT_NE(resp->results[2].status, StatusCode::kOk);
+
+  EXPECT_EQ((*service)->counters().multi_ops, 1u);
+  EXPECT_EQ((*service)->counters().descriptors_stored, 1u);
+  // The garbage slot was itself a bad request.
+  EXPECT_EQ((*service)->counters().bad_requests, 1u);
+
+  // A batch that does not decode is one more bad request, no partial
+  // work.
+  EXPECT_FALSE((*service)->Handle(MsgType::kMultiOp, "junk").ok());
+  EXPECT_EQ((*service)->counters().bad_requests, 2u);
+}
+
+TEST(NodeServiceTest, HandleIsSafeUnderConcurrentWorkers) {
+  // The executor hands one Handle() call to each worker thread; the
+  // data plane must take interleaved stores, probes, fetches, and
+  // metrics reads without tearing. TSan runs this suite.
+  auto service = NodeService::Make(Addr(1, 1), NodeServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  NodeService* raw = service->get();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([raw, t, &failures] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        StoreDescriptorRequest store;
+        store.bucket = static_cast<uint32_t>(i % 17);
+        store.descriptor = PartitionDescriptor{
+            PartitionKey{"T", "a",
+                         Range(t * 1000 + i, t * 1000 + i + 10)},
+            Addr(8, static_cast<uint16_t>(t + 1))};
+        if (!raw->Handle(MsgType::kStoreDescriptor,
+                         EncodeStoreDescriptorRequest(store))
+                 .ok()) {
+          ++failures;
+        }
+        ProbeBucketRequest probe;
+        probe.bucket = static_cast<uint32_t>(i % 17);
+        probe.query = PartitionKey{"T", "a", Range(50, 60)};
+        if (!raw->Handle(MsgType::kProbeBucket,
+                         EncodeProbeBucketRequest(probe))
+                 .ok()) {
+          ++failures;
+        }
+        if (i % 50 == 0) {
+          (void)raw->MetricsJson(NetworkStats{}, RpcStats{});
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(raw->counters().descriptors_stored,
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(raw->counters().probes_served,
+            static_cast<uint64_t>(kThreads * kOpsPerThread));
 }
 
 }  // namespace

@@ -1,0 +1,11 @@
+// Corpus: P2P004 must fire on CHECK over a batched-request body — a
+// hostile kMultiOp frame (sub-op count, sub-op type byte) must be
+// rejected with Status, not crash the worker that decodes it.
+#include "common/logging.h"
+
+int DecodeMultiOpHeader(const unsigned char* body, int size) {
+  CHECK(size >= 2);  // line 7: CHECK on the raw batch header
+  CHECK_LE(static_cast<int>(body[0]), 64);  // line 8: CHECK_LE on the wire count
+  DCHECK(body[1] != 0);  // line 9: DCHECK on the first sub-op type
+  return size;
+}

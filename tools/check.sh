@@ -14,6 +14,10 @@
 #   live churn   the dynamic-membership acceptance test: a ring grown by
 #                --join, one SIGKILL, one rolling restart, all under a
 #                seeded query load that must never fail
+#   live load    the worker-pool/admission-control harness in --smoke
+#                form: a 5-daemon ring under closed-loop lookups plus
+#                bulk fetches, then an open-loop overload burst that
+#                must shed (not hang, not crash)
 #   asan         full build + tests under AddressSanitizer + UBSan, then
 #                the crash fuzzer and live smoke again, sanitized
 #   tsan         ThreadSanitizer build (mutually exclusive with asan —
@@ -171,6 +175,16 @@ run_live_smoke build
 echo "=== live-churn smoke (joins + SIGKILL + rolling restart under load) ==="
 ./build/tests/p2prange_tests --gtest_filter='LiveChurnTest.*'
 
+# The load harness emits one JSON object; beyond exiting 0 it must show
+# a live daemon after the overload burst and zero hung clients — a shed
+# request that never resolves is exactly the bug this gate exists for.
+echo "=== live-load smoke (worker pool + admission control under overload) ==="
+load_json=$(./build/bench/ablation_live_ring --smoke 2>/dev/null)
+echo "$load_json" | grep -q '"hung":0' \
+  || { echo "live-load smoke: hung clients in overload phase" >&2; exit 1; }
+echo "$load_json" | grep -q '"daemon_alive_after":true' \
+  || { echo "live-load smoke: daemon died under overload" >&2; exit 1; }
+
 if [[ $do_sanitize -eq 1 ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
@@ -186,13 +200,18 @@ if [[ $do_tsan -eq 1 ]]; then
   # TSan cannot share a tree (or a process) with ASan; build-tsan is
   # its own configuration. Scope: the suites that actually run threads
   # today — TCP transport/server (background poll threads), concurrent
-  # logging, the membership join/leave tests (helper poll threads), and
-  # the live-churn acceptance test (client thread + forked daemons).
+  # logging, the membership join/leave tests (helper poll threads), the
+  # worker-pool executor and kMultiOp suites, and the live-churn
+  # acceptance test (client thread + forked daemons).
   echo "=== tsan build + threaded suites (thread) ==="
   cmake -B build-tsan -S . -DP2PRANGE_WERROR=ON -DP2PRANGE_SANITIZE=thread
   cmake --build build-tsan -j
   ./build-tsan/tests/p2prange_tests \
-    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*:MembershipTest.*:LiveChurnTest.*'
+    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*:MembershipTest.*:LiveChurnTest.*:RpcExecutorTest.*:MultiOpTest.*'
+  # The load harness under TSan exercises the poll-loop/worker/doorbell
+  # handoff in forked TSan-built daemons under real concurrent load.
+  echo "=== tsan live-load smoke ==="
+  ./build-tsan/bench/ablation_live_ring --smoke > /dev/null
 fi
 
 echo "=== all checks passed ==="

@@ -14,11 +14,20 @@
 //
 //   p2prange_node --listen=127.0.0.1:7001
 //       [--join=HOST:PORT] [--replication=2]
+//       [--workers=0] [--queue_depth=128]
 //       [--wal_dir=/var/lib/p2prange/n1]
 //       [--store_capacity=0] [--checkpoint_every=64]
 //       [--probe_ms=500] [--gossip_ms=1000] [--stabilize_ms=1000]
 //       [--probe_timeout_ms=250]
 //       [--metrics_json=/tmp/n1.json] [--quiet]
+//
+// With --workers=N (N >= 1) the data-path messages — ping, store,
+// probe, fetch, and kMultiOp batches of them — are served by a pool of
+// N worker threads behind a bounded work queue (--queue_depth), while
+// the poll loop keeps sole ownership of the sockets and of membership.
+// A full queue is admission control: the request is refused on the
+// spot with ResourceExhausted instead of queueing without bound.
+// --workers=0 (the default) keeps the classic single-loop daemon.
 //
 // SIGTERM / SIGINT shut the daemon down gracefully: with ring peers
 // present the local descriptors are handed off to the successor and
@@ -36,7 +45,9 @@
 #include <string>
 #include <vector>
 
+#include "rpc/executor.h"
 #include "rpc/membership.h"
+#include "rpc/multi_op.h"
 #include "rpc/node_service.h"
 #include "rpc/rereplicate.h"
 #include "rpc/tcp.h"
@@ -56,6 +67,8 @@ struct Flags {
   size_t store_capacity = 0;
   uint64_t checkpoint_every = 64;
   int replication = 2;
+  int workers = 0;
+  size_t queue_depth = 128;
   double probe_ms = 500.0;
   double gossip_ms = 1000.0;
   double stabilize_ms = 1000.0;
@@ -74,7 +87,8 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --listen=HOST:PORT [--join=HOST:PORT] "
-               "[--replication=N] [--wal_dir=DIR] "
+               "[--replication=N] [--workers=N] [--queue_depth=N] "
+               "[--wal_dir=DIR] "
                "[--store_capacity=N] [--checkpoint_every=N] "
                "[--probe_ms=MS] [--gossip_ms=MS] [--stabilize_ms=MS] "
                "[--probe_timeout_ms=MS] "
@@ -115,6 +129,15 @@ int main(int argc, char** argv) {
     }
     if (ParseFlag(arg, "replication", &value)) {
       flags.replication = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "workers", &value)) {
+      flags.workers = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseFlag(arg, "queue_depth", &value)) {
+      flags.queue_depth =
+          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
       continue;
     }
     if (ParseFlag(arg, "probe_ms", &value)) {
@@ -179,6 +202,62 @@ int main(int argc, char** argv) {
   }
   service_ptr = service->get();
 
+  // Worker pool (--workers >= 1): the poll loop hands each data-path
+  // request to the executor and keeps polling; workers run the handler
+  // against the (thread-safe) service and the completed responses come
+  // back through the completion queue, whose doorbell fd wakes poll().
+  // Everything else — membership, metrics, handoff — stays inline on
+  // the poll thread, which therefore remains LiveMembership's only
+  // thread.
+  std::unique_ptr<rpc::Executor> executor;
+  if (flags.workers < 0) return Usage(argv[0]);
+  if (flags.workers > 0) {
+    rpc::Executor::Options exec_options;
+    exec_options.workers = flags.workers;
+    exec_options.queue_depth = flags.queue_depth;
+    auto made = rpc::Executor::Make(exec_options);
+    if (!made.ok()) {
+      std::fprintf(stderr, "executor: %s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    executor = std::move(*made);
+    server->AddWakeFd(executor->doorbell_fd());
+    server->set_async_dispatch([&service_ptr, &executor, &server](
+                                   uint64_t conn_id,
+                                   const rpc::RpcEnvelope& env) {
+      const rpc::MsgType type = env.header.type;
+      if (!rpc::IsBatchableMsgType(type) && type != rpc::MsgType::kMultiOp) {
+        return false;  // poll thread serves it inline
+      }
+      rpc::RpcHeader rh;
+      rh.call_id = env.header.call_id;
+      rh.type = type;
+      rh.is_response = true;
+      const bool admitted = executor->TrySubmit(
+          conn_id, [service_ptr, type, body = env.body, rh]() {
+            auto response = service_ptr->Handle(type, body);
+            rpc::RpcHeader h = rh;
+            std::string out_body;
+            if (response.ok()) {
+              out_body = std::move(*response);
+            } else {
+              h.status = response.status().code();
+              out_body = response.status().message();
+            }
+            return rpc::EncodeEnvelope(h, out_body);
+          });
+      if (!admitted) {
+        // Admission control: the queue is full, so the caller hears
+        // "shed, retry later" now instead of waiting behind a backlog
+        // that is already past the latency target.
+        rpc::RpcHeader h = rh;
+        h.status = StatusCode::kResourceExhausted;
+        server->Respond(conn_id, rpc::EncodeEnvelope(h, "work queue full"));
+      }
+      return true;
+    });
+  }
+
   // Outbound half of the peer: membership exchanges and descriptor
   // re-replication ride their own client transport.
   rpc::TcpTransport transport{rpc::TcpTransport::Options{}};
@@ -197,6 +276,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   (*service)->set_membership(&*membership);
+  // From here on worker threads may consult the redirect decision, so
+  // they get an immutable snapshot of the alive ring; the poll thread
+  // re-publishes it after every membership tick.
+  if (executor != nullptr) (*service)->PublishRedirectRing();
 
   rpc::RereplicateConfig rereplicate_config;
   rereplicate_config.replication = flags.replication;
@@ -266,10 +349,19 @@ int main(int argc, char** argv) {
       NetworkStats net;
       net.messages = server->stats().requests_served;
       net.bytes = server->stats().bytes_in + server->stats().bytes_out;
-      const std::string extra = ",\"membership\":" +
-                                membership->counters().ToJson() +
-                                ",\"rereplication\":" +
-                                rereplicator->counters().ToJson();
+      std::string extra = ",\"membership\":" +
+                          membership->counters().ToJson() +
+                          ",\"rereplication\":" +
+                          rereplicator->counters().ToJson();
+      if (executor != nullptr) {
+        const rpc::ExecutorStats exec = executor->snapshot();
+        extra += ",\"executor\":{\"workers\":" + std::to_string(flags.workers) +
+                 ",\"queue_depth\":" + std::to_string(flags.queue_depth) +
+                 ",\"submitted\":" + std::to_string(exec.submitted) +
+                 ",\"shed\":" + std::to_string(exec.shed) +
+                 ",\"completed\":" + std::to_string(exec.completed) +
+                 ",\"max_queue\":" + std::to_string(exec.max_queue) + "}";
+      }
       out << (*service)->MetricsJson(net, server->stats(), extra) << "\n";
     }
     std::rename(tmp.c_str(), flags.metrics_json.c_str());
@@ -287,11 +379,29 @@ int main(int argc, char** argv) {
       write_metrics();
       return 1;
     }
+    if (executor != nullptr) {
+      // Finished handler work comes home: frame each response back on
+      // the connection that asked (gone connections drop theirs, as a
+      // dead TCP peer would anyway).
+      for (auto& done : executor->DrainCompletions()) {
+        server->Respond(done.tag, done.payload);
+      }
+    }
     membership->Tick();
     rereplicator->Tick();
+    if (executor != nullptr) (*service)->PublishRedirectRing();
     if (++iterations_since_metrics >= 50) {
       write_metrics();
       iterations_since_metrics = 0;
+    }
+  }
+
+  // Stop intake, let the workers finish what was admitted, and flush
+  // those last responses before the ring goodbye below.
+  if (executor != nullptr) {
+    executor->Shutdown();
+    for (auto& done : executor->DrainCompletions()) {
+      server->Respond(done.tag, done.payload);
     }
   }
 
