@@ -14,7 +14,7 @@ struct Field {
   uint64_t value;
 };
 
-void CollectCounters(const SystemMetrics& m, Field (&out)[30]) {
+void CollectCounters(const SystemMetrics& m, Field (&out)[35]) {
   size_t i = 0;
   out[i++] = {"range_lookups", m.range_lookups};
   out[i++] = {"exact_hits", m.exact_hits};
@@ -46,6 +46,11 @@ void CollectCounters(const SystemMetrics& m, Field (&out)[30]) {
   out[i++] = {"recoveries_wal_corrupted", m.recoveries_wal_corrupted};
   out[i++] = {"recovery_descriptors_restored", m.recovery_descriptors_restored};
   out[i++] = {"recovery_descriptors_repaired", m.recovery_descriptors_repaired};
+  out[i++] = {"connections_accepted", m.connections_accepted};
+  out[i++] = {"connections_shed", m.connections_shed};
+  out[i++] = {"slow_readers_evicted", m.slow_readers_evicted};
+  out[i++] = {"idle_connections_closed", m.idle_connections_closed};
+  out[i++] = {"corrupt_frames_dropped", m.corrupt_frames_dropped};
 }
 
 std::string JsonDouble(double v) {
@@ -57,10 +62,10 @@ std::string JsonDouble(double v) {
 }  // namespace
 
 std::string SystemMetrics::ToString() const {
-  Field fields[30];
+  Field fields[35];
   CollectCounters(*this, fields);
   std::string out;
-  for (size_t i = 0; i < 30; ++i) {
+  for (size_t i = 0; i < 35; ++i) {
     if (i > 0) out += ' ';
     out += fields[i].name;
     out += '=';
@@ -70,10 +75,10 @@ std::string SystemMetrics::ToString() const {
 }
 
 std::string SystemMetrics::ToJson() const {
-  Field fields[30];
+  Field fields[35];
   CollectCounters(*this, fields);
   std::string out = "{";
-  for (size_t i = 0; i < 30; ++i) {
+  for (size_t i = 0; i < 35; ++i) {
     if (i > 0) out += ',';
     out += '"';
     out += fields[i].name;

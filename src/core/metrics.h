@@ -58,6 +58,16 @@ struct SystemMetrics {
   uint64_t recovery_descriptors_repaired = 0;  ///< descriptors re-pulled from
                                                ///< live replicas post-recovery
 
+  // --- Connection-lifecycle counters (live transport, DESIGN.md §11) --
+  // Filled from TcpServer RpcStats by the daemons' harnesses; zero in
+  // pure-simulation runs.
+
+  uint64_t connections_accepted = 0;     ///< TCP accepts completed
+  uint64_t connections_shed = 0;         ///< refused at accept (conn limit)
+  uint64_t slow_readers_evicted = 0;     ///< write backlog over the cap
+  uint64_t idle_connections_closed = 0;  ///< read-idle/first-frame deadline
+  uint64_t corrupt_frames_dropped = 0;   ///< CRC/length/envelope rejections
+
   std::string ToString() const;
 
   /// Single-line JSON object (no trailing newline), for the daemon's

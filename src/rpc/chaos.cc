@@ -1,0 +1,422 @@
+#include "rpc/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace p2prange {
+namespace rpc {
+
+namespace {
+
+std::vector<std::string_view> SplitWs(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+Result<double> ParseMs(std::string_view tok) {
+  if (tok == "inf") return -1.0;
+  const std::string buf(tok);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0' || v < 0.0) {
+    return Status::InvalidArgument("bad time \"" + buf + "\"");
+  }
+  return v;
+}
+
+Result<double> ParseNonNegDouble(std::string_view tok) {
+  const std::string buf(tok);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0' || v < 0.0) {
+    return Status::InvalidArgument("bad number \"" + buf + "\"");
+  }
+  return v;
+}
+
+Result<uint64_t> ParseU64(std::string_view tok) {
+  const std::string buf(tok);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad count \"" + buf + "\"");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<int> ParseEndpoint(std::string_view tok) {
+  if (tok == "*") return kChaosAny;
+  if (tok == "c") return kChaosClient;
+  const std::string buf(tok);
+  char* end = nullptr;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0' || v < 0 || v > 4096) {
+    return Status::InvalidArgument("bad endpoint \"" + buf +
+                                   "\" (want *, c, or a node index)");
+  }
+  return static_cast<int>(v);
+}
+
+Result<std::vector<int>> ParseGroup(std::string_view tok) {
+  std::vector<int> out;
+  size_t i = 0;
+  while (i <= tok.size()) {
+    const size_t comma = std::min(tok.find(',', i), tok.size());
+    ASSIGN_OR_RETURN(const int idx, ParseEndpoint(tok.substr(i, comma - i)));
+    if (idx < 0) {
+      return Status::InvalidArgument("partition groups take node indices");
+    }
+    out.push_back(idx);
+    i = comma + 1;
+    if (comma == tok.size()) break;
+  }
+  if (out.empty()) return Status::InvalidArgument("empty partition group");
+  return out;
+}
+
+/// `key=value` → value, or error naming the expected key.
+Result<std::string_view> TakeKv(std::string_view tok, std::string_view key) {
+  const size_t eq = tok.find('=');
+  if (eq == std::string_view::npos || tok.substr(0, eq) != key) {
+    return Status::InvalidArgument("expected " + std::string(key) + "=..., got \"" +
+                                   std::string(tok) + "\"");
+  }
+  return tok.substr(eq + 1);
+}
+
+bool EndpointMatches(int selector, int concrete) {
+  if (selector == kChaosAny) return true;
+  return selector == concrete;
+}
+
+bool InGroup(const std::vector<int>& g, int idx) {
+  return std::find(g.begin(), g.end(), idx) != g.end();
+}
+
+uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer: cheap, well-distributed seed mixing.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string FmtMs(double ms) {
+  if (ms < 0.0) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", ms);
+  return buf;
+}
+
+std::string FmtEndpoint(int e) {
+  if (e == kChaosAny) return "*";
+  if (e == kChaosClient) return "c";
+  return std::to_string(e);
+}
+
+std::string FmtGroup(const std::vector<int>& g) {
+  std::string out;
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(g[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* ChaosActionName(ChaosAction a) {
+  switch (a) {
+    case ChaosAction::kDelay:
+      return "delay";
+    case ChaosAction::kDrop:
+      return "drop";
+    case ChaosAction::kCorrupt:
+      return "corrupt";
+    case ChaosAction::kRate:
+      return "rate";
+    case ChaosAction::kReset:
+      return "reset";
+    case ChaosAction::kBlackhole:
+      return "blackhole";
+    case ChaosAction::kPartition:
+      return "partition";
+  }
+  return "unknown";
+}
+
+bool ChaosRule::Matches(int link_from, int link_to) const {
+  if (action == ChaosAction::kPartition) {
+    // Crossing the cut, either direction. Clients are never in a
+    // group, so client traffic keeps flowing to both sides.
+    if (link_from < 0 || link_to < 0) return false;
+    return (InGroup(group_a, link_from) && InGroup(group_b, link_to)) ||
+           (InGroup(group_b, link_from) && InGroup(group_a, link_to));
+  }
+  return EndpointMatches(from, link_from) && EndpointMatches(to, link_to);
+}
+
+std::string ChaosRule::ToString() const {
+  std::string out = FmtMs(start_ms) + ".." + FmtMs(end_ms) + " link=";
+  if (from == kChaosAny && to == kChaosAny) {
+    out += "*";
+  } else {
+    out += FmtEndpoint(from) + "->" + FmtEndpoint(to);
+  }
+  out += " ";
+  out += ChaosActionName(action);
+  switch (action) {
+    case ChaosAction::kDelay:
+      out += " ms=" + FmtMs(delay_ms);
+      if (jitter_ms > 0.0) out += " jitter=" + FmtMs(jitter_ms);
+      break;
+    case ChaosAction::kDrop:
+    case ChaosAction::kCorrupt:
+      out += " p=" + FmtMs(prob);
+      break;
+    case ChaosAction::kRate:
+      out += " bps=" + FmtMs(bytes_per_s);
+      break;
+    case ChaosAction::kReset:
+      out += " after=" + std::to_string(reset_after);
+      break;
+    case ChaosAction::kBlackhole:
+      break;
+    case ChaosAction::kPartition:
+      out += " groups=" + FmtGroup(group_a) + "|" + FmtGroup(group_b);
+      break;
+  }
+  return out;
+}
+
+Result<ChaosPlan> ChaosPlan::Parse(std::string_view text) {
+  ChaosPlan plan;
+  size_t lineno = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t nl = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const auto toks = SplitWs(line);
+    if (toks.empty()) {
+      if (nl == text.size()) break;
+      continue;
+    }
+    const std::string where = "chaos plan line " + std::to_string(lineno);
+
+    auto fail = [&where](const Status& st) {
+      return Status::InvalidArgument(where + ": " + st.message());
+    };
+
+    if (toks.size() == 1 && toks[0].rfind("seed=", 0) == 0) {
+      auto seed = ParseU64(toks[0].substr(5));
+      if (!seed.ok()) return fail(seed.status());
+      plan.seed = *seed;
+      if (nl == text.size()) break;
+      continue;
+    }
+
+    if (toks.size() < 3) {
+      return Status::InvalidArgument(
+          where + ": expected START..END link=LINK ACTION [k=v ...]");
+    }
+
+    ChaosRule rule;
+    // --- window -------------------------------------------------------
+    const std::string_view window = toks[0];
+    const size_t dots = window.find("..");
+    if (dots == std::string_view::npos) {
+      return Status::InvalidArgument(where + ": expected START..END, got \"" +
+                                     std::string(window) + "\"");
+    }
+    auto start = ParseMs(window.substr(0, dots));
+    if (!start.ok() || *start < 0.0) {
+      return Status::InvalidArgument(where + ": bad window start");
+    }
+    auto end = ParseMs(window.substr(dots + 2));
+    if (!end.ok()) return fail(end.status());
+    rule.start_ms = *start;
+    rule.end_ms = *end;
+    if (rule.end_ms >= 0.0 && rule.end_ms <= rule.start_ms) {
+      return Status::InvalidArgument(where + ": empty window");
+    }
+
+    // --- link ---------------------------------------------------------
+    auto link = TakeKv(toks[1], "link");
+    if (!link.ok()) return fail(link.status());
+    if (*link != "*") {
+      const size_t arrow = link->find("->");
+      if (arrow == std::string_view::npos) {
+        return Status::InvalidArgument(where +
+                                       ": link must be * or FROM->TO");
+      }
+      auto from = ParseEndpoint(link->substr(0, arrow));
+      if (!from.ok()) return fail(from.status());
+      auto to = ParseEndpoint(link->substr(arrow + 2));
+      if (!to.ok()) return fail(to.status());
+      if (*to == kChaosClient) {
+        return Status::InvalidArgument(
+            where + ": \"c\" is a source class, not a destination");
+      }
+      rule.from = *from;
+      rule.to = *to;
+    }
+
+    // --- action + params ---------------------------------------------
+    const std::string_view action = toks[2];
+    const std::vector<std::string_view> params(toks.begin() + 3, toks.end());
+    auto want_params = [&](size_t n) -> Status {
+      if (params.size() == n) return Status::OK();
+      return Status::InvalidArgument(where + ": " + std::string(action) +
+                                     " takes " + std::to_string(n) +
+                                     " parameter(s)");
+    };
+    if (action == "delay") {
+      rule.action = ChaosAction::kDelay;
+      if (params.empty() || params.size() > 2) {
+        return Status::InvalidArgument(where +
+                                       ": delay ms=MS [jitter=MS]");
+      }
+      auto ms = TakeKv(params[0], "ms");
+      if (!ms.ok()) return fail(ms.status());
+      auto msv = ParseNonNegDouble(*ms);
+      if (!msv.ok()) return fail(msv.status());
+      rule.delay_ms = *msv;
+      if (params.size() == 2) {
+        auto jit = TakeKv(params[1], "jitter");
+        if (!jit.ok()) return fail(jit.status());
+        auto jitv = ParseNonNegDouble(*jit);
+        if (!jitv.ok()) return fail(jitv.status());
+        rule.jitter_ms = *jitv;
+      }
+    } else if (action == "drop" || action == "corrupt") {
+      rule.action =
+          action == "drop" ? ChaosAction::kDrop : ChaosAction::kCorrupt;
+      RETURN_NOT_OK(want_params(1));
+      auto p = TakeKv(params[0], "p");
+      if (!p.ok()) return fail(p.status());
+      auto pv = ParseNonNegDouble(*p);
+      if (!pv.ok() || *pv > 1.0) {
+        return Status::InvalidArgument(where + ": p must be in [0, 1]");
+      }
+      rule.prob = *pv;
+    } else if (action == "rate") {
+      rule.action = ChaosAction::kRate;
+      RETURN_NOT_OK(want_params(1));
+      auto bps = TakeKv(params[0], "bps");
+      if (!bps.ok()) return fail(bps.status());
+      auto bpsv = ParseNonNegDouble(*bps);
+      if (!bpsv.ok() || *bpsv <= 0.0) {
+        return Status::InvalidArgument(where + ": bps must be > 0");
+      }
+      rule.bytes_per_s = *bpsv;
+    } else if (action == "reset") {
+      rule.action = ChaosAction::kReset;
+      RETURN_NOT_OK(want_params(1));
+      auto after = TakeKv(params[0], "after");
+      if (!after.ok()) return fail(after.status());
+      auto afterv = ParseU64(*after);
+      if (!afterv.ok() || *afterv == 0) {
+        return Status::InvalidArgument(where + ": after must be >= 1");
+      }
+      rule.reset_after = *afterv;
+    } else if (action == "blackhole") {
+      rule.action = ChaosAction::kBlackhole;
+      RETURN_NOT_OK(want_params(0));
+    } else if (action == "partition") {
+      rule.action = ChaosAction::kPartition;
+      RETURN_NOT_OK(want_params(1));
+      auto groups = TakeKv(params[0], "groups");
+      if (!groups.ok()) return fail(groups.status());
+      const size_t bar = groups->find('|');
+      if (bar == std::string_view::npos) {
+        return Status::InvalidArgument(where + ": groups=A,B|C,D");
+      }
+      auto ga = ParseGroup(groups->substr(0, bar));
+      if (!ga.ok()) return fail(ga.status());
+      auto gb = ParseGroup(groups->substr(bar + 1));
+      if (!gb.ok()) return fail(gb.status());
+      for (const int idx : *ga) {
+        if (InGroup(*gb, idx)) {
+          return Status::InvalidArgument(
+              where + ": node " + std::to_string(idx) + " on both sides");
+        }
+      }
+      rule.group_a = std::move(*ga);
+      rule.group_b = std::move(*gb);
+    } else {
+      return Status::InvalidArgument(where + ": unknown action \"" +
+                                     std::string(action) + "\"");
+    }
+    plan.rules.push_back(std::move(rule));
+    if (nl == text.size()) break;
+  }
+  return plan;
+}
+
+LinkEffects ChaosPlan::EffectsAt(double elapsed_ms, int link_from,
+                                 int link_to) const {
+  LinkEffects out;
+  for (const ChaosRule& r : rules) {
+    if (!r.ActiveAt(elapsed_ms) || !r.Matches(link_from, link_to)) continue;
+    switch (r.action) {
+      case ChaosAction::kDelay:
+        out.delay_ms += r.delay_ms;
+        out.jitter_ms += r.jitter_ms;
+        break;
+      case ChaosAction::kDrop:
+        out.drop_prob = std::max(out.drop_prob, r.prob);
+        break;
+      case ChaosAction::kCorrupt:
+        out.corrupt_prob = std::max(out.corrupt_prob, r.prob);
+        break;
+      case ChaosAction::kRate:
+        out.bytes_per_s = out.bytes_per_s == 0.0
+                              ? r.bytes_per_s
+                              : std::min(out.bytes_per_s, r.bytes_per_s);
+        break;
+      case ChaosAction::kReset:
+        out.reset_after_bytes =
+            out.reset_after_bytes == 0
+                ? r.reset_after
+                : std::min(out.reset_after_bytes, r.reset_after);
+        break;
+      case ChaosAction::kBlackhole:
+      case ChaosAction::kPartition:
+        out.blackhole = true;
+        break;
+    }
+  }
+  return out;
+}
+
+uint64_t ChaosPlan::ShaperSeed(int link_from, int link_to,
+                               uint64_t conn_serial) const {
+  uint64_t s = Mix64(seed);
+  s = Mix64(s ^ static_cast<uint64_t>(static_cast<int64_t>(link_from) + 16));
+  s = Mix64(s ^ static_cast<uint64_t>(static_cast<int64_t>(link_to) + 16));
+  s = Mix64(s ^ conn_serial);
+  // Rng rejects 0; any fixed non-zero fallback keeps determinism.
+  return s == 0 ? 1 : s;
+}
+
+std::string ChaosPlan::ToString() const {
+  std::string out = "seed=" + std::to_string(seed) + "\n";
+  for (const ChaosRule& r : rules) out += r.ToString() + "\n";
+  return out;
+}
+
+}  // namespace rpc
+}  // namespace p2prange

@@ -1,0 +1,137 @@
+// ChaosPlan: a deterministic, scripted network-fault schedule shared
+// by the chaos proxy (tools/p2prange_chaosproxy) and the tests that
+// drive it (DESIGN.md §11).
+//
+// A plan is a list of rules, each binding a time window and a directed
+// link selector to one fault action. The proxy evaluates the plan
+// every tick — EffectsAt(elapsed, from, to) merges every active
+// matching rule into the effective shaping for that directed link — so
+// a window expiring *is* the heal: "partition A|B for 10 s, heal,
+// assert reconciliation" is a single rule with end_ms = 10000.
+//
+// The text grammar (one rule per line, '#' comments, blank lines
+// ignored):
+//
+//   seed=42
+//   START..END link=LINK ACTION [k=v ...]
+//
+// with START/END in ms from schedule start (END may be "inf"), LINK
+// one of "*", "F->T" where F/T are node indices, "*" (any), or "c"
+// (client — a source that is not a fronted node), and ACTION one of:
+//
+//   delay ms=MS [jitter=MS]    added one-way latency (+ uniform jitter)
+//   drop p=P                   discard each ~1KiB segment with prob P
+//   corrupt p=P                flip one random bit in each ~1KiB
+//                              segment with prob P
+//   rate bps=N                 throttle to N bytes/sec (slow-loris: N small)
+//   reset after=N              RST the connection once N bytes crossed
+//   blackhole                  silently discard everything (simplex cut)
+//   partition groups=A,B|C,D   blackhole every link crossing the cut,
+//                              both directions (link= is ignored; use *)
+//
+// Determinism: the plan carries a seed; every per-connection shaper
+// derives its Rng from (seed, link, connection serial), so a replay of
+// the same schedule over the same connection order makes the same
+// drop/corruption choices.
+#ifndef P2PRANGE_RPC_CHAOS_H_
+#define P2PRANGE_RPC_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace p2prange {
+namespace rpc {
+
+/// Endpoint selector values for ChaosRule::from / ::to (>= 0 is a node
+/// index — the position of the fronted daemon in the proxy's upstream
+/// list).
+inline constexpr int kChaosAny = -1;
+/// A source that is not a fronted node (e.g. a RingClient).
+inline constexpr int kChaosClient = -2;
+
+/// \brief The merged shaping for one directed link at one instant.
+struct LinkEffects {
+  double delay_ms = 0.0;
+  double jitter_ms = 0.0;
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double bytes_per_s = 0.0;        ///< 0 = unlimited
+  uint64_t reset_after_bytes = 0;  ///< 0 = never
+  bool blackhole = false;
+
+  bool Any() const {
+    return delay_ms > 0.0 || jitter_ms > 0.0 || drop_prob > 0.0 ||
+           corrupt_prob > 0.0 || bytes_per_s > 0.0 ||
+           reset_after_bytes > 0 || blackhole;
+  }
+};
+
+enum class ChaosAction : uint8_t {
+  kDelay,
+  kDrop,
+  kCorrupt,
+  kRate,
+  kReset,
+  kBlackhole,
+  kPartition,
+};
+
+const char* ChaosActionName(ChaosAction a);
+
+struct ChaosRule {
+  double start_ms = 0.0;
+  double end_ms = -1.0;  ///< < 0 = open-ended ("inf")
+  int from = kChaosAny;
+  int to = kChaosAny;
+  ChaosAction action = ChaosAction::kDelay;
+  double delay_ms = 0.0;
+  double jitter_ms = 0.0;
+  double prob = 0.0;
+  double bytes_per_s = 0.0;
+  uint64_t reset_after = 0;
+  /// The two sides of a kPartition cut (node indices).
+  std::vector<int> group_a;
+  std::vector<int> group_b;
+
+  bool ActiveAt(double elapsed_ms) const {
+    return elapsed_ms >= start_ms && (end_ms < 0.0 || elapsed_ms < end_ms);
+  }
+  /// Whether this rule applies to the directed link `from`->`to`
+  /// (arguments use the same encoding as the selector fields, but are
+  /// concrete: a node index or kChaosClient, never kChaosAny).
+  bool Matches(int link_from, int link_to) const;
+
+  std::string ToString() const;
+};
+
+struct ChaosPlan {
+  std::vector<ChaosRule> rules;
+  uint64_t seed = 1;
+
+  /// Parses the grammar above; InvalidArgument names the bad line.
+  static Result<ChaosPlan> Parse(std::string_view text);
+
+  /// Merge of every rule active at `elapsed_ms` that matches the
+  /// directed link: delays add, probabilities take the max, rates take
+  /// the tightest, reset the earliest, blackhole ORs.
+  LinkEffects EffectsAt(double elapsed_ms, int link_from, int link_to) const;
+
+  /// The seed a per-connection shaper should use, mixing the plan
+  /// seed, the directed link, and the connection's accept serial —
+  /// stable across replays of the same schedule.
+  uint64_t ShaperSeed(int link_from, int link_to, uint64_t conn_serial) const;
+
+  bool empty() const { return rules.empty(); }
+  /// Round-trips through Parse (modulo comments/blank lines).
+  std::string ToString() const;
+};
+
+}  // namespace rpc
+}  // namespace p2prange
+
+#endif  // P2PRANGE_RPC_CHAOS_H_

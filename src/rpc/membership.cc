@@ -1,6 +1,7 @@
 #include "rpc/membership.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "rpc/tcp.h"
@@ -126,6 +127,16 @@ Status MembershipConfig::Validate() const {
   if (tombstone_ttl_ms <= 0.0) {
     return Status::InvalidArgument("tombstone_ttl_ms must be > 0");
   }
+  if (flap_penalty <= 0.0 || flap_halflife_ms <= 0.0) {
+    return Status::InvalidArgument("flap penalty/halflife must be > 0");
+  }
+  if (flap_reuse <= 0.0 || flap_reuse > flap_suppress) {
+    return Status::InvalidArgument("need 0 < flap_reuse <= flap_suppress");
+  }
+  if (strike_decay_ms < 0.0 || reconnect_period_ms < 0.0) {
+    return Status::InvalidArgument(
+        "strike_decay_ms/reconnect_period_ms must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -144,6 +155,10 @@ std::string MembershipCounters::ToJson() const {
   out += ",\"view_changes\":" + std::to_string(view_changes);
   out += ",\"entries_merged\":" + std::to_string(entries_merged);
   out += ",\"bad_bodies\":" + std::to_string(bad_bodies);
+  out += ",\"flap_suppressions\":" + std::to_string(flap_suppressions);
+  out += ",\"flap_releases\":" + std::to_string(flap_releases);
+  out += ",\"reconnect_probes\":" + std::to_string(reconnect_probes);
+  out += ",\"members_resurrected\":" + std::to_string(members_resurrected);
   out += "}";
   return out;
 }
@@ -167,6 +182,9 @@ LiveMembership::LiveMembership(const NetAddress& self, uint64_t incarnation,
   next_probe_ = now + Jittered(config_.probe_period_ms);
   next_gossip_ = now + Jittered(config_.gossip_period_ms);
   next_stabilize_ = now + Jittered(config_.stabilize_period_ms);
+  next_reconnect_ = config_.reconnect_period_ms > 0.0
+                        ? now + Jittered(config_.reconnect_period_ms)
+                        : now;
 }
 
 Result<LiveMembership> LiveMembership::Make(const NetAddress& self,
@@ -202,9 +220,44 @@ std::vector<MemberEntry> LiveMembership::Entries() const {
 std::vector<NetAddress> LiveMembership::AliveOthers() const {
   std::vector<NetAddress> out;
   for (const auto& [addr, m] : others_) {
-    if (IsAliveStatus(m.entry.status)) out.push_back(addr);
+    if (Visible(m)) out.push_back(addr);
   }
   return out;
+}
+
+bool LiveMembership::Visible(const Member& m) const {
+  return IsAliveStatus(m.entry.status) && !m.suppressed;
+}
+
+void LiveMembership::EmitIfVisibleChanged(const NetAddress& addr,
+                                          const Member& m, bool was_visible) {
+  const bool is_visible = Visible(m);
+  if (was_visible == is_visible) return;
+  changes_.push_back(ViewChange{addr, m.entry.status, was_visible, is_visible});
+  ++counters_.view_changes;
+}
+
+double LiveMembership::DecayPenalty(Member& m, Clock::time_point now) {
+  if (m.penalty <= 0.0) {
+    m.penalty_at = now;
+    return 0.0;
+  }
+  const double dt_ms =
+      std::chrono::duration<double, std::milli>(now - m.penalty_at).count();
+  if (dt_ms > 0.0) {
+    m.penalty *= std::exp2(-dt_ms / config_.flap_halflife_ms);
+    m.penalty_at = now;
+  }
+  return m.penalty;
+}
+
+void LiveMembership::NoteFlap(Member& m, Clock::time_point now) {
+  DecayPenalty(m, now);
+  m.penalty += config_.flap_penalty;
+  if (!m.suppressed && m.penalty >= config_.flap_suppress) {
+    m.suppressed = true;
+    ++counters_.flap_suppressions;
+  }
 }
 
 std::vector<NetAddress> LiveMembership::AliveAddresses() const {
@@ -245,34 +298,40 @@ bool LiveMembership::Merge(const MemberEntry& e) {
     return false;
   }
   auto it = others_.find(e.addr);
+  const auto now = Clock::now();
   if (it == others_.end()) {
     Member m;
     m.entry = e;
-    m.updated = Clock::now();
-    others_.emplace(e.addr, std::move(m));
+    m.updated = now;
+    m.penalty_at = now;
+    auto [pos, inserted] = others_.emplace(e.addr, std::move(m));
+    (void)inserted;
     transport_->Register(e.addr);
-    if (IsAliveStatus(e.status)) {
-      changes_.push_back(ViewChange{e.addr, e.status, false, true});
-      ++counters_.view_changes;
-    }
+    EmitIfVisibleChanged(e.addr, pos->second, /*was_visible=*/false);
     ++counters_.entries_merged;
     return true;
   }
-  MemberEntry& cur = it->second.entry;
+  Member& member = it->second;
+  MemberEntry& cur = member.entry;
   const bool newer =
       e.incarnation > cur.incarnation ||
       (e.incarnation == cur.incarnation && StatusTrumps(e.status, cur.status));
   if (!newer) return false;
-  const bool was_alive = IsAliveStatus(cur.status);
+  const MemberStatus prev_status = cur.status;
+  const bool was_alive = IsAliveStatus(prev_status);
+  const bool was_visible = Visible(member);
   const bool is_alive = IsAliveStatus(e.status);
   const bool fresh_incarnation = e.incarnation > cur.incarnation;
   cur = e;
-  it->second.updated = Clock::now();
-  if (fresh_incarnation || is_alive) it->second.strikes = 0;
-  if (was_alive != is_alive) {
-    changes_.push_back(ViewChange{e.addr, e.status, was_alive, is_alive});
-    ++counters_.view_changes;
+  member.updated = now;
+  if (fresh_incarnation || is_alive) member.strikes = 0;
+  // An alive<->dead oscillation feeds the flap damper; graceful
+  // departures (kLeft) are deliberate and never penalized.
+  if (was_alive != is_alive && (e.status == MemberStatus::kDead ||
+                                prev_status == MemberStatus::kDead)) {
+    NoteFlap(member, now);
   }
+  EmitIfVisibleChanged(e.addr, member, was_visible);
   ++counters_.entries_merged;
   return true;
 }
@@ -297,6 +356,17 @@ void LiveMembership::RecordMiss(const NetAddress& to, bool hard) {
   Member& m = it->second;
   if (!IsAliveStatus(m.entry.status)) return;  // already written off
   ++counters_.probe_misses;
+  const auto now = Clock::now();
+  // Lossy-link forgiveness: strikes older than strike_decay_ms are
+  // stale evidence — a link dropping one probe in ten should suspect
+  // the member occasionally, not walk it to its death over minutes.
+  if (config_.strike_decay_ms > 0.0 && m.strikes > 0 &&
+      now - m.last_strike > std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    config_.strike_decay_ms))) {
+    m.strikes = 0;
+  }
+  m.last_strike = now;
   m.strikes += hard ? 2 : 1;
   if (m.strikes < config_.dead_after_strikes) {
     m.entry.status = MemberStatus::kSuspect;
@@ -304,11 +374,12 @@ void LiveMembership::RecordMiss(const NetAddress& to, bool hard) {
   }
   // Declared dead under the entry's current incarnation; if the member
   // is actually alive it will refute with a higher incarnation.
+  const bool was_visible = Visible(m);
   m.entry.status = MemberStatus::kDead;
-  m.updated = Clock::now();
+  m.updated = now;
   ++counters_.members_marked_dead;
-  changes_.push_back(ViewChange{to, MemberStatus::kDead, true, false});
-  ++counters_.view_changes;
+  NoteFlap(m, now);
+  EmitIfVisibleChanged(to, m, was_visible);
   transport_->Disconnect(to);
 }
 
@@ -458,6 +529,25 @@ void LiveMembership::HandleExchangeReply(const PendingExchange& ex,
       if (entries.ok()) MergeAll(*entries);
       return;
     }
+    case ExchangeKind::kReconnect: {
+      // A dead member answered: the partition healed. Our request body
+      // carried its dead@N tombstone, which the member refuted by
+      // bumping its own incarnation before replying, so merging the
+      // reply resurrects it through the ordinary incarnation rules and
+      // the visible transition triggers the re-replication diff.
+      auto entries = DecodeViewMessage(result.body);
+      if (!entries.ok()) return;
+      const auto it = others_.find(ex.to);
+      const bool was_dead =
+          it != others_.end() && it->second.entry.status == MemberStatus::kDead;
+      MergeAll(*entries);
+      const auto after = others_.find(ex.to);
+      if (was_dead && after != others_.end() &&
+          IsAliveStatus(after->second.entry.status)) {
+        ++counters_.members_resurrected;
+      }
+      return;
+    }
     case ExchangeKind::kStabilize: {
       auto entries = DecodeViewMessage(result.body);
       if (!entries.ok()) return;
@@ -555,21 +645,62 @@ void LiveMembership::MaybeStabilize(Clock::time_point now) {
                 EncodeViewMessage({SelfEntry()}));
 }
 
+void LiveMembership::MaybeReconnect(Clock::time_point now) {
+  if (config_.reconnect_period_ms <= 0.0) return;
+  if (now < next_reconnect_) return;
+  next_reconnect_ = now + Jittered(config_.reconnect_period_ms);
+  // Probe one random dead member with a full gossip exchange. Probes
+  // and gossip only ever target alive members, so without this sweep a
+  // partition outlasting the failure detector would be permanent: both
+  // sides hold dead tombstones and never speak again. kLeft members
+  // said goodbye on purpose and are not courted back.
+  std::vector<NetAddress> dead;
+  for (const auto& [addr, m] : others_) {
+    if (m.entry.status == MemberStatus::kDead) dead.push_back(addr);
+  }
+  if (dead.empty()) return;
+  const NetAddress target = dead[rng_.NextBounded(dead.size())];
+  ++counters_.reconnect_probes;
+  StartExchange(ExchangeKind::kReconnect, target, MsgType::kGossip,
+                EncodeViewMessage(Entries()));
+}
+
+void LiveMembership::MaybeReleaseSuppressed(Clock::time_point now) {
+  for (auto& [addr, m] : others_) {
+    if (!m.suppressed) continue;
+    if (DecayPenalty(m, now) >= config_.flap_reuse) continue;
+    // Quarantine over: the member held one story long enough for the
+    // penalty to decay. If its status is alive it re-enters the ring.
+    m.suppressed = false;
+    ++counters_.flap_releases;
+    EmitIfVisibleChanged(addr, m, /*was_visible=*/false);
+  }
+}
+
 void LiveMembership::PruneTombstones(Clock::time_point now) {
   const auto ttl = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double, std::milli>(config_.tombstone_ttl_ms));
+  // An isolated node (no visible-alive peer at all) keeps its dead
+  // tombstones past the TTL: they are the reconnect sweep's only
+  // candidate list, i.e. its only way back after a long partition.
+  // Graceful kLeft departures still age out unconditionally.
+  const bool isolated = AliveOthers().empty();
   std::erase_if(others_, [&](const auto& kv) {
     const Member& m = kv.second;
-    return !IsAliveStatus(m.entry.status) && now - m.updated > ttl;
+    if (IsAliveStatus(m.entry.status)) return false;
+    if (isolated && m.entry.status == MemberStatus::kDead) return false;
+    return now - m.updated > ttl;
   });
 }
 
 void LiveMembership::Tick() {
   const auto now = Clock::now();
   PollPending();
+  MaybeReleaseSuppressed(now);
   MaybeProbe(now);
   MaybeGossip(now);
   MaybeStabilize(now);
+  MaybeReconnect(now);
   PruneTombstones(now);
 }
 

@@ -125,6 +125,30 @@ struct MembershipConfig {
   /// Seed for the jitter/peer-choice Rng (P2P002: replayable).
   uint64_t seed = 1;
 
+  // --- Partition tolerance (DESIGN.md §11) ---------------------------
+
+  /// Flap damping: every alive<->dead transition of a member adds
+  /// flap_penalty; the total decays exponentially with halflife
+  /// flap_halflife_ms. At/above flap_suppress the member is
+  /// quarantined — held out of the alive set and silent to
+  /// view-change consumers (no re-replication churn) — until the
+  /// decayed penalty falls below flap_reuse. Decay runs even between
+  /// back-to-back flaps, so N rapid flaps sum to just under N:
+  /// thresholds sit between integers (2.5 = "the third flap").
+  double flap_penalty = 1.0;
+  double flap_suppress = 2.5;
+  double flap_reuse = 1.5;
+  double flap_halflife_ms = 10000.0;
+  /// Lossy-link forgiveness: a strike older than this is stale
+  /// evidence and no longer counts toward dead_after_strikes
+  /// (0 = strikes never fade between contacts).
+  double strike_decay_ms = 5000.0;
+  /// Period of the post-partition reconciliation sweep: probe one
+  /// random dead (never left) member; a reply resurrects it and the
+  /// resulting view change triggers the re-replication diff
+  /// (0 disables — a healed partition then stays split).
+  double reconnect_period_ms = 2000.0;
+
   Status Validate() const;
 };
 
@@ -150,6 +174,10 @@ struct MembershipCounters {
   uint64_t view_changes = 0;
   uint64_t entries_merged = 0;
   uint64_t bad_bodies = 0;
+  uint64_t flap_suppressions = 0;    ///< members quarantined for flapping
+  uint64_t flap_releases = 0;        ///< quarantines lifted (penalty decayed)
+  uint64_t reconnect_probes = 0;     ///< dead members probed post-partition
+  uint64_t members_resurrected = 0;  ///< dead members that answered one
 
   std::string ToJson() const;
 };
@@ -222,9 +250,19 @@ class LiveMembership {
     MemberEntry entry;
     Clock::time_point updated;
     int strikes = 0;
+    Clock::time_point last_strike;  ///< when the newest strike landed
+    double penalty = 0.0;           ///< decayed flap penalty (DESIGN.md §11)
+    Clock::time_point penalty_at;   ///< instant `penalty` was last decayed to
+    bool suppressed = false;        ///< quarantined by flap damping
   };
 
-  enum class ExchangeKind { kProbe, kGossip, kStabilize, kNotifyCall };
+  enum class ExchangeKind {
+    kProbe,
+    kGossip,
+    kStabilize,
+    kNotifyCall,
+    kReconnect,  ///< gossip aimed at a dead member (partition-heal sweep)
+  };
 
   struct PendingExchange {
     ExchangeKind kind = ExchangeKind::kProbe;
@@ -253,7 +291,21 @@ class LiveMembership {
   void MaybeProbe(Clock::time_point now);
   void MaybeGossip(Clock::time_point now);
   void MaybeStabilize(Clock::time_point now);
+  void MaybeReconnect(Clock::time_point now);
+  void MaybeReleaseSuppressed(Clock::time_point now);
   void PruneTombstones(Clock::time_point now);
+
+  /// A member counts as alive for routing/view purposes only when its
+  /// status is alive AND flap damping is not quarantining it.
+  bool Visible(const Member& m) const;
+  /// Records a ViewChange iff the member's visible aliveness moved.
+  void EmitIfVisibleChanged(const NetAddress& addr, const Member& m,
+                            bool was_visible);
+  /// One raw alive<->dead transition: bump the flap penalty, maybe
+  /// enter quarantine.
+  void NoteFlap(Member& m, Clock::time_point now);
+  /// Decays `m.penalty` to `now` and returns the decayed value.
+  double DecayPenalty(Member& m, Clock::time_point now);
 
   MemberEntry SelfEntry() const;
   /// period * [1-jitter, 1+jitter), as a duration.
@@ -275,6 +327,7 @@ class LiveMembership {
   Clock::time_point next_probe_;
   Clock::time_point next_gossip_;
   Clock::time_point next_stabilize_;
+  Clock::time_point next_reconnect_;
   int probe_miss_streak_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "rpc/rereplicate.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <utility>
 
@@ -85,9 +86,9 @@ void Rereplicator::PlanSweep(const ViewChange& change) {
   }
 }
 
-Status Rereplicator::SendJob(Job& job) {
+Status Rereplicator::SendJob(Job& job, double deadline_ms) {
   Transport::CallOptions call_options;
-  call_options.deadline_ms = config_.call_deadline_ms;
+  call_options.deadline_ms = deadline_ms;
   ASSIGN_OR_RETURN(Transport::CallResult result,
                    transport_->Call(NetAddress{}, job.to, MsgType::kHandoff,
                                     EncodeHandoffBatch(job.batch),
@@ -113,7 +114,7 @@ void Rereplicator::Tick() {
     ++counters_.jobs_dropped;
     return;
   }
-  const Status sent = SendJob(job);
+  const Status sent = SendJob(job, config_.call_deadline_ms);
   if (sent.ok()) return;
   ++counters_.push_failures;
   if (++job.attempts < config_.max_attempts) {
@@ -148,16 +149,38 @@ Status Rereplicator::HandoffAll() {
   const auto succ = membership_->Successor();
   if (!succ.has_value()) return Status::OK();  // alone: nowhere to hand off
   const auto entries = service_->SnapshotEntries();
+  const auto started = std::chrono::steady_clock::now();
   Status last = Status::OK();
   for (size_t off = 0; off < entries.size(); off += config_.batch_entries) {
+    // Shrink each call's deadline to the remaining wall-clock budget;
+    // once the budget is gone the drain stops. Everything unsent is
+    // still in the WAL, and the survivors re-replicate the arcs once
+    // the failure detector notices the departure.
+    double call_deadline = config_.call_deadline_ms;
+    if (config_.handoff_deadline_ms > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      const double remaining = config_.handoff_deadline_ms - elapsed;
+      if (remaining <= 0.0) {
+        return Status::IOError("handoff drain ran out of its " +
+                               std::to_string(config_.handoff_deadline_ms) +
+                               "ms budget");
+      }
+      call_deadline = std::min(call_deadline, remaining);
+    }
     Job job;
     job.to = *succ;
     const size_t end = std::min(off + config_.batch_entries, entries.size());
     job.batch.entries.assign(entries.begin() + static_cast<long>(off),
                              entries.begin() + static_cast<long>(end));
-    const Status sent = SendJob(job);
+    const Status sent = SendJob(job, call_deadline);
     if (!sent.ok()) {
       ++counters_.push_failures;
+      // An unreachable successor fails every later batch the same way;
+      // abort the drain rather than burning the budget batch by batch.
+      if (sent.IsUnavailable()) return sent;
       last = sent;
     }
   }

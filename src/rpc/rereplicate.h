@@ -45,6 +45,12 @@ struct RereplicateConfig {
   /// Attempts per job before it is dropped (a later view change will
   /// replan anything still missing).
   int max_attempts = 3;
+  /// Wall-clock budget of one HandoffAll() drain. The graceful-leave
+  /// path runs while SIGTERM is being serviced: if the successor is
+  /// unreachable, the drain must give up and let the exit proceed —
+  /// the WAL still holds everything, and the survivors' failure
+  /// detector replans the arcs. 0 disables the bound.
+  double handoff_deadline_ms = 5000.0;
 
   Status Validate() const {
     if (replication < 1) {
@@ -58,6 +64,9 @@ struct RereplicateConfig {
     }
     if (max_attempts < 1) {
       return Status::InvalidArgument("max_attempts must be >= 1");
+    }
+    if (handoff_deadline_ms < 0.0) {
+      return Status::InvalidArgument("handoff_deadline_ms must be >= 0");
     }
     return Status::OK();
   }
@@ -98,6 +107,8 @@ class Rereplicator {
 
   /// Graceful-leave handoff: pushes every local descriptor to the
   /// successor (all batches, synchronously — the process is exiting).
+  /// Bounded by handoff_deadline_ms of wall clock: an unreachable
+  /// successor aborts the drain instead of stalling the SIGTERM path.
   Status HandoffAll();
 
   bool idle() const { return jobs_.empty(); }
@@ -121,7 +132,7 @@ class Rereplicator {
   /// descriptor whose replica set gained members not in the pre-change
   /// set, batch it toward the newcomers.
   void PlanSweep(const ViewChange& change);
-  Status SendJob(Job& job);
+  Status SendJob(Job& job, double deadline_ms);
 
   NodeService* service_;
   LiveMembership* membership_;

@@ -64,7 +64,11 @@ Status MakeNonBlocking(int fd) {
 }
 
 Result<ListenSocket> Listen(const NetAddress& bind_addr, int backlog) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  // SOCK_NONBLOCK | SOCK_CLOEXEC at creation (lint P2P006): no window
+  // where a fork (daemon harnesses fork-exec freely) inherits the fd
+  // or a blocking call sneaks in before fcntl.
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return ErrnoStatus("socket", errno);
   const int one = 1;
   (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -79,11 +83,6 @@ Result<ListenSocket> Listen(const NetAddress& bind_addr, int backlog) {
     ::close(fd);
     return ErrnoStatus("listen " + bind_addr.ToString(), err);
   }
-  const Status nb = MakeNonBlocking(fd);
-  if (!nb.ok()) {
-    ::close(fd);
-    return nb;
-  }
   sockaddr_in bound;
   socklen_t len = sizeof(bound);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
@@ -97,16 +96,23 @@ Result<ListenSocket> Listen(const NetAddress& bind_addr, int backlog) {
   return out;
 }
 
-Result<int> StartConnect(const NetAddress& to) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+Result<int> StartConnect(const NetAddress& to, uint32_t source_host) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return ErrnoStatus("socket", errno);
-  const Status nb = MakeNonBlocking(fd);
-  if (!nb.ok()) {
-    ::close(fd);
-    return nb;
-  }
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (source_host != 0) {
+    NetAddress src;
+    src.host = source_host;
+    src.port = 0;  // ephemeral — only the source IP matters
+    sockaddr_in ssa = ToSockaddr(src);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&ssa), sizeof(ssa)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("bind source " + src.ToString(), err);
+    }
+  }
   sockaddr_in sa = ToSockaddr(to);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
     return fd;  // connected immediately (loopback fast path)

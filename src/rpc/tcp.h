@@ -38,8 +38,11 @@ Result<ListenSocket> Listen(const NetAddress& bind_addr, int backlog = 64);
 
 /// \brief Starts a non-blocking connect to `to`; returns the fd with
 /// the connect possibly still in progress (finish with poll(POLLOUT) +
-/// SO_ERROR). The caller owns the fd.
-Result<int> StartConnect(const NetAddress& to);
+/// SO_ERROR). The caller owns the fd. A non-zero `source_host` binds
+/// the socket's source address (ephemeral port) before connecting, so
+/// a daemon's outbound traffic carries its identity — the chaos proxy
+/// classifies directed links by source IP (DESIGN.md §11).
+Result<int> StartConnect(const NetAddress& to, uint32_t source_host = 0);
 
 /// \brief Waits up to `timeout_ms` for a StartConnect fd to finish;
 /// Unavailable on refusal/unroutability, IOError on timeout.

@@ -43,14 +43,20 @@ constexpr size_t kReadChunk = 64 * 1024;
 
 Result<TcpServer> TcpServer::Listen(const NetAddress& bind_addr,
                                     Handler handler) {
+  return Listen(bind_addr, std::move(handler), Options{});
+}
+
+Result<TcpServer> TcpServer::Listen(const NetAddress& bind_addr,
+                                    Handler handler, Options options) {
   ASSIGN_OR_RETURN(ListenSocket ls, rpc::Listen(bind_addr));
-  return TcpServer(ls.fd, ls.bound, std::move(handler));
+  return TcpServer(ls.fd, ls.bound, std::move(handler), options);
 }
 
 TcpServer::TcpServer(TcpServer&& other) noexcept
     : listen_fd_(other.listen_fd_),
       addr_(other.addr_),
       handler_(std::move(other.handler_)),
+      options_(other.options_),
       async_(std::move(other.async_)),
       conns_(std::move(other.conns_)),
       wake_fds_(std::move(other.wake_fds_)),
@@ -70,6 +76,7 @@ TcpServer& TcpServer::operator=(TcpServer&& other) noexcept {
   listen_fd_ = other.listen_fd_;
   addr_ = other.addr_;
   handler_ = std::move(other.handler_);
+  options_ = other.options_;
   async_ = std::move(other.async_);
   conns_ = std::move(other.conns_);
   wake_fds_ = std::move(other.wake_fds_);
@@ -121,9 +128,10 @@ Status TcpServer::PollOnce(int timeout_ms) {
     if (errno == EINTR) return Status::OK();  // signal: let the loop decide
     return Status::IOError(std::string("poll: ") + ::strerror(errno));
   }
-  if (n == 0) return Status::OK();
-
-  if (fds[0].revents & (POLLIN | POLLERR)) AcceptReady();
+  // A quiet timeout still falls through to SweepDeadlines and the
+  // reap: a slow-loris or silent connection generates no events, so
+  // the early-out would shield exactly the fds the deadlines target.
+  if (n > 0 && (fds[0].revents & (POLLIN | POLLERR))) AcceptReady();
 
   // conns_ may grow during AcceptReady; only the entries between the
   // listener and the wake fds correspond to polled connections.
@@ -134,6 +142,8 @@ Status TcpServer::PollOnce(int timeout_ms) {
     if (!c.dead && (fds[i].revents & POLLIN)) ReadReady(c);
     if (!c.dead && (fds[i].revents & POLLOUT)) WriteReady(c);
   }
+
+  SweepDeadlines(Clock::now());
 
   for (auto& c : conns_) {
     // A handler response queued outside a POLLOUT wakeup: try to flush
@@ -148,14 +158,20 @@ Status TcpServer::PollOnce(int timeout_ms) {
 
 void TcpServer::AcceptReady() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       // EAGAIN: drained the backlog. Anything else (e.g. a connection
       // reset before accept) is not the listener's problem.
       return;
     }
-    if (!MakeNonBlocking(fd).ok()) {
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      // Shed at the door: an immediate close costs the caller one
+      // failed exchange (Unavailable → failover) instead of letting
+      // an unbounded fd population starve everyone.
       ::close(fd);
+      ++stats_.accepts_shed;
       continue;
     }
     const int one = 1;
@@ -163,6 +179,8 @@ void TcpServer::AcceptReady() {
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
+    conn->opened_at = Clock::now();
+    conn->last_activity = conn->opened_at;
     conns_.push_back(std::move(conn));
     ++stats_.connections_opened;
   }
@@ -174,6 +192,7 @@ void TcpServer::ReadReady(Conn& c) {
     const ssize_t got = ::read(c.fd, buf, sizeof(buf));
     if (got > 0) {
       stats_.bytes_in += static_cast<uint64_t>(got);
+      c.last_activity = Clock::now();
       c.parser.Feed(std::string_view(buf, static_cast<size_t>(got)));
       continue;
     }
@@ -199,6 +218,7 @@ void TcpServer::DispatchFrames(Conn& c) {
       return;
     }
     if (!next->has_value()) return;  // need more bytes
+    c.got_frame = true;
 
     auto envelope = DecodeEnvelope(**next);
     if (!envelope.ok() || envelope->header.is_response) {
@@ -226,6 +246,8 @@ void TcpServer::DispatchFrames(Conn& c) {
       body = response.status().message();
     }
     AppendFrame(EncodeEnvelope(rh, body), &c.out);
+    EnforceWriteCap(c);
+    if (c.dead) return;
   }
 }
 
@@ -238,6 +260,7 @@ void TcpServer::WriteReady(Conn& c) {
     if (sent > 0) {
       stats_.bytes_out += static_cast<uint64_t>(sent);
       c.out_pos += static_cast<size_t>(sent);
+      c.last_activity = Clock::now();
       continue;
     }
     if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
@@ -257,9 +280,51 @@ bool TcpServer::Respond(uint64_t conn_id, std::string_view envelope_payload) {
     // waiting for the next POLLOUT wakeup; a dead conn stays in conns_
     // until PollOnce's reap, like every other death.
     WriteReady(*c);
+    EnforceWriteCap(*c);
     return true;
   }
   return false;
+}
+
+void TcpServer::EnforceWriteCap(Conn& c) {
+  if (c.dead || options_.max_out_buffer == 0) return;
+  if (c.out.size() - c.out_pos <= options_.max_out_buffer) return;
+  // Let the kernel absorb what it can before judging the reader.
+  WriteReady(c);
+  if (c.dead || c.out.size() - c.out_pos <= options_.max_out_buffer) return;
+  ++stats_.slow_readers_evicted;
+  // Abortive close: the reader's window is already full, so an orderly
+  // FIN would queue behind the very backlog being shed and the kernel
+  // would linger holding a full send buffer. RST releases it now.
+  const linger lg{1, 0};
+  (void)::setsockopt(c.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  c.dead = true;
+}
+
+void TcpServer::SweepDeadlines(std::chrono::steady_clock::time_point now) {
+  const bool idle_on = options_.read_idle_timeout_ms > 0.0;
+  const bool loris_on = options_.first_frame_timeout_ms > 0.0;
+  if (!idle_on && !loris_on) return;
+  for (auto& c : conns_) {
+    if (c->dead) continue;
+    const double since_activity =
+        std::chrono::duration<double, std::milli>(now - c->last_activity)
+            .count();
+    const double since_open =
+        std::chrono::duration<double, std::milli>(now - c->opened_at).count();
+    if (loris_on && !c->got_frame &&
+        since_open > options_.first_frame_timeout_ms) {
+      // Accepted long ago, never completed one frame: a trickler (or a
+      // port scanner). Whatever it is, it holds an fd hostage.
+      ++stats_.idle_closed;
+      c->dead = true;
+      continue;
+    }
+    if (idle_on && since_activity > options_.read_idle_timeout_ms) {
+      ++stats_.idle_closed;
+      c->dead = true;
+    }
+  }
 }
 
 void TcpServer::AddWakeFd(int fd) { wake_fds_.push_back(fd); }
@@ -285,9 +350,35 @@ TcpTransport::~TcpTransport() {
 
 Result<TcpTransport::Conn*> TcpTransport::GetConn(const NetAddress& to) {
   auto it = conns_.find(to);
-  if (it != conns_.end()) return &it->second;
+  if (it != conns_.end()) {
+    Conn& cached = it->second;
+    // Between calls a server may have closed this cached connection
+    // (idle timeout, restart). Reusing it would send a request nobody
+    // reads and surface a bogus Unavailable — so with nothing in
+    // flight, one zero-timeout poll checks for a pending EOF/RST and
+    // reconnects transparently instead.
+    if (cached.sent_at.empty() && cached.parked.empty()) {
+      pollfd pfd;
+      pfd.fd = cached.fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      if (::poll(&pfd, 1, 0) > 0 &&
+          (pfd.revents & (POLLIN | POLLERR | POLLHUP))) {
+        char probe = 0;
+        const ssize_t got = ::recv(cached.fd, &probe, 1, MSG_PEEK);
+        const bool alive_with_data =
+            got > 0 ||
+            (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+        if (!alive_with_data) {
+          CloseConn(to);
+          it = conns_.end();
+        }
+      }
+    }
+    if (it != conns_.end()) return &it->second;
+  }
 
-  auto fd = StartConnect(to);
+  auto fd = StartConnect(to, options_.bind_host);
   if (fd.ok()) {
     const Status fin = FinishConnect(*fd, options_.connect_timeout_ms);
     if (!fin.ok()) {

@@ -57,9 +57,36 @@ class TcpServer {
   using AsyncDispatch =
       std::function<bool(uint64_t conn_id, const RpcEnvelope& env)>;
 
+  /// \brief Resource-hardening knobs (DESIGN.md §11). Defaults are
+  /// production-shaped: generous enough that a healthy client never
+  /// trips them, finite so a hostile or wedged one cannot pin memory
+  /// or fds forever.
+  struct Options {
+    /// Most unsent response bytes one connection may buffer before it
+    /// is evicted as a slow reader (0 = unbounded). Must comfortably
+    /// exceed the largest single response frame.
+    size_t max_out_buffer = 32 * 1024 * 1024;
+    /// Close a connection this long without any byte read from or
+    /// written to it (0 = never). Clients detect the idle close and
+    /// transparently reconnect (TcpTransport::GetConn).
+    double read_idle_timeout_ms = 0.0;
+    /// Close a connection that has not completed one frame this long
+    /// after accept (0 = never): the slow-loris guard — a trickler
+    /// feeding a byte per poll never completes a frame but always
+    /// looks "active" to the idle timer.
+    double first_frame_timeout_ms = 0.0;
+    /// Most concurrent connections; further accepts are shed with an
+    /// immediate close (0 = unlimited). The caller sees the drop as
+    /// Unavailable and fails over, mirroring the executor's
+    /// ResourceExhausted admission control.
+    size_t max_connections = 0;
+  };
+
   /// Binds and listens on `bind_addr` (port 0 picks an ephemeral
   /// port; see address()).
   static Result<TcpServer> Listen(const NetAddress& bind_addr, Handler handler);
+  static Result<TcpServer> Listen(const NetAddress& bind_addr, Handler handler,
+                                  Options options);
 
   TcpServer(TcpServer&& other) noexcept;
   TcpServer& operator=(TcpServer&& other) noexcept;
@@ -107,10 +134,17 @@ class TcpServer {
     std::string out;       ///< bytes queued for write
     size_t out_pos = 0;    ///< first unsent byte of `out`
     bool dead = false;
+    std::chrono::steady_clock::time_point opened_at;
+    /// Last read or write progress, for the read-idle deadline.
+    std::chrono::steady_clock::time_point last_activity;
+    bool got_frame = false;  ///< completed >= 1 frame (loris guard off)
   };
 
-  TcpServer(int listen_fd, NetAddress addr, Handler handler)
-      : listen_fd_(listen_fd), addr_(addr), handler_(std::move(handler)) {}
+  TcpServer(int listen_fd, NetAddress addr, Handler handler, Options options)
+      : listen_fd_(listen_fd),
+        addr_(addr),
+        handler_(std::move(handler)),
+        options_(options) {}
 
   void AcceptReady();
   void ReadReady(Conn& c);
@@ -118,10 +152,16 @@ class TcpServer {
   /// Decodes and serves every complete frame buffered on `c`.
   void DispatchFrames(Conn& c);
   void CloseConn(Conn& c);
+  /// Evicts `c` when its unsent backlog exceeds max_out_buffer
+  /// (after giving the kernel one chance to drain it).
+  void EnforceWriteCap(Conn& c);
+  /// Applies the read-idle and first-frame deadlines.
+  void SweepDeadlines(std::chrono::steady_clock::time_point now);
 
   int listen_fd_ = -1;
   NetAddress addr_;
   Handler handler_;
+  Options options_;
   AsyncDispatch async_;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::vector<int> wake_fds_;
@@ -137,6 +177,10 @@ class TcpTransport final : public Transport {
     double default_deadline_ms = 1000.0;
     /// Budget for establishing a connection.
     int connect_timeout_ms = 1000;
+    /// Source IP (host byte order) outbound connections bind to; 0 =
+    /// kernel's choice. Daemons bind their listen host so proxies and
+    /// packet captures can attribute traffic to the peer that sent it.
+    uint32_t bind_host = 0;
   };
 
   TcpTransport() : TcpTransport(Options()) {}

@@ -27,6 +27,9 @@ std::string RpcStats::ToJson() const {
   out += ",\"connections_opened\":" + std::to_string(connections_opened);
   out += ",\"connections_closed\":" + std::to_string(connections_closed);
   out += ",\"open_connections\":" + std::to_string(open_connections);
+  out += ",\"accepts_shed\":" + std::to_string(accepts_shed);
+  out += ",\"slow_readers_evicted\":" + std::to_string(slow_readers_evicted);
+  out += ",\"idle_closed\":" + std::to_string(idle_closed);
   out += ",\"bytes_in\":" + std::to_string(bytes_in);
   out += ",\"bytes_out\":" + std::to_string(bytes_out);
   out += "}";

@@ -41,6 +41,9 @@ struct RpcStats {
   uint64_t connections_opened = 0;
   uint64_t connections_closed = 0;
   uint64_t open_connections = 0;
+  uint64_t accepts_shed = 0;           ///< refused at accept (conn limit)
+  uint64_t slow_readers_evicted = 0;   ///< write backlog over the cap
+  uint64_t idle_closed = 0;            ///< read-idle / first-frame deadline
   uint64_t bytes_in = 0;   ///< framed bytes received
   uint64_t bytes_out = 0;  ///< framed bytes sent
 

@@ -1,0 +1,158 @@
+// ChaosPlan: grammar, window/link matching, effect merging, and
+// deterministic shaper seeding (DESIGN.md §11).
+#include "rpc/chaos.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace rpc {
+namespace {
+
+ChaosPlan MustParse(std::string_view text) {
+  auto plan = ChaosPlan::Parse(text);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return plan.ok() ? *plan : ChaosPlan{};
+}
+
+TEST(ChaosPlanTest, ParsesEveryActionAndRoundTrips) {
+  const ChaosPlan plan = MustParse(
+      "# a comment\n"
+      "seed=42\n"
+      "\n"
+      "0..1000 link=* delay ms=20 jitter=5\n"
+      "0..inf link=0->1 drop p=0.25\n"
+      "500..inf link=*->2 corrupt p=0.01\n"
+      "0..inf link=c->0 rate bps=100\n"
+      "0..inf link=1->* reset after=4096\n"
+      "100..200 link=2->0 blackhole\n"
+      "1000..2000 link=* partition groups=0,1|2,3\n");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.rules.size(), 7u);
+  EXPECT_EQ(plan.rules[0].action, ChaosAction::kDelay);
+  EXPECT_EQ(plan.rules[1].action, ChaosAction::kDrop);
+  EXPECT_EQ(plan.rules[2].action, ChaosAction::kCorrupt);
+  EXPECT_EQ(plan.rules[3].action, ChaosAction::kRate);
+  EXPECT_EQ(plan.rules[4].action, ChaosAction::kReset);
+  EXPECT_EQ(plan.rules[5].action, ChaosAction::kBlackhole);
+  EXPECT_EQ(plan.rules[6].action, ChaosAction::kPartition);
+
+  // ToString() -> Parse() is the identity on the rule list.
+  const ChaosPlan reparsed = MustParse(plan.ToString());
+  ASSERT_EQ(reparsed.rules.size(), plan.rules.size());
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  for (size_t i = 0; i < plan.rules.size(); ++i) {
+    EXPECT_EQ(reparsed.rules[i].ToString(), plan.rules[i].ToString()) << i;
+  }
+}
+
+TEST(ChaosPlanTest, RejectsMalformedLinesWithLineNumbers) {
+  const char* bad[] = {
+      "0..inf delay ms=5",                     // missing link=
+      "0..inf link=* warp speed=9",            // unknown action
+      "5..1 link=* blackhole",                 // empty window
+      "0..inf link=*->c drop p=0.5",           // client as destination
+      "0..inf link=* drop p=1.5",              // probability out of range
+      "0..inf link=* rate bps=0",              // rate must be positive
+      "0..inf link=* reset after=0",           // reset needs >= 1 byte
+      "0..inf link=* partition groups=0,1|1",  // overlapping groups
+      "0..inf link=* delay",                   // delay needs ms=
+      "nonsense",                              // not a rule at all
+  };
+  for (const char* text : bad) {
+    auto plan = ChaosPlan::Parse(text);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << text;
+    EXPECT_NE(plan.status().ToString().find("line 1"), std::string::npos)
+        << plan.status().ToString();
+  }
+}
+
+TEST(ChaosPlanTest, WindowGatesTheEffectAndExpiryIsTheHeal) {
+  const ChaosPlan plan = MustParse("100..200 link=* blackhole\n");
+  EXPECT_FALSE(plan.EffectsAt(99.0, 0, 1).blackhole);
+  EXPECT_TRUE(plan.EffectsAt(100.0, 0, 1).blackhole);
+  EXPECT_TRUE(plan.EffectsAt(199.9, 0, 1).blackhole);
+  // End of window == heal: no tear-down step required.
+  EXPECT_FALSE(plan.EffectsAt(200.0, 0, 1).blackhole);
+  EXPECT_FALSE(plan.EffectsAt(1e9, 0, 1).Any());
+}
+
+TEST(ChaosPlanTest, DirectedLinkSelectorsMatchAsymmetrically) {
+  const ChaosPlan plan = MustParse("0..inf link=0->1 drop p=0.5\n");
+  EXPECT_GT(plan.EffectsAt(0.0, 0, 1).drop_prob, 0.0);
+  // The reverse direction and unrelated links are untouched: simplex.
+  EXPECT_FALSE(plan.EffectsAt(0.0, 1, 0).Any());
+  EXPECT_FALSE(plan.EffectsAt(0.0, 0, 2).Any());
+  EXPECT_FALSE(plan.EffectsAt(0.0, kChaosClient, 1).Any());
+
+  const ChaosPlan wild = MustParse("0..inf link=*->1 delay ms=7\n");
+  EXPECT_EQ(wild.EffectsAt(0.0, 0, 1).delay_ms, 7.0);
+  EXPECT_EQ(wild.EffectsAt(0.0, kChaosClient, 1).delay_ms, 7.0);
+  EXPECT_FALSE(wild.EffectsAt(0.0, 1, 0).Any());
+
+  const ChaosPlan from_client = MustParse("0..inf link=c->0 rate bps=10\n");
+  EXPECT_EQ(from_client.EffectsAt(0.0, kChaosClient, 0).bytes_per_s, 10.0);
+  EXPECT_FALSE(from_client.EffectsAt(0.0, 1, 0).Any());
+}
+
+TEST(ChaosPlanTest, PartitionCutsBothDirectionsAcrossGroupsOnly) {
+  const ChaosPlan plan =
+      MustParse("0..inf link=* partition groups=0,1|2\n");
+  // Across the cut, both ways.
+  EXPECT_TRUE(plan.EffectsAt(0.0, 0, 2).blackhole);
+  EXPECT_TRUE(plan.EffectsAt(0.0, 2, 0).blackhole);
+  EXPECT_TRUE(plan.EffectsAt(0.0, 1, 2).blackhole);
+  // Within a side: untouched.
+  EXPECT_FALSE(plan.EffectsAt(0.0, 0, 1).Any());
+  EXPECT_FALSE(plan.EffectsAt(0.0, 1, 0).Any());
+  // Clients are not members of either side; they still reach everyone.
+  EXPECT_FALSE(plan.EffectsAt(0.0, kChaosClient, 0).Any());
+  EXPECT_FALSE(plan.EffectsAt(0.0, kChaosClient, 2).Any());
+}
+
+TEST(ChaosPlanTest, OverlappingRulesMergeConservatively) {
+  const ChaosPlan plan = MustParse(
+      "0..inf link=* delay ms=10\n"
+      "0..inf link=0->1 delay ms=15\n"
+      "0..inf link=* drop p=0.1\n"
+      "0..inf link=0->1 drop p=0.4\n"
+      "0..inf link=* rate bps=1000\n"
+      "0..inf link=0->1 rate bps=100\n"
+      "0..inf link=* reset after=9000\n"
+      "0..inf link=0->1 reset after=100\n");
+  const LinkEffects fx = plan.EffectsAt(0.0, 0, 1);
+  EXPECT_EQ(fx.delay_ms, 25.0);         // delays add
+  EXPECT_EQ(fx.drop_prob, 0.4);         // probabilities take the max
+  EXPECT_EQ(fx.bytes_per_s, 100.0);     // rates take the tightest
+  EXPECT_EQ(fx.reset_after_bytes, 100u);  // resets take the earliest
+  const LinkEffects other = plan.EffectsAt(0.0, 1, 0);
+  EXPECT_EQ(other.delay_ms, 10.0);
+  EXPECT_EQ(other.drop_prob, 0.1);
+  EXPECT_EQ(other.bytes_per_s, 1000.0);
+  EXPECT_EQ(other.reset_after_bytes, 9000u);
+}
+
+TEST(ChaosPlanTest, ShaperSeedIsStablePerLinkAndSerial) {
+  const ChaosPlan plan = MustParse("seed=7\n0..inf link=* delay ms=1\n");
+  const uint64_t s1 = plan.ShaperSeed(0, 1, 1);
+  // Deterministic: the same (seed, link, serial) always hashes alike.
+  EXPECT_EQ(s1, plan.ShaperSeed(0, 1, 1));
+  // And any coordinate change moves it.
+  EXPECT_NE(s1, plan.ShaperSeed(1, 0, 1));
+  EXPECT_NE(s1, plan.ShaperSeed(0, 1, 2));
+  ChaosPlan reseeded = plan;
+  reseeded.seed = 8;
+  EXPECT_NE(s1, reseeded.ShaperSeed(0, 1, 1));
+  // Never zero (the Rng rejects a zero seed).
+  EXPECT_NE(plan.ShaperSeed(0, 0, 0), 0u);
+}
+
+TEST(ChaosPlanTest, EmptyPlanShapesNothing) {
+  const ChaosPlan plan = MustParse("# only comments\n\n");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.EffectsAt(0.0, 0, 1).Any());
+  EXPECT_FALSE(plan.EffectsAt(5000.0, kChaosClient, 0).Any());
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace p2prange

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -195,13 +196,136 @@ TEST_F(MergeTest, AliveTransitionsAreReportedOnce) {
   EXPECT_TRUE(changes[0].was_alive);
 }
 
+TEST_F(MergeTest, FlapDamperSuppressesOscillatingMember) {
+  Gossip(Entry(7001, 5, MemberStatus::kAlive));  // joining is not a flap
+  Gossip(Entry(7001, 6, MemberStatus::kDead));   // flap 1
+  Gossip(Entry(7001, 7, MemberStatus::kAlive));  // flap 2
+  EXPECT_EQ(membership_->counters().flap_suppressions, 0u);
+  EXPECT_EQ(membership_->num_alive(), 2u);
+
+  Gossip(Entry(7001, 8, MemberStatus::kDead));   // flap 3: quarantined
+  EXPECT_EQ(membership_->counters().flap_suppressions, 1u);
+  membership_->TakeChanges();
+
+  // The next resurrection still merges (incarnation order holds) but
+  // the member stays out of the visible view and emits no change — the
+  // re-replicator must not chase an oscillating peer.
+  Gossip(Entry(7001, 9, MemberStatus::kAlive));
+  ASSERT_TRUE(Find(Loopback(7001)).has_value());
+  EXPECT_EQ(Find(Loopback(7001))->status, MemberStatus::kAlive);
+  EXPECT_EQ(membership_->num_alive(), 1u);
+  EXPECT_TRUE(membership_->TakeChanges().empty());
+  // Already quarantined: further flaps do not re-count.
+  EXPECT_EQ(membership_->counters().flap_suppressions, 1u);
+}
+
+TEST_F(MergeTest, GracefulLeavesAreNeverFlaps) {
+  Gossip(Entry(7001, 5, MemberStatus::kAlive));
+  Gossip(Entry(7001, 6, MemberStatus::kLeft));
+  Gossip(Entry(7001, 7, MemberStatus::kAlive));
+  Gossip(Entry(7001, 8, MemberStatus::kLeft));
+  Gossip(Entry(7001, 9, MemberStatus::kAlive));
+  EXPECT_EQ(membership_->counters().flap_suppressions, 0u);
+  EXPECT_EQ(membership_->num_alive(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Flap-damper decay and tombstone retention (need custom configs and a
+// Tick that runs only the damper/pruner: all periodic timers pushed out
+// past the test's lifetime, reconnect off)
+// --------------------------------------------------------------------------
+
+struct DampedMembership {
+  explicit DampedMembership(MembershipConfig config) {
+    config.probe_period_ms = 1e9;
+    config.gossip_period_ms = 1e9;
+    config.stabilize_period_ms = 1e9;
+    config.backoff_max_ms = 1e9;
+    config.reconnect_period_ms = 0.0;
+    auto made = LiveMembership::Make(Loopback(7000), /*incarnation=*/100,
+                                     config, &transport);
+    EXPECT_TRUE(made.ok()) << made.status().ToString();
+    if (made.ok()) {
+      membership = std::make_unique<LiveMembership>(std::move(*made));
+    }
+  }
+
+  void Gossip(const MemberEntry& e) {
+    auto reply = membership->HandleGossip(EncodeViewMessage({e}));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+
+  std::optional<MemberEntry> Find(const NetAddress& addr) {
+    for (const MemberEntry& e : membership->Entries()) {
+      if (e.addr == addr) return e;
+    }
+    return std::nullopt;
+  }
+
+  TcpTransport transport;
+  std::unique_ptr<LiveMembership> membership;
+};
+
+TEST(MembershipTest, FlapQuarantineReleasesAfterQuietDecay) {
+  MembershipConfig config;
+  config.flap_halflife_ms = 5.0;  // decays to nothing within the test
+  DampedMembership h(config);
+  ASSERT_NE(h.membership, nullptr);
+  h.Gossip(Entry(7001, 5, MemberStatus::kAlive));
+  h.Gossip(Entry(7001, 6, MemberStatus::kDead));
+  h.Gossip(Entry(7001, 7, MemberStatus::kAlive));
+  h.Gossip(Entry(7001, 8, MemberStatus::kDead));
+  h.Gossip(Entry(7001, 9, MemberStatus::kAlive));
+  ASSERT_EQ(h.membership->counters().flap_suppressions, 1u);
+  ASSERT_EQ(h.membership->num_alive(), 1u);
+  h.membership->TakeChanges();
+
+  // ~12 half-lives: the penalty is far below the reuse threshold, so
+  // the next Tick lifts the quarantine and the (alive) member re-enters
+  // the visible view with a change the re-replicator can act on.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  h.membership->Tick();
+  EXPECT_EQ(h.membership->counters().flap_releases, 1u);
+  EXPECT_EQ(h.membership->num_alive(), 2u);
+  bool saw_return = false;
+  for (const ViewChange& c : h.membership->TakeChanges()) {
+    if (c.addr == Loopback(7001) && c.is_alive) saw_return = true;
+  }
+  EXPECT_TRUE(saw_return);
+}
+
+TEST(MembershipTest, IsolatedNodeKeepsDeadTombstonesPastTtl) {
+  MembershipConfig config;
+  config.tombstone_ttl_ms = 50.0;
+  DampedMembership h(config);
+  ASSERT_NE(h.membership, nullptr);
+  h.Gossip(Entry(7001, 5, MemberStatus::kAlive));
+  h.Gossip(Entry(7001, 6, MemberStatus::kDead));
+  h.Gossip(Entry(7003, 1, MemberStatus::kLeft));
+  ASSERT_EQ(h.membership->num_alive(), 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  h.membership->Tick();
+  // Isolated: the dead tombstone is the reconnect sweep's only way
+  // back and outlives its TTL; a graceful kLeft still ages out.
+  EXPECT_TRUE(h.Find(Loopback(7001)).has_value());
+  EXPECT_FALSE(h.Find(Loopback(7003)).has_value());
+
+  // A visible peer appears: no longer isolated, the tombstone goes.
+  h.Gossip(Entry(7002, 1, MemberStatus::kAlive));
+  h.membership->Tick();
+  EXPECT_FALSE(h.Find(Loopback(7001)).has_value());
+  EXPECT_TRUE(h.Find(Loopback(7002)).has_value());
+}
+
 // --------------------------------------------------------------------------
 // A real two-node ring over loopback TCP, single-threaded
 // --------------------------------------------------------------------------
 
 /// One in-process daemon half: server, service, membership, transport.
 struct Peer {
-  static std::unique_ptr<Peer> Start(uint64_t incarnation) {
+  static std::unique_ptr<Peer> Start(uint64_t incarnation,
+                                     double reconnect_period_ms = -1.0) {
     auto peer = std::make_unique<Peer>();
     auto server = TcpServer::Listen(
         Loopback(0), [raw = peer.get()](MsgType type, std::string_view body) {
@@ -225,6 +349,9 @@ struct Peer {
     config.probe_timeout_ms = 100.0;
     config.backoff_max_ms = 100.0;
     config.seed = incarnation;
+    if (reconnect_period_ms >= 0.0) {
+      config.reconnect_period_ms = reconnect_period_ms;
+    }
     auto membership = LiveMembership::Make(peer->server->address(),
                                            incarnation, config,
                                            &peer->transport);
@@ -413,6 +540,91 @@ TEST(MembershipTest, StabilizeFollowUpDuringPollNeitherDanglesNorDrops) {
   // Two live single-threaded peers stepped in lockstep never miss.
   EXPECT_EQ(a->membership->counters().members_marked_dead, 0u);
   EXPECT_EQ(b->membership->counters().members_marked_dead, 0u);
+}
+
+uint64_t IncOf(const Peer& p, const NetAddress& addr) {
+  for (const MemberEntry& e : p.membership->Entries()) {
+    if (e.addr == addr) return e.incarnation;
+  }
+  ADD_FAILURE() << "no entry for peer";
+  return 0;
+}
+
+// A partition that outlasts the failure detector leaves both sides
+// holding dead tombstones for each other. Probes and gossip only ever
+// target alive members, so without the reconnect sweep the split would
+// be permanent even after the network heals (DESIGN.md §11).
+TEST(MembershipTest, ReconnectSweepHealsAMutualDeathPartition) {
+  auto a = Peer::Start(/*incarnation=*/1, /*reconnect_period_ms=*/30.0);
+  auto b = Peer::Start(/*incarnation=*/2, /*reconnect_period_ms=*/30.0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  {
+    std::atomic<bool> done{false};
+    std::thread poll_a([&] {
+      while (!done) {
+        if (!a->server->PollOnce(1).ok()) break;
+      }
+    });
+    const Status joined = b->membership->Join(a->server->address(),
+                                              /*deadline_ms=*/2000.0);
+    done = true;
+    poll_a.join();
+    ASSERT_TRUE(joined.ok()) << joined.ToString();
+  }
+  for (int i = 0; i < 5000; ++i) {
+    if (a->membership->num_alive() == 2 && b->membership->num_alive() == 2) {
+      break;
+    }
+    a->Step();
+    b->Step();
+  }
+  ASSERT_EQ(a->membership->num_alive(), 2u);
+  ASSERT_EQ(b->membership->num_alive(), 2u);
+
+  // Fabricate the partition's aftermath: each side merges a death
+  // rumor for the other at the other's *current* incarnation (the tie
+  // resolves toward the terminal status), exactly what a dead-striking
+  // majority would have gossiped before the cut healed.
+  const NetAddress a_addr = a->server->address();
+  const NetAddress b_addr = b->server->address();
+  auto tombstone = [](const NetAddress& addr, uint64_t inc) {
+    MemberEntry e;
+    e.addr = addr;
+    e.incarnation = inc;
+    e.status = MemberStatus::kDead;
+    return e;
+  };
+  ASSERT_TRUE(a->membership
+                  ->HandleGossip(EncodeViewMessage(
+                      {tombstone(b_addr, IncOf(*a, b_addr))}))
+                  .ok());
+  ASSERT_TRUE(b->membership
+                  ->HandleGossip(EncodeViewMessage(
+                      {tombstone(a_addr, IncOf(*b, a_addr))}))
+                  .ok());
+  ASSERT_EQ(a->membership->num_alive(), 1u);
+  ASSERT_EQ(b->membership->num_alive(), 1u);
+
+  // Only the reconnect sweep can get these two talking again: the
+  // probe carries the tombstone, the target refutes with a fresher
+  // incarnation, and the reply resurrects it on the prober's side.
+  for (int i = 0; i < 5000; ++i) {
+    if (a->membership->num_alive() == 2 && b->membership->num_alive() == 2) {
+      break;
+    }
+    a->Step();
+    b->Step();
+  }
+  EXPECT_EQ(a->membership->num_alive(), 2u);
+  EXPECT_EQ(b->membership->num_alive(), 2u);
+  EXPECT_GE(a->membership->counters().reconnect_probes +
+                b->membership->counters().reconnect_probes,
+            1u);
+  EXPECT_GE(a->membership->counters().members_resurrected +
+                b->membership->counters().members_resurrected,
+            1u);
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 #include <thread>
 
 #include "common/memory.h"
+#include "rpc/frame.h"
+#include "rpc/message.h"
 #include "rpc/node_service.h"
 #include "rpc/ring_client.h"
 #include "rpc/tcp.h"
@@ -33,15 +35,27 @@ NetAddress Loopback(uint16_t port) {
 class ServerThread {
  public:
   static std::unique_ptr<ServerThread> Start(TcpServer::Handler handler) {
-    auto server = TcpServer::Listen(Loopback(0), std::move(handler));
+    return Start(std::move(handler), TcpServer::Options{});
+  }
+
+  static std::unique_ptr<ServerThread> Start(TcpServer::Handler handler,
+                                             TcpServer::Options options) {
+    auto server =
+        TcpServer::Listen(Loopback(0), std::move(handler), options);
     EXPECT_TRUE(server.ok()) << server.status().ToString();
     if (!server.ok()) return nullptr;
     return WrapUnique(new ServerThread(std::move(*server)));
   }
 
-  ~ServerThread() {
-    stop_ = true;
-    thread_.join();
+  ~ServerThread() { Stop(); }
+
+  /// Joins the poll loop. Call before asserting on stats(): the loop
+  /// thread mutates the counters, so reads race until it has stopped.
+  void Stop() {
+    if (thread_.joinable()) {
+      stop_ = true;
+      thread_.join();
+    }
   }
 
   const NetAddress& address() const { return server_.address(); }
@@ -207,6 +221,239 @@ TEST(TcpTransportTest, CorruptResponseStreamIsFrameErrorAndIOError) {
   EXPECT_EQ(transport.rpc_stats().frame_errors, 1u);
   evil.join();
   ::close(listen_fd);
+}
+
+// --- Transport resource hardening (DESIGN.md §11): hostile byte
+// --- streams against the deadline, write-cap, and accept guards.
+// ----------------------------------------------------------------------
+
+/// Blocking loopback connect for hand-rolled hostile clients.
+int RawConnect(const NetAddress& to) {
+  auto started = StartConnect(to);
+  EXPECT_TRUE(started.ok()) << started.status().ToString();
+  if (!started.ok()) return -1;
+  const Status fin = FinishConnect(*started, 2000);
+  EXPECT_TRUE(fin.ok()) << fin.ToString();
+  if (!fin.ok()) {
+    ::close(*started);
+    return -1;
+  }
+  return *started;
+}
+
+/// Waits until recv() reports EOF/reset on `fd` (the server hung up),
+/// or fails the test after ~5s.
+void AwaitPeerClose(int fd) {
+  for (int i = 0; i < 500; ++i) {
+    char c;
+    const ssize_t n = ::recv(fd, &c, 1, MSG_DONTWAIT);
+    if (n == 0) return;                       // orderly close
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return;  // reset
+    ::usleep(10 * 1000);
+  }
+  ADD_FAILURE() << "server never closed the hostile connection";
+}
+
+TEST(TcpHardeningTest, FirstFrameDeadlineKillsSlowLoris) {
+  TcpServer::Options options;
+  options.first_frame_timeout_ms = 80.0;
+  auto server = ServerThread::Start(
+      [](MsgType, std::string_view body) {
+        return Result<std::string>(std::string(body));
+      },
+      options);
+  ASSERT_NE(server, nullptr);
+
+  // The loris: connect, then trickle one header byte and go quiet —
+  // without the guard this parks a connection slot forever.
+  const int loris = RawConnect(server->address());
+  ASSERT_GE(loris, 0);
+  const char byte = '\x01';
+  ASSERT_EQ(::send(loris, &byte, 1, MSG_NOSIGNAL), 1);
+  AwaitPeerClose(loris);
+  ::close(loris);
+
+  // An honest client is entirely unaffected before, during, and after.
+  TcpTransport transport;
+  auto result = transport.Call(NetAddress{}, server->address(),
+                               MsgType::kPing, "still here");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->body, "still here");
+  server->Stop();
+  EXPECT_GE(server->stats().idle_closed, 1u);
+}
+
+TEST(TcpHardeningTest, ReadIdleDeadlineReapsSilentConnections) {
+  TcpServer::Options options;
+  options.read_idle_timeout_ms = 80.0;
+  auto server = ServerThread::Start(
+      [](MsgType, std::string_view body) {
+        return Result<std::string>(std::string(body));
+      },
+      options);
+  ASSERT_NE(server, nullptr);
+
+  TcpTransport transport;
+  auto first = transport.Call(NetAddress{}, server->address(), MsgType::kPing,
+                              "one");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Idle past the deadline: the server reaps the connection. The
+  // transport's next call must notice the stale cached socket and
+  // transparently reconnect rather than fail.
+  ::usleep(300 * 1000);
+  auto second = transport.Call(NetAddress{}, server->address(), MsgType::kPing,
+                               "two");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->body, "two");
+  EXPECT_EQ(transport.rpc_stats().connections_opened, 2u);
+  server->Stop();
+  EXPECT_GE(server->stats().idle_closed, 1u);
+}
+
+TEST(TcpHardeningTest, MidFrameResetLeavesServerServing) {
+  auto server = ServerThread::Start(
+      [](MsgType, std::string_view body) {
+        return Result<std::string>(std::string(body));
+      });
+  ASSERT_NE(server, nullptr);
+
+  // Send half a frame header, then RST the connection mid-parse.
+  const int attacker = RawConnect(server->address());
+  ASSERT_GE(attacker, 0);
+  const char half_header[] = "\x40\x00\x00";  // 3 of 8 header bytes
+  ASSERT_EQ(::send(attacker, half_header, 3, MSG_NOSIGNAL), 3);
+  ::usleep(20 * 1000);
+  const linger lg{1, 0};
+  ::setsockopt(attacker, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(attacker);  // goes out as RST
+
+  // The server shrugs: the next honest request round-trips.
+  TcpTransport transport;
+  auto result = transport.Call(NetAddress{}, server->address(),
+                               MsgType::kPing, "after the reset");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->body, "after the reset");
+}
+
+TEST(TcpHardeningTest, TrickledFrameStillParsesWhenUnderDeadline) {
+  // One byte per write with small sleeps — a slow but honest peer.
+  // Frame parsing must be purely incremental; no guard configured, so
+  // the request completes.
+  auto server = ServerThread::Start(
+      [](MsgType, std::string_view body) {
+        return Result<std::string>("re:" + std::string(body));
+      });
+  ASSERT_NE(server, nullptr);
+
+  RpcHeader header;
+  header.call_id = 7;
+  header.type = MsgType::kPing;
+  std::string frame;
+  AppendFrame(EncodeEnvelope(header, "drip"), &frame);
+
+  const int fd = RawConnect(server->address());
+  ASSERT_GE(fd, 0);
+  for (char c : frame) {
+    ASSERT_EQ(::send(fd, &c, 1, MSG_NOSIGNAL), 1);
+    ::usleep(2 * 1000);
+  }
+  // Collect the framed response.
+  FrameParser parser;
+  std::string payload;
+  for (int i = 0; i < 500 && payload.empty(); ++i) {
+    char buf[512];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      auto next = parser.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (next->has_value()) payload = **next;
+    } else {
+      ::usleep(5 * 1000);
+    }
+  }
+  ::close(fd);
+  ASSERT_FALSE(payload.empty()) << "no response to the trickled frame";
+  auto envelope = DecodeEnvelope(payload);
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_EQ(envelope->body, "re:drip");
+}
+
+TEST(TcpHardeningTest, WriteBufferCapEvictsSlowReader) {
+  TcpServer::Options options;
+  options.max_out_buffer = 256 * 1024;
+  const std::string big(128 * 1024, 'x');
+  auto server = ServerThread::Start(
+      [&big](MsgType, std::string_view) { return Result<std::string>(big); },
+      options);
+  ASSERT_NE(server, nullptr);
+
+  // The slow reader: fire requests for large responses, never read.
+  // The kernel buffers fill, the server-side backlog crosses the cap,
+  // and the server evicts the connection instead of buffering forever.
+  const int fd = RawConnect(server->address());
+  ASSERT_GE(fd, 0);
+  std::string frames;
+  for (uint64_t id = 1; id <= 64; ++id) {
+    RpcHeader header;
+    header.call_id = id;
+    header.type = MsgType::kPing;
+    AppendFrame(EncodeEnvelope(header, "gimme"), &frames);
+  }
+  (void)!::send(fd, frames.data(), frames.size(), MSG_NOSIGNAL);
+  // Eviction closes the offender's socket, so wait on that — not on the
+  // stats counter, which only the poll thread may touch while it runs.
+  // POLLRDHUP sees the FIN/RST without reading the buffered responses;
+  // draining them would make this client an honest reader.
+  pollfd hung_up{fd, POLLRDHUP, 0};
+  EXPECT_EQ(::poll(&hung_up, 1, 5000), 1)
+      << "server never evicted the slow reader";
+  ::close(fd);
+
+  // Eviction is per-offender: a fresh well-behaved client still works.
+  TcpTransport transport;
+  auto result = transport.Call(NetAddress{}, server->address(),
+                               MsgType::kPing, "read my reply");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  server->Stop();
+  EXPECT_GE(server->stats().slow_readers_evicted, 1u);
+}
+
+TEST(TcpHardeningTest, MaxConnectionsShedsAtAcceptAndRecovers) {
+  TcpServer::Options options;
+  options.max_connections = 2;
+  auto server = ServerThread::Start(
+      [](MsgType, std::string_view body) {
+        return Result<std::string>(std::string(body));
+      },
+      options);
+  ASSERT_NE(server, nullptr);
+
+  const int a = RawConnect(server->address());
+  const int b = RawConnect(server->address());
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  // Give the poll loop a beat to accept both into its table.
+  ::usleep(100 * 1000);
+
+  // Over the limit: the third connect is accepted by the kernel and
+  // immediately shed by the server.
+  const int c = RawConnect(server->address());
+  ASSERT_GE(c, 0);
+  AwaitPeerClose(c);
+  ::close(c);
+
+  // Freeing a slot restores service.
+  ::close(a);
+  ::usleep(100 * 1000);
+  TcpTransport transport;
+  auto result = transport.Call(NetAddress{}, server->address(),
+                               MsgType::kPing, "slot freed");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ::close(b);
+  server->Stop();
+  EXPECT_GE(server->stats().accepts_shed, 1u);
 }
 
 // --- An in-process live ring: NodeServices behind TcpServers, driven

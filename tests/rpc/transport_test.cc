@@ -329,6 +329,9 @@ TEST(RpcStatsTest, JsonCoversEveryCounter) {
   s.bytes_in = 4;
   s.bytes_out = 5;
   s.open_connections = 6;
+  s.accepts_shed = 7;
+  s.slow_readers_evicted = 8;
+  s.idle_closed = 9;
   const std::string json = s.ToJson();
   EXPECT_NE(json.find("\"requests_sent\":1"), std::string::npos);
   EXPECT_NE(json.find("\"timeouts\":2"), std::string::npos);
@@ -336,6 +339,9 @@ TEST(RpcStatsTest, JsonCoversEveryCounter) {
   EXPECT_NE(json.find("\"bytes_in\":4"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_out\":5"), std::string::npos);
   EXPECT_NE(json.find("\"open_connections\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"accepts_shed\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_readers_evicted\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"idle_closed\":9"), std::string::npos);
 }
 
 TEST(NodeServiceTest, MultiOpRunsEverySlotAndIsolatesFailures) {

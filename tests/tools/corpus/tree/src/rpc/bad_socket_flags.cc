@@ -1,0 +1,16 @@
+// Golden-corpus violations for P2P006 (nonblock-cloexec).
+#include <sys/socket.h>
+
+namespace p2prange {
+
+int OpenListener() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd2 = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  const int conn = ::accept(fd, nullptr, nullptr);
+  const int conn2 = ::accept4(fd, nullptr, nullptr, 0);
+  const int good =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  return fd + fd2 + conn + conn2 + good;
+}
+
+}  // namespace p2prange

@@ -18,6 +18,11 @@
 #                form: a 5-daemon ring under closed-loop lookups plus
 #                bulk fetches, then an open-loop overload burst that
 #                must shed (not hang, not crash)
+#   chaos smoke  the fault-injection gate: chaos-plan/transport-
+#                hardening/chaos-ring unit+integration suites, then the
+#                chaos bench harness (ring behind the seeded proxy
+#                through partition, slow-loris, and corruption phases)
+#                asserting zero failed lookups and a clean shutdown
 #   asan         full build + tests under AddressSanitizer + UBSan, then
 #                the crash fuzzer and live smoke again, sanitized
 #   tsan         ThreadSanitizer build (mutually exclusive with asan —
@@ -185,6 +190,23 @@ echo "$load_json" | grep -q '"hung":0' \
 echo "$load_json" | grep -q '"daemon_alive_after":true' \
   || { echo "live-load smoke: daemon died under overload" >&2; exit 1; }
 
+# Chaos smoke: the unit suites for the fault-injection stack (plan
+# parsing, transport hardening, membership damping), the full ring
+# behind the chaos proxy (partition/heal, corruption, slow-loris), and
+# the bench harness in --smoke form. The JSON must show a clean daemon
+# shutdown and zero failed lookups in every fault regime — availability
+# under faults is the whole point of the gate.
+echo "=== chaos smoke (fault-injection proxy + hardened ring) ==="
+./build/tests/p2prange_tests \
+  --gtest_filter='ChaosPlanTest.*:TcpHardeningTest.*:ChaosRingTest.*'
+chaos_json=$(./build/bench/ablation_chaos --smoke 2>/dev/null)
+echo "$chaos_json" | grep -q '"clean":true' \
+  || { echo "chaos smoke: daemons did not shut down cleanly" >&2; exit 1; }
+if echo "$chaos_json" | grep -q '"lookup_failures":[1-9]'; then
+  echo "chaos smoke: failed lookups under fault injection" >&2
+  exit 1
+fi
+
 if [[ $do_sanitize -eq 1 ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
@@ -201,13 +223,15 @@ if [[ $do_tsan -eq 1 ]]; then
   # its own configuration. Scope: the suites that actually run threads
   # today — TCP transport/server (background poll threads), concurrent
   # logging, the membership join/leave tests (helper poll threads), the
-  # worker-pool executor and kMultiOp suites, and the live-churn
-  # acceptance test (client thread + forked daemons).
+  # worker-pool executor and kMultiOp suites, the live-churn
+  # acceptance test (client thread + forked daemons), and the
+  # transport-hardening + chaos-ring suites (deadline sweeps and the
+  # fault-injection proxy against TSan-built daemons).
   echo "=== tsan build + threaded suites (thread) ==="
   cmake -B build-tsan -S . -DP2PRANGE_WERROR=ON -DP2PRANGE_SANITIZE=thread
   cmake --build build-tsan -j
   ./build-tsan/tests/p2prange_tests \
-    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*:MembershipTest.*:LiveChurnTest.*:RpcExecutorTest.*:MultiOpTest.*'
+    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*:MembershipTest.*:LiveChurnTest.*:RpcExecutorTest.*:MultiOpTest.*:TcpHardeningTest.*:ChaosRingTest.*'
   # The load harness under TSan exercises the poll-loop/worker/doorbell
   # handoff in forked TSan-built daemons under real concurrent load.
   echo "=== tsan live-load smoke ==="

@@ -37,6 +37,14 @@ Rules
                               — a peer that resets mid-write must surface
                               as an error, not kill the process with
                               SIGPIPE.
+  P2P006 nonblock-cloexec     In socket code (src/, tools/): `::socket()`
+                              must pass SOCK_NONBLOCK | SOCK_CLOEXEC in
+                              the same statement, and plain `::accept()`
+                              is forbidden in favour of `::accept4()`
+                              carrying the same two flags. A blocking fd
+                              stalls the single poll loop the moment one
+                              peer trickles, and a leaked fd crosses the
+                              fork/exec boundary into child daemons.
 
 Suppression: append `// p2plint: allow(P2PNNN): <reason>` to the
 offending line. The rule id is mandatory and the reason must be
@@ -210,6 +218,9 @@ RE_CHECK = re.compile(r"\bCHECK(?:_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\(")
 RE_SEND = re.compile(r"::\s*send\s*\(")
 RE_WRITE = re.compile(r"::\s*write\s*\(")
 RE_SOCKET_HEADER = re.compile(r'#\s*include\s*<sys/socket\.h>')
+RE_SOCKET_CALL = re.compile(r"::\s*socket\s*\(")
+RE_ACCEPT = re.compile(r"::\s*accept\s*\(")
+RE_ACCEPT4 = re.compile(r"::\s*accept4\s*\(")
 
 
 def lint_file(root, rel):
@@ -287,6 +298,25 @@ def lint_file(root, rel):
         for m in RE_WRITE.finditer(stripped):
             emit(m.start(), "P2P005",
                  "::write() in socket code; use ::send(..., MSG_NOSIGNAL)")
+        for m in RE_SOCKET_CALL.finditer(stripped):
+            stmt = statement_around(stripped, m.start())
+            if "SOCK_NONBLOCK" not in stmt or "SOCK_CLOEXEC" not in stmt:
+                emit(m.start(), "P2P006",
+                     "::socket() without SOCK_NONBLOCK | SOCK_CLOEXEC; a "
+                     "blocking fd stalls the poll loop and a leaked fd "
+                     "crosses fork/exec")
+        for m in RE_ACCEPT.finditer(stripped):
+            emit(m.start(), "P2P006",
+                 "plain ::accept() inherits blocking mode and leaks "
+                 "across exec; use ::accept4(..., SOCK_NONBLOCK | "
+                 "SOCK_CLOEXEC)")
+        for m in RE_ACCEPT4.finditer(stripped):
+            stmt = statement_around(stripped, m.start())
+            if "SOCK_NONBLOCK" not in stmt or "SOCK_CLOEXEC" not in stmt:
+                emit(m.start(), "P2P006",
+                     "::accept4() without SOCK_NONBLOCK | SOCK_CLOEXEC; "
+                     "the accepted fd must be non-blocking and "
+                     "close-on-exec from birth")
 
 
 def collect_files(root, explicit):

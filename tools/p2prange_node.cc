@@ -13,13 +13,29 @@
 // change. Without --join it starts a ring of one that others may join.
 //
 //   p2prange_node --listen=127.0.0.1:7001
-//       [--join=HOST:PORT] [--replication=2]
+//       [--advertise=HOST:PORT] [--join=HOST:PORT] [--replication=2]
 //       [--workers=0] [--queue_depth=128]
 //       [--wal_dir=/var/lib/p2prange/n1]
 //       [--store_capacity=0] [--checkpoint_every=64]
 //       [--probe_ms=500] [--gossip_ms=1000] [--stabilize_ms=1000]
-//       [--probe_timeout_ms=250]
+//       [--probe_timeout_ms=250] [--reconnect_ms=2000]
+//       [--backoff_max_ms=5000] [--handoff_deadline_ms=5000]
+//       [--max_conns=0] [--write_buffer_cap=33554432]
+//       [--idle_timeout_ms=0] [--first_frame_timeout_ms=0]
 //       [--metrics_json=/tmp/n1.json] [--quiet]
+//
+// --advertise names the address this node is known by on the ring
+// when it differs from the bind address — e.g. when peers reach it
+// through the chaos proxy (tools/p2prange_chaosproxy) or a NAT. The
+// node's identity, membership entries, and redirect payloads all use
+// the advertised address; the socket still binds --listen. A 0 port
+// in --advertise inherits the bound port.
+//
+// --max_conns / --write_buffer_cap / --idle_timeout_ms /
+// --first_frame_timeout_ms feed the transport resource guards of
+// DESIGN.md §11 (accept shed, slow-reader eviction, slow-loris
+// defense); 0 keeps a guard disabled except write_buffer_cap, where
+// 0 means unbounded.
 //
 // With --workers=N (N >= 1) the data-path messages — ping, store,
 // probe, fetch, and kMultiOp batches of them — are served by a pool of
@@ -61,6 +77,7 @@ void HandleStop(int) { g_stop = 1; }
 
 struct Flags {
   std::string listen;
+  std::string advertise;
   std::string join;
   std::string wal_dir;
   std::string metrics_json;
@@ -73,6 +90,18 @@ struct Flags {
   double gossip_ms = 1000.0;
   double stabilize_ms = 1000.0;
   double probe_timeout_ms = 250.0;
+  /// Period of the post-partition reconnect sweep (0 disables).
+  double reconnect_ms = 2000.0;
+  /// Cap on the probe-backoff period while probes keep missing. A
+  /// partitioned node needs this bounded below strike_decay or its
+  /// strikes go stale faster than they accumulate and the far side is
+  /// never marked dead.
+  double backoff_max_ms = 5000.0;
+  double handoff_deadline_ms = 5000.0;
+  size_t max_conns = 0;
+  size_t write_buffer_cap = 32 * 1024 * 1024;
+  double idle_timeout_ms = 0.0;
+  double first_frame_timeout_ms = 0.0;
   bool quiet = false;
 };
 
@@ -86,12 +115,16 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --listen=HOST:PORT [--join=HOST:PORT] "
+               "usage: %s --listen=HOST:PORT [--advertise=HOST:PORT] "
+               "[--join=HOST:PORT] "
                "[--replication=N] [--workers=N] [--queue_depth=N] "
                "[--wal_dir=DIR] "
                "[--store_capacity=N] [--checkpoint_every=N] "
                "[--probe_ms=MS] [--gossip_ms=MS] [--stabilize_ms=MS] "
-               "[--probe_timeout_ms=MS] "
+               "[--probe_timeout_ms=MS] [--reconnect_ms=MS] "
+               "[--backoff_max_ms=MS] [--handoff_deadline_ms=MS] "
+               "[--max_conns=N] [--write_buffer_cap=BYTES] "
+               "[--idle_timeout_ms=MS] [--first_frame_timeout_ms=MS] "
                "[--metrics_json=PATH] [--quiet]\n",
                argv0);
   return 2;
@@ -116,6 +149,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     std::string value;
     if (ParseFlag(arg, "listen", &flags.listen)) continue;
+    if (ParseFlag(arg, "advertise", &flags.advertise)) continue;
     if (ParseFlag(arg, "join", &flags.join)) continue;
     if (ParseFlag(arg, "wal_dir", &flags.wal_dir)) continue;
     if (ParseFlag(arg, "metrics_json", &flags.metrics_json)) continue;
@@ -152,8 +186,38 @@ int main(int argc, char** argv) {
       flags.stabilize_ms = std::strtod(value.c_str(), nullptr);
       continue;
     }
+    if (ParseFlag(arg, "reconnect_ms", &value)) {
+      flags.reconnect_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
     if (ParseFlag(arg, "probe_timeout_ms", &value)) {
       flags.probe_timeout_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (ParseFlag(arg, "backoff_max_ms", &value)) {
+      flags.backoff_max_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (ParseFlag(arg, "handoff_deadline_ms", &value)) {
+      flags.handoff_deadline_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (ParseFlag(arg, "max_conns", &value)) {
+      flags.max_conns =
+          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (ParseFlag(arg, "write_buffer_cap", &value)) {
+      flags.write_buffer_cap =
+          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (ParseFlag(arg, "idle_timeout_ms", &value)) {
+      flags.idle_timeout_ms = std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (ParseFlag(arg, "first_frame_timeout_ms", &value)) {
+      flags.first_frame_timeout_ms = std::strtod(value.c_str(), nullptr);
       continue;
     }
     if (arg == "--quiet") {
@@ -183,18 +247,39 @@ int main(int argc, char** argv) {
   // Requests cannot arrive before the poll loop below starts, so the
   // handler's service pointer is always set by the time it runs.
   rpc::NodeService* service_ptr = nullptr;
+  rpc::TcpServer::Options server_options;
+  server_options.max_out_buffer = flags.write_buffer_cap;
+  server_options.read_idle_timeout_ms = flags.idle_timeout_ms;
+  server_options.first_frame_timeout_ms = flags.first_frame_timeout_ms;
+  server_options.max_connections = flags.max_conns;
   auto server = rpc::TcpServer::Listen(
       *listen_addr,
       [&service_ptr](rpc::MsgType type, std::string_view body) {
         return service_ptr->Handle(type, body);
-      });
+      },
+      server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "listen %s: %s\n", flags.listen.c_str(),
                  server.status().ToString().c_str());
     return 1;
   }
 
-  auto service = rpc::NodeService::Make(server->address(), service_options);
+  // The ring identity: the advertised address when one is given (peers
+  // then reach this node through a proxy/NAT at that address), the
+  // bound address otherwise.
+  NetAddress public_addr = server->address();
+  if (!flags.advertise.empty()) {
+    auto advertise_addr = rpc::ParseHostPort(flags.advertise);
+    if (!advertise_addr.ok()) {
+      std::fprintf(stderr, "--advertise: %s\n",
+                   advertise_addr.status().ToString().c_str());
+      return 2;
+    }
+    public_addr = *advertise_addr;
+    if (public_addr.port == 0) public_addr.port = server->address().port;
+  }
+
+  auto service = rpc::NodeService::Make(public_addr, service_options);
   if (!service.ok()) {
     std::fprintf(stderr, "node service: %s\n",
                  service.status().ToString().c_str());
@@ -259,17 +344,23 @@ int main(int argc, char** argv) {
   }
 
   // Outbound half of the peer: membership exchanges and descriptor
-  // re-replication ride their own client transport.
-  rpc::TcpTransport transport{rpc::TcpTransport::Options{}};
+  // re-replication ride their own client transport. Outbound sockets
+  // bind the listen host as their source address so a per-link shaper
+  // (the chaos proxy) can attribute this node's traffic.
+  rpc::TcpTransport::Options transport_options;
+  transport_options.bind_host = listen_addr->host;
+  rpc::TcpTransport transport{transport_options};
 
   rpc::MembershipConfig membership_config;
   membership_config.probe_period_ms = flags.probe_ms;
   membership_config.gossip_period_ms = flags.gossip_ms;
   membership_config.stabilize_period_ms = flags.stabilize_ms;
   membership_config.probe_timeout_ms = flags.probe_timeout_ms;
-  membership_config.seed = rpc::RingView::IdOf(server->address());
+  membership_config.reconnect_period_ms = flags.reconnect_ms;
+  membership_config.backoff_max_ms = flags.backoff_max_ms;
+  membership_config.seed = rpc::RingView::IdOf(public_addr);
   auto membership = rpc::LiveMembership::Make(
-      server->address(), StartupIncarnation(), membership_config, &transport);
+      public_addr, StartupIncarnation(), membership_config, &transport);
   if (!membership.ok()) {
     std::fprintf(stderr, "membership: %s\n",
                  membership.status().ToString().c_str());
@@ -283,6 +374,7 @@ int main(int argc, char** argv) {
 
   rpc::RereplicateConfig rereplicate_config;
   rereplicate_config.replication = flags.replication;
+  rereplicate_config.handoff_deadline_ms = flags.handoff_deadline_ms;
   auto rereplicator = rpc::Rereplicator::Make(service->get(), &*membership,
                                               &transport, rereplicate_config);
   if (!rereplicator.ok()) {
@@ -351,6 +443,12 @@ int main(int argc, char** argv) {
       net.bytes = server->stats().bytes_in + server->stats().bytes_out;
       std::string extra = ",\"membership\":" +
                           membership->counters().ToJson() +
+                          // Live gauge, not a counter: how many ring
+                          // members (self included) this node can see
+                          // right now. The partition acceptance tests
+                          // poll it to observe a split becoming total.
+                          ",\"membership_alive\":" +
+                          std::to_string(membership->num_alive()) +
                           ",\"rereplication\":" +
                           rereplicator->counters().ToJson();
       if (executor != nullptr) {
