@@ -2,23 +2,28 @@
 // paper's architecture (§1 surveys all three; the paper builds on
 // Chord, Harren et al. built on CAN, Tapestry is its citation [16]).
 //
-// All overlays resolve the same stream of LSH identifiers. Reported
-// per overlay size: mean/99th-percentile routing hops, per-node
-// routing-state size, and the load imbalance of identifier ownership
-// (max/mean of identifiers owned per node). Chord routes in O(log N)
-// hops with O(log N) state; CAN in O(d*N^(1/d)) hops with O(d) state;
-// Tapestry in O(log16 N) hops with O(log N * base) prefix tables — the
-// classical tradeoffs, measured on identical workloads.
+// All substrates are driven through the overlay::Overlay contract —
+// the same RouteToOwner calls core::System makes — so this bench also
+// doubles as a smoke test of the abstraction seam. Reported per
+// overlay and size: mean/99th-percentile routing hops, per-node
+// routing-state size (probed through each adapter's substrate
+// accessor; state layout is inherently substrate-specific), and the
+// load imbalance of identifier ownership (max/mean of identifiers
+// owned per node). Chord routes in O(log N) hops with O(log N) state;
+// CAN in O(d*N^(1/d)) hops with O(d) state; Tapestry in O(log16 N)
+// hops with compact prefix tables — the classical tradeoffs, measured
+// on identical workloads.
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <set>
-#include <unordered_map>
 
 #include "bench/bench_util.h"
-#include "can/network.h"
-#include "chord/ring.h"
 #include "hash/lsh.h"
-#include "tapestry/tapestry.h"
+#include "overlay/can_overlay.h"
+#include "overlay/chord_overlay.h"
+#include "overlay/factory.h"
+#include "overlay/tapestry_overlay.h"
 
 #include "bench/bench_args.h"
 
@@ -47,56 +52,56 @@ struct OverlayRow {
   double load_max_over_mean;
 };
 
-OverlayRow MeasureChord(size_t n, const std::vector<uint32_t>& ids) {
-  auto ring = chord::ChordRing::Make(n, 5);
-  CHECK(ring.ok());
-  Summary hops;
-  std::unordered_map<uint32_t, size_t> owned;  // node id -> identifiers owned
-  for (uint32_t id : ids) {
-    auto origin = ring->RandomAliveAddress();
-    CHECK(origin.ok());
-    auto result = ring->Lookup(*origin, id);
-    CHECK(result.ok());
-    hops.AddCount(static_cast<uint64_t>(result->hops));
-    ++owned[result->owner.id];
-  }
-  // State: distinct finger entries + successor list.
+/// Routing-state entries per node, through the substrate accessors
+/// (the one measurement the uniform contract cannot express).
+Summary StatePerNode(overlay::Overlay& net) {
   Summary state;
-  for (const chord::NodeInfo& info : ring->AliveNodesSorted()) {
-    const chord::ChordNode* node = ring->node(info.addr);
-    std::set<uint32_t> distinct;
-    for (int i = 0; i < chord::FingerTable::size(); ++i) {
-      if (node->fingers().entry(i)) distinct.insert(node->fingers().entry(i)->id);
+  switch (net.kind()) {
+    case overlay::Kind::kChord: {
+      chord::ChordRing& ring = static_cast<overlay::ChordOverlay&>(net).ring();
+      for (const chord::NodeInfo& info : ring.AliveNodesSorted()) {
+        const chord::ChordNode* node = ring.node(info.addr);
+        std::set<uint32_t> distinct;
+        for (int i = 0; i < chord::FingerTable::size(); ++i) {
+          if (node->fingers().entry(i)) {
+            distinct.insert(node->fingers().entry(i)->id);
+          }
+        }
+        for (const auto& s : node->successors()) distinct.insert(s.id);
+        state.AddCount(distinct.size());
+      }
+      break;
     }
-    for (const auto& s : node->successors()) distinct.insert(s.id);
-    state.AddCount(distinct.size());
+    case overlay::Kind::kCan: {
+      can::CanNetwork& can_net = static_cast<overlay::CanOverlay&>(net).can();
+      for (size_t c : can_net.NeighborCounts()) state.AddCount(c);
+      break;
+    }
+    case overlay::Kind::kTapestry: {
+      tapestry::TapestryMesh& mesh =
+          static_cast<overlay::TapestryOverlay&>(net).mesh();
+      for (size_t s : mesh.StateSizes()) state.AddCount(s);
+      break;
+    }
   }
-  Summary load;
-  for (const auto& [id, count] : owned) load.AddCount(count);
-  const double mean_per_owner =
-      static_cast<double>(ids.size()) / static_cast<double>(n);
-  return OverlayRow{hops.Mean(), hops.Percentile(99), state.Mean(),
-                    load.Max() / mean_per_owner};
+  return state;
 }
 
-OverlayRow MeasureCan(size_t n, const std::vector<uint32_t>& ids, int dims) {
-  can::CanConfig cfg;
-  cfg.dims = dims;
-  auto net = can::CanNetwork::Make(n, 5, cfg);
-  CHECK(net.ok());
+OverlayRow Measure(const overlay::OverlayParams& params, size_t n,
+                   const std::vector<uint32_t>& ids) {
+  auto net = overlay::MakeOverlay(params, n, 5, chord::ChordConfig{});
+  CHECK(net.ok()) << net.status();
   Summary hops;
-  std::unordered_map<uint64_t, size_t> owned;
+  std::map<std::string, size_t> owned;  // owner address -> identifiers owned
   for (uint32_t id : ids) {
-    auto origin = net->RandomAliveAddress();
+    auto origin = (*net)->RandomAliveAddress();
     CHECK(origin.ok());
-    auto result = net->Lookup(*origin, id);
+    auto result = (*net)->RouteToOwner(*origin, id);
     CHECK(result.ok()) << result.status();
     hops.AddCount(static_cast<uint64_t>(result->hops));
-    ++owned[(static_cast<uint64_t>(result->owner.host) << 16) |
-            result->owner.port];
+    ++owned[result->owner.addr.ToString()];
   }
-  Summary state;
-  for (size_t c : net->NeighborCounts()) state.AddCount(c);
+  const Summary state = StatePerNode(**net);
   Summary load;
   for (const auto& [addr, count] : owned) load.AddCount(count);
   const double mean_per_owner =
@@ -105,27 +110,13 @@ OverlayRow MeasureCan(size_t n, const std::vector<uint32_t>& ids, int dims) {
                     load.Max() / mean_per_owner};
 }
 
-OverlayRow MeasureTapestry(size_t n, const std::vector<uint32_t>& ids) {
-  auto mesh = tapestry::TapestryMesh::Make(n, 5);
-  CHECK(mesh.ok());
-  Summary hops;
-  std::unordered_map<uint32_t, size_t> owned;
-  for (uint32_t id : ids) {
-    auto origin = mesh->RandomAliveAddress();
-    CHECK(origin.ok());
-    auto result = mesh->Lookup(*origin, id);
-    CHECK(result.ok()) << result.status();
-    hops.AddCount(static_cast<uint64_t>(result->hops));
-    ++owned[result->owner.id];
-  }
-  Summary state;
-  for (size_t s : mesh->StateSizes()) state.AddCount(s);
-  Summary load;
-  for (const auto& [id, count] : owned) load.AddCount(count);
-  const double mean_per_owner =
-      static_cast<double>(ids.size()) / static_cast<double>(n);
-  return OverlayRow{hops.Mean(), hops.Percentile(99), state.Mean(),
-                    load.Max() / mean_per_owner};
+void AddRow(TablePrinter& table, size_t n, const std::string& label,
+            const OverlayRow& row) {
+  table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)), label,
+                TablePrinter::Fmt(row.mean_hops, 2),
+                TablePrinter::Fmt(row.p99_hops, 0),
+                TablePrinter::Fmt(row.mean_state, 1),
+                TablePrinter::Fmt(row.load_max_over_mean, 1)});
 }
 
 void Run(size_t lookups) {
@@ -133,27 +124,16 @@ void Run(size_t lookups) {
   TablePrinter table({"peers", "overlay", "mean hops", "99th pct",
                       "state/node", "load max/mean"});
   for (size_t n : {64u, 256u, 1024u}) {
-    const OverlayRow chord_row = MeasureChord(n, ids);
-    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)), "Chord",
-                  TablePrinter::Fmt(chord_row.mean_hops, 2),
-                  TablePrinter::Fmt(chord_row.p99_hops, 0),
-                  TablePrinter::Fmt(chord_row.mean_state, 1),
-                  TablePrinter::Fmt(chord_row.load_max_over_mean, 1)});
+    overlay::OverlayParams params;
+    params.kind = overlay::Kind::kChord;
+    AddRow(table, n, "Chord", Measure(params, n, ids));
     for (int dims : {2, 4}) {
-      const OverlayRow can_row = MeasureCan(n, ids, dims);
-      table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)),
-                    "CAN d=" + std::to_string(dims),
-                    TablePrinter::Fmt(can_row.mean_hops, 2),
-                    TablePrinter::Fmt(can_row.p99_hops, 0),
-                    TablePrinter::Fmt(can_row.mean_state, 1),
-                    TablePrinter::Fmt(can_row.load_max_over_mean, 1)});
+      params.kind = overlay::Kind::kCan;
+      params.can_dims = dims;
+      AddRow(table, n, "CAN d=" + std::to_string(dims), Measure(params, n, ids));
     }
-    const OverlayRow tap_row = MeasureTapestry(n, ids);
-    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(n)), "Tapestry",
-                  TablePrinter::Fmt(tap_row.mean_hops, 2),
-                  TablePrinter::Fmt(tap_row.p99_hops, 0),
-                  TablePrinter::Fmt(tap_row.mean_state, 1),
-                  TablePrinter::Fmt(tap_row.load_max_over_mean, 1)});
+    params.kind = overlay::Kind::kTapestry;
+    AddRow(table, n, "Tapestry", Measure(params, n, ids));
   }
   table.Print(std::cout, "Substrate comparison: Chord vs CAN vs Tapestry on the paper's "
                          "identifier workload (" +

@@ -18,7 +18,7 @@ double CanNode::DistanceTo(const Point& p) const {
 CanNetwork::CanNetwork(CanConfig config, uint64_t seed)
     : config_(config),
       rng_(seed),
-      net_(std::make_unique<SimNetwork>(LatencyModel{}, seed ^ 0x123456)) {}
+      net_(std::make_unique<SimNetwork>(config.latency, seed ^ 0x123456)) {}
 
 Result<NetAddress> CanNetwork::CreateAddress() {
   for (int attempt = 0; attempt < 1000; ++attempt) {
@@ -39,6 +39,7 @@ Result<CanNetwork> CanNetwork::Make(size_t num_nodes, uint64_t seed,
     return Status::InvalidArgument("dims must be in [1, " +
                                    std::to_string(kMaxDims) + "]");
   }
+  RETURN_NOT_OK(config.latency.Validate());
   CanNetwork net(config, seed);
   // Bootstrap node owns the whole space.
   ASSIGN_OR_RETURN(const NetAddress first, net.CreateAddress());
@@ -80,6 +81,15 @@ Result<NetAddress> CanNetwork::RandomAliveAddress() {
   }
   if (alive.empty()) return Status::NotFound("no live CAN nodes");
   return alive[rng_.NextBounded(alive.size())];
+}
+
+std::vector<NetAddress> CanNetwork::AliveAddresses() const {
+  std::vector<NetAddress> out;
+  out.reserve(addresses_.size());
+  for (const NetAddress& addr : addresses_) {
+    if (net_->IsAlive(addr)) out.push_back(addr);
+  }
+  return out;
 }
 
 Result<NetAddress> CanNetwork::FindOwnerOracle(const Point& p) const {
@@ -254,6 +264,135 @@ Status CanNetwork::Leave(const NetAddress& addr) {
   leaver->mutable_zones().clear();
   RebuildNeighborhoods(affected);
   return Status::OK();
+}
+
+Status CanNetwork::Fail(const NetAddress& addr) {
+  if (node(addr) == nullptr) return Status::NotFound("unknown CAN node");
+  if (!net_->IsAlive(addr)) return Status::InvalidArgument("node already down");
+  if (num_alive() == 1) {
+    return Status::InvalidArgument("the last CAN node cannot fail");
+  }
+  return net_->SetAlive(addr, false);
+}
+
+Status CanNetwork::Recover(const NetAddress& addr) {
+  CanNode* n = mutable_node(addr);
+  if (n == nullptr) return Status::NotFound("unknown CAN node");
+  if (net_->IsAlive(addr)) return Status::InvalidArgument("node already up");
+  RETURN_NOT_OK(net_->SetAlive(addr, true));
+  if (!n->zones().empty()) {
+    // Crash not yet taken over: the node simply resumes its zones.
+    RebuildNeighborhoods({addr});
+    return Status::OK();
+  }
+  return JoinExisting(addr);
+}
+
+Status CanNetwork::JoinExisting(const NetAddress& addr) {
+  // Bootstrap through a deterministic live, zone-owning node.
+  const CanNode* bootstrap = nullptr;
+  for (const NetAddress& a : addresses_) {
+    const CanNode* cand = node(a);
+    if (a == addr || cand == nullptr || !net_->IsAlive(a)) continue;
+    if (cand->zones().empty()) continue;
+    bootstrap = cand;
+    break;
+  }
+  if (bootstrap == nullptr) {
+    return Status::Internal("no live zone-owning node to bootstrap from");
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Point p;
+    for (int d = 0; d < config_.dims; ++d) p.coords[d] = rng_.Next32();
+    ASSIGN_OR_RETURN(const NetAddress owner_addr,
+                     Route(bootstrap->addr(), p, nullptr));
+    CanNode* owner = mutable_node(owner_addr);
+    size_t zone_idx = 0;
+    while (zone_idx < owner->zones().size() &&
+           !owner->zones()[zone_idx].Contains(p)) {
+      ++zone_idx;
+    }
+    DCHECK_LT(zone_idx, owner->zones().size());
+    const Zone zone = owner->zones()[zone_idx];
+    const int dim = zone.WidestDim();
+    if (zone.width(dim) < 2) continue;  // unsplittable sliver; new point
+    auto [lower, upper] = zone.Split(dim);
+    const Zone& newcomer_half = lower.Contains(p) ? lower : upper;
+    const Zone& owner_half = lower.Contains(p) ? upper : lower;
+    owner->mutable_zones()[zone_idx] = owner_half;
+    mutable_node(addr)->mutable_zones().push_back(newcomer_half);
+    RebuildNeighborhoods({owner_addr, addr});
+    return Status::OK();
+  }
+  return Status::Internal("could not find a splittable zone to join into");
+}
+
+size_t CanNetwork::TakeoverDeadZones() {
+  size_t transferred = 0;
+  for (const NetAddress& dead_addr : addresses_) {
+    CanNode* dead = mutable_node(dead_addr);
+    if (dead == nullptr || net_->IsAlive(dead_addr) || dead->zones().empty()) {
+      continue;
+    }
+    std::vector<NetAddress> affected;
+    bool all_taken = true;
+    std::vector<Zone> remaining;
+    for (const Zone& zone : dead->zones()) {
+      // Prefer a live node with a mergeable zone (neighbors first, as
+      // the takeover protocol would find); otherwise the
+      // smallest-volume live node absorbs the zone verbatim.
+      CanNode* taker = nullptr;
+      size_t merge_idx = 0;
+      bool mergeable = false;
+      double best_volume = std::numeric_limits<double>::infinity();
+      auto consider = [&](CanNode* cand) {
+        if (mergeable || cand == nullptr || cand == dead) return;
+        if (!net_->IsAlive(cand->addr())) return;
+        for (size_t zi = 0; zi < cand->zones().size(); ++zi) {
+          if (cand->zones()[zi].CanMergeWith(zone, nullptr)) {
+            taker = cand;
+            merge_idx = zi;
+            mergeable = true;
+            return;
+          }
+        }
+        if (cand->Volume() < best_volume) {
+          best_volume = cand->Volume();
+          taker = cand;
+        }
+      };
+      for (const NetAddress& naddr : dead->neighbors()) {
+        consider(mutable_node(naddr));
+      }
+      if (taker == nullptr) {
+        for (const NetAddress& a : addresses_) consider(mutable_node(a));
+      }
+      if (taker == nullptr) {
+        // No live node anywhere: the zone stays orphaned for now.
+        remaining.push_back(zone);
+        all_taken = false;
+        continue;
+      }
+      if (mergeable) {
+        taker->mutable_zones()[merge_idx] =
+            taker->zones()[merge_idx].MergeWith(zone);
+      } else {
+        taker->mutable_zones().push_back(zone);
+      }
+      affected.push_back(taker->addr());
+      ++transferred;
+    }
+    dead->mutable_zones() = std::move(remaining);
+    // The dead node's former neighbors abut the transferred zones but
+    // may not have been adjacent to any taker before the transfer, so
+    // they must be rebuilt too or they keep pointing at the dead node.
+    for (const NetAddress& naddr : dead->neighbors()) {
+      affected.push_back(naddr);
+    }
+    if (all_taken) dead->mutable_neighbors().clear();
+    if (!affected.empty()) RebuildNeighborhoods(affected);
+  }
+  return transferred;
 }
 
 std::vector<double> CanNetwork::Volumes() const {

@@ -25,6 +25,8 @@ struct CanConfig {
   int dims = 2;  ///< dimensionality d of the coordinate space
   /// Safety bound on greedy routing steps.
   int max_route_steps = 4096;
+  /// Latency/loss model of the underlying simulated network.
+  LatencyModel latency;
 };
 
 /// \brief Outcome of one lookup.
@@ -97,9 +99,29 @@ class CanNetwork {
   /// over (and temporarily manages multiple zones, as in CAN).
   Status Leave(const NetAddress& addr);
 
+  /// Abrupt failure: the node goes down with no handoff. Its zones
+  /// stay assigned to it (points there are unowned) until
+  /// TakeoverDeadZones reassigns them — CAN's takeover protocol run
+  /// as periodic maintenance.
+  Status Fail(const NetAddress& addr);
+
+  /// A failed node comes back at its address. If its zones were not
+  /// yet taken over it resumes them; otherwise it re-joins through
+  /// the protocol (route + split) keeping the address.
+  Status Recover(const NetAddress& addr);
+
+  /// Reassigns every zone still held by a dead node to a live one
+  /// (mergeable neighbor first, then the smallest-volume live node),
+  /// as CAN's takeover timer would. Returns the number of zones
+  /// transferred.
+  size_t TakeoverDeadZones();
+
   size_t num_alive() const;
   const CanNode* node(const NetAddress& addr) const;
   Result<NetAddress> RandomAliveAddress();
+
+  /// Live node addresses in deterministic (join) order.
+  std::vector<NetAddress> AliveAddresses() const;
 
   /// Volumes of all live nodes (sums to ~1); the CAN load metric.
   std::vector<double> Volumes() const;
@@ -120,6 +142,11 @@ class CanNetwork {
 
   CanNode* mutable_node(const NetAddress& addr);
   Result<NetAddress> CreateAddress();
+
+  /// Protocol join of the already-registered, zoneless, live node at
+  /// `addr`: route to a random point from a zone-owning bootstrap and
+  /// split the owner's zone. Used by Recover after a takeover.
+  Status JoinExisting(const NetAddress& addr);
 
   /// Routes from `from` to the owner of `p`, charging hops.
   Result<NetAddress> Route(const NetAddress& from, const Point& p,

@@ -9,6 +9,7 @@
 #include "core/column_stats.h"
 #include "core/fault_policy.h"
 #include "hash/lsh.h"
+#include "overlay/overlay.h"
 #include "store/bucket_store.h"
 #include "store/durable_store.h"
 
@@ -90,6 +91,12 @@ struct SystemConfig {
   FaultPolicy fault;
 
   chord::ChordConfig chord;
+
+  /// Which routing substrate backs the system. Defaults to Chord (the
+  /// paper's choice); CAN and Tapestry run the same §4 protocol
+  /// unmodified through the overlay contract. The latency model is
+  /// taken from `chord.latency` for every substrate.
+  overlay::OverlayParams overlay;
 
   /// Master seed: peers, LSH keys, and query origins all derive from it.
   uint64_t seed = 1;

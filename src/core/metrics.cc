@@ -14,7 +14,7 @@ struct Field {
   uint64_t value;
 };
 
-void CollectCounters(const SystemMetrics& m, Field (&out)[35]) {
+void CollectCounters(const SystemMetrics& m, Field (&out)[37]) {
   size_t i = 0;
   out[i++] = {"range_lookups", m.range_lookups};
   out[i++] = {"exact_hits", m.exact_hits};
@@ -51,6 +51,8 @@ void CollectCounters(const SystemMetrics& m, Field (&out)[35]) {
   out[i++] = {"slow_readers_evicted", m.slow_readers_evicted};
   out[i++] = {"idle_connections_closed", m.idle_connections_closed};
   out[i++] = {"corrupt_frames_dropped", m.corrupt_frames_dropped};
+  out[i++] = {"bytes_per_peer", m.bytes_per_peer};
+  out[i++] = {"event_queue_depth", m.event_queue_depth};
 }
 
 std::string JsonDouble(double v) {
@@ -62,10 +64,10 @@ std::string JsonDouble(double v) {
 }  // namespace
 
 std::string SystemMetrics::ToString() const {
-  Field fields[35];
+  Field fields[37];
   CollectCounters(*this, fields);
   std::string out;
-  for (size_t i = 0; i < 35; ++i) {
+  for (size_t i = 0; i < 37; ++i) {
     if (i > 0) out += ' ';
     out += fields[i].name;
     out += '=';
@@ -75,10 +77,10 @@ std::string SystemMetrics::ToString() const {
 }
 
 std::string SystemMetrics::ToJson() const {
-  Field fields[35];
+  Field fields[37];
   CollectCounters(*this, fields);
   std::string out = "{";
-  for (size_t i = 0; i < 35; ++i) {
+  for (size_t i = 0; i < 37; ++i) {
     if (i > 0) out += ',';
     out += '"';
     out += fields[i].name;

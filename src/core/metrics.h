@@ -68,6 +68,12 @@ struct SystemMetrics {
   uint64_t idle_connections_closed = 0;  ///< read-idle/first-frame deadline
   uint64_t corrupt_frames_dropped = 0;   ///< CRC/length/envelope rejections
 
+  // --- Scenario-engine gauges (set by sim::ScenarioEngine; zero in
+  // plain RangeCacheSystem runs) -------------------------------------
+
+  uint64_t bytes_per_peer = 0;     ///< resident engine bytes per simulated peer
+  uint64_t event_queue_depth = 0;  ///< high-water mark of pending events
+
   std::string ToString() const;
 
   /// Single-line JSON object (no trailing newline), for the daemon's

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "core/coverage.h"
 #include "hash/sha1.h"
+#include "overlay/chord_overlay.h"
+#include "overlay/factory.h"
 #include "wire/serde.h"
 
 namespace p2prange {
@@ -41,7 +43,7 @@ Result<double> RangeCacheSystem::DeliverWithPolicy(const NetAddress& from,
       wait *= policy.backoff_multiplier;
       ++metrics_.retransmissions;
     }
-    auto latency = ring_->network().DeliverBytes(from, to, payload_bytes);
+    auto latency = overlay_->DeliverBytes(from, to, payload_bytes);
     if (latency.ok()) {
       total += *latency;
       if (budget != nullptr) budget->spent_ms += total;
@@ -79,23 +81,30 @@ Result<RangeCacheSystem> RangeCacheSystem::Make(const SystemConfig& config,
   RETURN_NOT_OK(config.fault.Validate());
   RangeCacheSystem sys(config, std::move(catalog));
 
-  ASSIGN_OR_RETURN(chord::ChordRing ring,
-                   chord::ChordRing::Make(config.num_peers, config.seed,
-                                          config.chord));
-  sys.ring_ = std::make_unique<chord::ChordRing>(std::move(ring));
+  ASSIGN_OR_RETURN(sys.overlay_,
+                   overlay::MakeOverlay(config.overlay, config.num_peers,
+                                        config.seed, config.chord));
 
   LshParams lsh_params = config.lsh;
   lsh_params.seed = config.seed ^ 0x5bd1e995u;
   ASSIGN_OR_RETURN(LshScheme scheme, LshScheme::Make(lsh_params));
   sys.lsh_ = std::make_unique<LshScheme>(std::move(scheme));
 
-  const auto nodes = sys.ring_->AliveNodesSorted();
-  for (const chord::NodeInfo& info : nodes) {
-    sys.peers_.emplace(info.addr, std::make_unique<Peer>(info, config.store_capacity,
-                                                         config.durability));
+  const auto nodes = sys.overlay_->AlivePeersOrdered();
+  for (const overlay::PeerInfo& info : nodes) {
+    sys.peers_.emplace(
+        info.addr,
+        std::make_unique<Peer>(chord::NodeInfo{info.id, info.addr},
+                               config.store_capacity, config.durability));
   }
   sys.source_ = nodes.front().addr;
   return sys;
+}
+
+chord::ChordRing& RangeCacheSystem::ring() {
+  CHECK(overlay_->kind() == overlay::Kind::kChord)
+      << "ring() requires a Chord-backed system, got " << overlay_->name();
+  return static_cast<overlay::ChordOverlay*>(overlay_.get())->ring();
 }
 
 Peer* RangeCacheSystem::peer(const NetAddress& addr) {
@@ -151,7 +160,7 @@ Result<std::optional<Relation>> RangeCacheSystem::FetchCoverage(
   std::vector<const Relation*> datas;
   datas.reserve(pieces.size());
   for (const PartitionDescriptor& piece : pieces) {
-    if (!ring_->network().IsAlive(piece.holder)) {
+    if (!overlay_->IsAlive(piece.holder)) {
       return std::optional<Relation>(std::nullopt);
     }
     const Peer* holder = peer(piece.holder);
@@ -182,7 +191,7 @@ Result<std::optional<Relation>> RangeCacheSystem::FetchCoverage(
 
 
 Result<RangeLookupOutcome> RangeCacheSystem::LookupRange(const PartitionKey& query) {
-  ASSIGN_OR_RETURN(const NetAddress origin, ring_->RandomAliveAddress());
+  ASSIGN_OR_RETURN(const NetAddress origin, overlay_->RandomAliveAddress());
   return LookupRangeFrom(origin, query);
 }
 
@@ -191,7 +200,7 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
   if (peer(origin) == nullptr) {
     return Status::InvalidArgument("unknown origin peer " + origin.ToString());
   }
-  if (!ring_->network().IsAlive(origin)) {
+  if (!overlay_->IsAlive(origin)) {
     return Status::InvalidArgument("origin peer " + origin.ToString() +
                                    " is down");
   }
@@ -222,7 +231,7 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
   // contributions only once the reply reaches the origin.
   auto probe_replica = [&](const NetAddress& target, chord::ChordId id) -> bool {
     Peer* owner_peer = peer(target);
-    if (owner_peer == nullptr || !ring_->network().IsAlive(target)) return false;
+    if (owner_peer == nullptr || !overlay_->IsAlive(target)) return false;
     // Dead holders make their descriptors stale; the probing owner
     // evicts them on sight (lazy repair) and serves the next-best.
     std::optional<MatchCandidate> candidate;
@@ -232,7 +241,7 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
                                                               config_.criterion)
                       : owner_peer->store().BestMatch(id, effective_key,
                                                       config_.criterion);
-      if (!candidate || ring_->network().IsAlive(candidate->descriptor.holder)) {
+      if (!candidate || overlay_->IsAlive(candidate->descriptor.holder)) {
         break;
       }
       metrics_.stale_evictions += owner_peer->EraseStaleDescriptors(
@@ -242,7 +251,7 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
     if (config_.assemble_coverage) {
       for (MatchCandidate& c : owner_peer->store().OverlappingCandidates(
                id, effective_key, config_.criterion)) {
-        if (!ring_->network().IsAlive(c.descriptor.holder)) {
+        if (!overlay_->IsAlive(c.descriptor.holder)) {
           metrics_.stale_evictions += owner_peer->EraseStaleDescriptors(
               c.descriptor.key, c.descriptor.holder);
           continue;
@@ -283,7 +292,7 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
       metrics_.probes_failed += out.identifiers.size() - g;
       break;
     }
-    auto route = ring_->Lookup(origin, out.identifiers[g]);
+    auto route = overlay_->RouteToOwner(origin, out.identifiers[g]);
     if (!route.ok()) {
       // Routing never reached this identifier's owner.
       ++out.probes_failed;
@@ -307,28 +316,25 @@ Result<RangeLookupOutcome> RangeCacheSystem::LookupRangeFrom(
     // hold copies of the bucket — fail over to them.
     bool answered = false;
     if (config_.descriptor_replication > 1) {
-      const chord::ChordNode* owner_node = ring_->node(route->owner.addr);
       int tried = 0;
-      if (owner_node != nullptr) {
-        for (const chord::NodeInfo& succ : owner_node->successors()) {
-          if (tried >= config_.descriptor_replication - 1) break;
-          if (succ.addr == route->owner.addr) continue;
-          if (!ring_->network().IsAlive(succ.addr)) continue;
-          ++tried;
-          if (step_hook_) step_hook_("failover");
-          // One extra hop to reach the replica.
-          auto fwd = DeliverWithPolicy(origin, succ.addr, 0, &budget);
-          if (!fwd.ok()) continue;
-          out.latency_ms += *fwd;
-          metrics_.latency_ms += *fwd;
-          ++out.hops;
-          ++metrics_.chord_hops;
-          if (probe_replica(succ.addr, out.identifiers[g])) {
-            ++out.failovers;
-            ++metrics_.probe_failovers;
-            answered = true;
-            break;
-          }
+      for (const overlay::PeerInfo& succ :
+           overlay_->ReplicaCandidates(route->owner.addr)) {
+        if (tried >= config_.descriptor_replication - 1) break;
+        if (!overlay_->IsAlive(succ.addr)) continue;
+        ++tried;
+        if (step_hook_) step_hook_("failover");
+        // One extra hop to reach the replica.
+        auto fwd = DeliverWithPolicy(origin, succ.addr, 0, &budget);
+        if (!fwd.ok()) continue;
+        out.latency_ms += *fwd;
+        metrics_.latency_ms += *fwd;
+        ++out.hops;
+        ++metrics_.chord_hops;
+        if (probe_replica(succ.addr, out.identifiers[g])) {
+          ++out.failovers;
+          ++metrics_.probe_failovers;
+          answered = true;
+          break;
         }
       }
     }
@@ -410,17 +416,14 @@ void RangeCacheSystem::StoreReplicated(chord::ChordId id,
                                        double* latency_acc) {
   // Resolve the current owner plus (replication - 1) of its live
   // successors; each replica costs one store message.
-  auto owner_info = ring_->FindSuccessorOracle(id);
+  auto owner_info = overlay_->OwnerOracle(id);
   if (!owner_info.ok()) return;
   std::vector<NetAddress> targets{owner_info->addr};
-  const chord::ChordNode* owner_node = ring_->node(owner_info->addr);
-  if (owner_node != nullptr) {
-    for (const chord::NodeInfo& succ : owner_node->successors()) {
-      if (static_cast<int>(targets.size()) >= config_.descriptor_replication) break;
-      if (succ.addr == owner_info->addr) continue;
-      if (!ring_->network().IsAlive(succ.addr)) continue;
-      targets.push_back(succ.addr);
-    }
+  for (const overlay::PeerInfo& succ :
+       overlay_->ReplicaCandidates(owner_info->addr)) {
+    if (static_cast<int>(targets.size()) >= config_.descriptor_replication) break;
+    if (!overlay_->IsAlive(succ.addr)) continue;
+    targets.push_back(succ.addr);
   }
   for (const NetAddress& target : targets) {
     Peer* target_peer = peer(target);
@@ -447,7 +450,7 @@ Status RangeCacheSystem::PublishPartition(const PartitionKey& key,
   for (uint32_t id : identifier_scratch_) {
     // A failed route skips this identifier's replicas (the partition
     // stays findable under the other l-1 identifiers).
-    auto route = ring_->Lookup(holder, id);
+    auto route = overlay_->RouteToOwner(holder, id);
     if (!route.ok()) continue;
     metrics_.chord_hops += route->hops;
     metrics_.latency_ms += route->latency_ms;
@@ -546,7 +549,7 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
             m.recall >= 1.0 || (config_.accept_partial_answers && m.recall > 0.0);
         if (!acceptable) break;
         if (step_hook_) step_hook_("fetch");
-        if (!ring_->network().IsAlive(m.holder)) {
+        if (!overlay_->IsAlive(m.holder)) {
           // Dead at fetch time: repair the probing owners' buckets.
           for (const NetAddress& owner : best->lookup.probed_owners) {
             Peer* owner_peer = peer(owner);
@@ -656,18 +659,18 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
     // A failed route (or an owner that crashed mid-query) skips the
     // cache probe; the source still answers.
     Peer* owner_peer = nullptr;
-    auto route = ring_->Lookup(client, id);
+    auto route = overlay_->RouteToOwner(client, id);
     if (route.ok()) {
       metrics_.chord_hops += route->hops;
       metrics_.latency_ms += route->latency_ms;
-      if (ring_->network().IsAlive(route->owner.addr)) {
+      if (overlay_->IsAlive(route->owner.addr)) {
         owner_peer = peer(route->owner.addr);
       }
     }
     std::optional<EqDescriptor> desc =
         owner_peer == nullptr ? std::nullopt
                               : owner_peer->FindEqDescriptor(id, eq_key);
-    if (desc && !ring_->network().IsAlive(desc->holder)) {
+    if (desc && !overlay_->IsAlive(desc->holder)) {
       // Stale: the holder died with its data. Repair the owner's
       // bucket so later queries go straight to the source.
       if (owner_peer->EraseEqDescriptor(id, eq_key, desc->holder)) {
@@ -716,7 +719,7 @@ Status RangeCacheSystem::AnswerLeaf(const NetAddress& client,
 }
 
 Result<QueryOutcome> RangeCacheSystem::ExecuteQuery(const std::string& sql) {
-  ASSIGN_OR_RETURN(const NetAddress client, ring_->RandomAliveAddress());
+  ASSIGN_OR_RETURN(const NetAddress client, overlay_->RandomAliveAddress());
   return ExecuteQueryFrom(client, sql);
 }
 
@@ -725,7 +728,7 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
   if (peer(client) == nullptr) {
     return Status::InvalidArgument("unknown client peer " + client.ToString());
   }
-  if (!ring_->network().IsAlive(client)) {
+  if (!overlay_->IsAlive(client)) {
     return Status::InvalidArgument("client peer " + client.ToString() +
                                    " is down");
   }
@@ -742,24 +745,24 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
   // qualification, so equivalent queries share a key).
   const std::string result_key = "QR|" + plan.ToString();
   const chord::ChordId result_id = Sha1::Hash32(result_key);
-  chord::NodeInfo result_owner{};
+  overlay::PeerInfo result_owner{};
   if (config_.cache_query_results) {
     ++metrics_.result_cache_lookups;
     // A failed route or crashed owner just skips the result cache.
-    auto route = ring_->Lookup(client, result_id);
+    auto route = overlay_->RouteToOwner(client, result_id);
     Peer* owner_peer = nullptr;
     if (route.ok()) {
       metrics_.chord_hops += route->hops;
       metrics_.latency_ms += route->latency_ms;
       result_owner = route->owner;
-      if (ring_->network().IsAlive(route->owner.addr)) {
+      if (overlay_->IsAlive(route->owner.addr)) {
         owner_peer = peer(route->owner.addr);
       }
     }
     std::optional<EqDescriptor> desc =
         owner_peer == nullptr ? std::nullopt
                               : owner_peer->FindEqDescriptor(result_id, result_key);
-    if (desc && !ring_->network().IsAlive(desc->holder)) {
+    if (desc && !overlay_->IsAlive(desc->holder)) {
       if (owner_peer->EraseEqDescriptor(result_id, result_key, desc->holder)) {
         ++metrics_.stale_evictions;
       }
@@ -796,7 +799,7 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
   // querying peer for future exact re-asks.
   if (config_.cache_query_results && !outcome.approximate) {
     peer(client)->StoreEqData(result_key, outcome.result);
-    Peer* owner_peer = ring_->network().IsAlive(result_owner.addr)
+    Peer* owner_peer = overlay_->IsAlive(result_owner.addr)
                            ? peer(result_owner.addr)
                            : nullptr;
     if (owner_peer != nullptr) {
@@ -810,10 +813,11 @@ Result<QueryOutcome> RangeCacheSystem::ExecuteQueryFrom(const NetAddress& client
 }
 
 Result<NetAddress> RangeCacheSystem::AddPeer() {
-  ASSIGN_OR_RETURN(const chord::NodeInfo info, ring_->AddNode());
-  ring_->StabilizeAll(2);
-  peers_.emplace(info.addr, std::make_unique<Peer>(info, config_.store_capacity,
-                                                   config_.durability));
+  ASSIGN_OR_RETURN(const overlay::PeerInfo info, overlay_->AddNode());
+  overlay_->Stabilize(2);
+  peers_.emplace(info.addr,
+                 std::make_unique<Peer>(chord::NodeInfo{info.id, info.addr},
+                                        config_.store_capacity, config_.durability));
   return info.addr;
 }
 
@@ -825,11 +829,11 @@ Status RangeCacheSystem::RemovePeer(const NetAddress& addr, bool graceful) {
     return Status::NotFound("unknown peer " + addr.ToString());
   }
   if (graceful) {
-    RETURN_NOT_OK(ring_->Leave(addr));
+    RETURN_NOT_OK(overlay_->Leave(addr));
   } else {
-    RETURN_NOT_OK(ring_->Fail(addr));
+    RETURN_NOT_OK(overlay_->Fail(addr));
   }
-  ring_->StabilizeAll(1);
+  overlay_->Stabilize(1);
   peers_.erase(addr);
   return Status::OK();
 }
@@ -841,14 +845,14 @@ Status RangeCacheSystem::CrashPeer(const NetAddress& addr) {
   if (peer(addr) == nullptr) {
     return Status::NotFound("unknown peer " + addr.ToString());
   }
-  if (!ring_->network().IsAlive(addr)) {
+  if (!overlay_->IsAlive(addr)) {
     return Status::InvalidArgument("peer " + addr.ToString() + " already down");
   }
   // Abrupt and undetected: no handoff, no stabilization. The ring
   // repairs itself through successor lists during later lookups and
   // maintenance sweeps; the peer's descriptors go stale until the
   // lazy-repair path evicts them.
-  RETURN_NOT_OK(ring_->Fail(addr));
+  RETURN_NOT_OK(overlay_->Fail(addr));
   // Honest crash semantics: everything in RAM is gone. The WAL and
   // checkpoint images inside the peer survive (they model its disk);
   // with durability disabled there is nothing to come back from.
@@ -862,7 +866,7 @@ Status RangeCacheSystem::RecoverPeer(const NetAddress& addr) {
   if (p == nullptr) {
     return Status::NotFound("unknown peer " + addr.ToString());
   }
-  if (ring_->network().IsAlive(addr)) {
+  if (overlay_->IsAlive(addr)) {
     return Status::InvalidArgument("peer " + addr.ToString() + " is not down");
   }
   // Local replay first (checkpoint + WAL), then rejoin the ring.
@@ -872,8 +876,8 @@ Status RangeCacheSystem::RecoverPeer(const NetAddress& addr) {
   metrics_.recoveries_torn_tail += report.torn_tail ? 1 : 0;
   metrics_.recoveries_wal_corrupted += report.wal_corrupted ? 1 : 0;
   metrics_.recovery_descriptors_restored += report.descriptors_restored;
-  RETURN_NOT_OK(ring_->Recover(addr));
-  ring_->StabilizeAll(1);
+  RETURN_NOT_OK(overlay_->Recover(addr));
+  overlay_->Stabilize(1);
   RepairRecoveredPeerFromReplicas(addr);
   return Status::OK();
 }
@@ -892,7 +896,7 @@ void RangeCacheSystem::RepairRecoveredPeerFromReplicas(const NetAddress& addr) {
   // and may not reflect true ring order until stabilization converges,
   // so resolve the true live successors — the peers a stabilized ring
   // replicated this node's buckets to — from the global sorted view.
-  const std::vector<chord::NodeInfo> sorted = ring_->AliveNodesSorted();
+  const std::vector<overlay::PeerInfo> sorted = overlay_->AlivePeersOrdered();
   size_t self = sorted.size();
   for (size_t i = 0; i < sorted.size(); ++i) {
     if (sorted[i].addr == addr) {
@@ -904,7 +908,7 @@ void RangeCacheSystem::RepairRecoveredPeerFromReplicas(const NetAddress& addr) {
   int pulled_from = 0;
   for (size_t step = 1; step < sorted.size(); ++step) {
     if (pulled_from >= config_.descriptor_replication - 1) break;
-    const chord::NodeInfo& succ = sorted[(self + step) % sorted.size()];
+    const overlay::PeerInfo& succ = sorted[(self + step) % sorted.size()];
     const Peer* replica = peer(succ.addr);
     if (replica == nullptr) continue;
     ++pulled_from;
@@ -913,9 +917,9 @@ void RangeCacheSystem::RepairRecoveredPeerFromReplicas(const NetAddress& addr) {
     for (const auto& [bucket, descriptor] : replica->store().EntriesOldestFirst()) {
       // Only buckets the recovered peer owns belong at it, and only
       // descriptors with a live holder are worth re-publishing.
-      auto owner = ring_->FindSuccessorOracle(bucket);
+      auto owner = overlay_->OwnerOracle(bucket);
       if (!owner.ok() || !(owner->addr == addr)) continue;
-      if (!ring_->network().IsAlive(descriptor.holder)) continue;
+      if (!overlay_->IsAlive(descriptor.holder)) continue;
       if (recovered->store().ContainsExact(bucket, descriptor.key)) continue;
       wire::Encoder enc;
       enc.PutVarint(bucket);
@@ -934,7 +938,7 @@ void RangeCacheSystem::RepairRecoveredPeerFromReplicas(const NetAddress& addr) {
 std::vector<size_t> RangeCacheSystem::DescriptorCountsPerPeer() const {
   std::vector<size_t> counts;
   counts.reserve(peers_.size());
-  for (const chord::NodeInfo& info : ring_->AliveNodesSorted()) {
+  for (const overlay::PeerInfo& info : overlay_->AlivePeersOrdered()) {
     const Peer* p = peer(info.addr);
     counts.push_back(p == nullptr ? 0 : p->store().num_descriptors());
   }

@@ -22,6 +22,7 @@
 #include "core/metrics.h"
 #include "core/peer.h"
 #include "hash/lsh.h"
+#include "overlay/overlay.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "query/plan.h"
@@ -185,7 +186,16 @@ class RangeCacheSystem {
   const SystemMetrics& metrics() const { return metrics_; }
   void ResetMetrics() { metrics_ = SystemMetrics{}; }
 
-  chord::ChordRing& ring() { return *ring_; }
+  /// The routing substrate behind the system (Chord by default; CAN or
+  /// Tapestry via SystemConfig::overlay).
+  overlay::Overlay& overlay() { return *overlay_; }
+  const overlay::Overlay& overlay() const { return *overlay_; }
+
+  /// Chord-specific escape hatch for callers that poke ring internals
+  /// (benches, the live-ring daemon). CHECK-fails unless the system was
+  /// built with Kind::kChord.
+  chord::ChordRing& ring();
+
   const Catalog& catalog() const { return catalog_; }
   const LshScheme& lsh() const { return *lsh_; }
   const SystemConfig& config() const { return config_; }
@@ -269,7 +279,7 @@ class RangeCacheSystem {
   Catalog catalog_;
   AdaptivePaddingController padding_controller_;
   ColumnStats column_stats_;
-  std::unique_ptr<chord::ChordRing> ring_;
+  std::unique_ptr<overlay::Overlay> overlay_;
   std::unique_ptr<LshScheme> lsh_;
   std::unordered_map<NetAddress, std::unique_ptr<Peer>, NetAddressHash> peers_;
   NetAddress source_;

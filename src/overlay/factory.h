@@ -1,0 +1,23 @@
+// Builds the configured Overlay implementation.
+#ifndef P2PRANGE_OVERLAY_FACTORY_H_
+#define P2PRANGE_OVERLAY_FACTORY_H_
+
+#include <memory>
+
+#include "chord/ring.h"
+#include "overlay/overlay.h"
+
+namespace p2prange {
+namespace overlay {
+
+/// \brief Builds a `params.kind` overlay of `num_nodes` peers. The
+/// Chord tunables (and the latency model shared by every substrate)
+/// come from `chord_config`.
+Result<std::unique_ptr<Overlay>> MakeOverlay(
+    const OverlayParams& params, size_t num_nodes, uint64_t seed,
+    const chord::ChordConfig& chord_config);
+
+}  // namespace overlay
+}  // namespace p2prange
+
+#endif  // P2PRANGE_OVERLAY_FACTORY_H_

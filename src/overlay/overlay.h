@@ -1,0 +1,167 @@
+// Overlay: the seam between the range-cache system and the DHT.
+//
+// Everything above this interface — the §4 range-lookup protocol,
+// descriptor replication, churn and fault injection — asks one
+// abstract question ("who owns identifier x, and what did routing
+// there cost?") plus a membership/maintenance surface; everything
+// below decides what the overlay physically is. This is the same
+// seam rpc::Transport gave the network layer (PR 4), one level up:
+// three implementations route the identical workload so the paper's
+// protocol can be measured over Chord (the evaluation substrate),
+// CAN (the substrate Harren et al. used), and Tapestry (the third
+// family the introduction surveys) without touching core::System.
+#ifndef P2PRANGE_OVERLAY_OVERLAY_H_
+#define P2PRANGE_OVERLAY_OVERLAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/address.h"
+#include "net/sim_network.h"
+
+namespace p2prange {
+namespace overlay {
+
+/// \brief The overlay families behind the contract.
+enum class Kind {
+  kChord,
+  kCan,
+  kTapestry,
+};
+
+/// Stable lowercase name ("chord", "can", "tapestry").
+const char* KindName(Kind kind);
+
+/// Inverse of KindName; InvalidArgument on anything else.
+Result<Kind> KindFromName(std::string_view name);
+
+/// \brief A routable peer: its 32-bit overlay identifier and address.
+/// For Chord and Tapestry the id is the node's position in the
+/// identifier space; CAN nodes own zones instead, so their id is a
+/// stable hash of the address used only for deterministic ordering.
+struct PeerInfo {
+  uint32_t id = 0;
+  NetAddress addr;
+
+  bool operator==(const PeerInfo&) const = default;
+};
+
+/// \brief Outcome of routing one identifier to its owner.
+struct RouteResult {
+  PeerInfo owner;
+  /// Remote nodes contacted (the paper's path length).
+  int hops = 0;
+  /// Total simulated latency of the contacted path.
+  double latency_ms = 0.0;
+};
+
+/// \brief Abstract structured overlay: identifier ownership, routed
+/// lookup with per-hop accounting, replica placement, membership, and
+/// maintenance. All implementations are deterministic under a seed.
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  Overlay() = default;
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  virtual Kind kind() const = 0;
+  const char* name() const { return KindName(kind()); }
+
+  // --- Routing --------------------------------------------------------
+
+  /// Routes identifier `id` from `from` to its current owner, charging
+  /// every hop through the accounted network. Routes around failed
+  /// peers where the substrate can; Unavailable when it cannot.
+  virtual Result<RouteResult> RouteToOwner(const NetAddress& from,
+                                           uint32_t id) = 0;
+
+  /// Zero-cost oracle: the correct owner of `id` among live peers.
+  virtual Result<PeerInfo> OwnerOracle(uint32_t id) const = 0;
+
+  // --- Replica placement ----------------------------------------------
+
+  /// The owner-local backup list for descriptors stored at `owner`, in
+  /// preference order, excluding `owner` itself. Entries may be dead —
+  /// the caller performs its own liveness filtering so that failover
+  /// accounting (tried/alive) is the caller's policy, not the
+  /// overlay's. Chord: the node's successor list; CAN: its zone
+  /// neighbors; Tapestry: the next nodes in identifier order.
+  virtual std::vector<PeerInfo> ReplicaCandidates(
+      const NetAddress& owner) const = 0;
+
+  // --- Membership -----------------------------------------------------
+
+  /// Joins a brand-new peer through the substrate's join protocol.
+  virtual Result<PeerInfo> AddNode() = 0;
+
+  /// Graceful departure with state handoff where the protocol has one.
+  virtual Status Leave(const NetAddress& addr) = 0;
+
+  /// Abrupt failure: the peer goes down with no handoff.
+  virtual Status Fail(const NetAddress& addr) = 0;
+
+  /// A failed peer comes back (same address and identifier) and
+  /// re-bootstraps its routing state.
+  virtual Status Recover(const NetAddress& addr) = 0;
+
+  // --- Maintenance ----------------------------------------------------
+
+  /// `rounds` rounds of the substrate's periodic repair protocol
+  /// (Chord stabilize+notify; CAN dead-zone takeover; Tapestry
+  /// routing-table rebuild).
+  virtual void Stabilize(int rounds) = 0;
+
+  /// Heavier routing-state repair (Chord fix-fingers; CAN and
+  /// Tapestry rebuild the same state Stabilize does).
+  virtual void RepairRouting() = 0;
+
+  // --- Introspection --------------------------------------------------
+
+  virtual size_t num_alive() const = 0;
+
+  /// Live peers in deterministic (identifier) order.
+  virtual std::vector<PeerInfo> AlivePeersOrdered() const = 0;
+
+  /// A uniformly random live peer (e.g. to originate a lookup).
+  virtual Result<NetAddress> RandomAliveAddress() = 0;
+
+  virtual bool IsAlive(const NetAddress& addr) const = 0;
+
+  // --- Accounted delivery ---------------------------------------------
+
+  /// Accounts one system message with `payload_bytes` of payload
+  /// through the substrate's network (see SimNetwork::DeliverBytes for
+  /// the error contract).
+  virtual Result<double> DeliverBytes(const NetAddress& from,
+                                      const NetAddress& to,
+                                      uint64_t payload_bytes) = 0;
+
+  virtual const NetworkStats& net_stats() const = 0;
+  virtual void ResetNetStats() = 0;
+};
+
+/// \brief Which overlay to build and its substrate tunables. The
+/// Chord tunables stay in chord::ChordConfig (SystemConfig::chord);
+/// its latency model is shared by all substrates so hop costs are
+/// comparable.
+struct OverlayParams {
+  Kind kind = Kind::kChord;
+  /// CAN dimensionality d (hops scale as d/4 * n^(1/d)).
+  int can_dims = 2;
+  /// Safety bound on CAN greedy routing steps.
+  int can_max_route_steps = 4096;
+  /// Replica-list depth for CAN/Tapestry ReplicaCandidates (Chord uses
+  /// its successor-list length).
+  int replica_list_len = 8;
+};
+
+}  // namespace overlay
+}  // namespace p2prange
+
+#endif  // P2PRANGE_OVERLAY_OVERLAY_H_

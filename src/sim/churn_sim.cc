@@ -96,7 +96,7 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
   uint64_t prev_repaired = system_->metrics().recovery_descriptors_repaired;
   auto close_slice = [&](int s) {
     ChurnTimeSlice& slice = report.slices[s];
-    slice.alive_at_end = system_->ring().num_alive();
+    slice.alive_at_end = system_->overlay().num_alive();
     const uint64_t stale = system_->metrics().stale_evictions;
     const uint64_t repaired = system_->metrics().recovery_descriptors_repaired;
     slice.stale_repairs = stale - prev_stale;
@@ -143,8 +143,8 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
         break;
       }
       case EventType::kLeave: {
-        if (system_->ring().num_alive() > config_.min_peers) {
-          auto victim = system_->ring().RandomAliveAddress();
+        if (system_->overlay().num_alive() > config_.min_peers) {
+          auto victim = system_->overlay().RandomAliveAddress();
           if (victim.ok() && *victim != system_->source_address()) {
             const bool graceful = !rng_.NextBernoulli(config_.fail_fraction);
             if (!graceful && config_.recover_rate_hz > 0.0) {
@@ -175,8 +175,8 @@ Result<ChurnReport> ChurnSimulator::Run(int num_slices) {
         break;
       }
       case EventType::kStabilize: {
-        system_->ring().StabilizeAll(1);
-        system_->ring().FixAllFingers();
+        system_->overlay().Stabilize(1);
+        system_->overlay().RepairRouting();
         queue.push({ev.time + config_.stabilize_period_s, EventType::kStabilize});
         break;
       }

@@ -1,0 +1,205 @@
+// Event-driven scenario engine for 10^5–10^6 simulated peers.
+//
+// RangeCacheSystem models every peer as an object graph (stores,
+// WALs, finger tables) — faithful, but ~kilobytes per peer. The
+// scenario engine strips the §4 protocol to its struct-of-arrays
+// skeleton: peers are ranks in a sorted identifier array, descriptors
+// are 16-byte packed rows in bucket-indexed tables, and time advances
+// through an indexed event queue of query / churn / repair events.
+// What it keeps exact: the real LSH identifier scheme, the
+// cache-on-miss publish rule, descriptor replication, lazy stale
+// eviction, and substrate-shaped routing costs (CompactOverlay).
+// What it drops: SQL, payload bytes, per-message latency sampling.
+//
+// The engine is single-threaded BY DESIGN — determinism comes from a
+// totally ordered event queue, so Run() CHECK-fails off the
+// constructing thread rather than growing locks.
+#ifndef P2PRANGE_SIM_ENGINE_SCENARIO_ENGINE_H_
+#define P2PRANGE_SIM_ENGINE_SCENARIO_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/metrics.h"
+#include "hash/lsh.h"
+#include "overlay/overlay.h"
+#include "sim/engine/compact_overlay.h"
+#include "sim/engine/event_queue.h"
+
+namespace p2prange {
+namespace sim {
+
+/// \brief Query-range distribution of a scenario.
+enum class WorkloadShape : uint8_t {
+  kUniform = 0,  ///< both endpoints uniform over the domain (the paper)
+  kZipf = 1,     ///< Zipf-centered ranges (skewed popularity)
+  kHotspot = 2,  ///< flash crowd: most queries inside a small window
+};
+
+/// \brief Membership dynamics of a scenario.
+enum class ChurnMode : uint8_t {
+  kNone = 0,       ///< static membership
+  kChurn = 1,      ///< steady crash/recover cycles through the run
+  kCrashWave = 2,  ///< one simultaneous mass failure mid-run
+};
+
+const char* WorkloadShapeName(WorkloadShape shape);
+const char* ChurnModeName(ChurnMode mode);
+
+/// \brief One cell of the scenario matrix.
+struct ScenarioConfig {
+  overlay::Kind kind = overlay::Kind::kChord;
+  WorkloadShape shape = WorkloadShape::kUniform;
+  ChurnMode churn = ChurnMode::kNone;
+
+  size_t num_peers = 100000;
+  size_t num_queries = 100000;
+
+  /// Ranges are drawn over [0, domain].
+  uint32_t domain = 1000000;
+  double zipf_theta = 0.8;
+  double zipf_mean_width = 2000.0;
+  /// Hotspot: this fraction of queries lands in the lowest 5% of the
+  /// domain.
+  double hot_fraction = 0.9;
+
+  double query_interval_ms = 1.0;
+  /// kChurn: one crash every interval, recovery after recover_delay.
+  double churn_interval_ms = 50.0;
+  double recover_delay_ms = 400.0;
+  /// kCrashWave: this fraction of peers fails at 40% of the run.
+  double crash_wave_fraction = 0.05;
+
+  int can_dims = 2;
+  /// Descriptor copies: owner + (replication - 1) alive successors.
+  int replication = 3;
+
+  LshParams lsh = LshParams::Paper(HashFamilyType::kApproxMinwise);
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// \brief What one scenario run measured.
+struct ScenarioReport {
+  uint64_t queries = 0;
+  uint64_t exact_hits = 0;
+  uint64_t approx_hits = 0;
+  uint64_t misses = 0;
+  double recall_sum = 0.0;  ///< Σ |Q ∩ best| / |Q| over all queries
+
+  uint64_t hops = 0;       ///< routing hops across all probes
+  uint64_t messages = 0;   ///< hops + store/reply messages
+  uint64_t bytes = 0;      ///< control + descriptor wire bytes
+
+  uint64_t publishes = 0;          ///< cache-on-miss publish rounds
+  uint64_t descriptors_stored = 0; ///< descriptor copies written
+  uint64_t stale_evictions = 0;    ///< copies dropped on sight (dead data)
+
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+
+  /// Crash-wave only (NaN-free: negative = not applicable). Mean
+  /// recall in the windows before / during / after the wave, and the
+  /// simulated time from the wave until the trailing mean recall
+  /// regained 95% of its pre-wave level.
+  double recall_before_wave = -1.0;
+  double recall_during_wave = -1.0;
+  double recall_after_wave = -1.0;
+  double recovery_ms = -1.0;
+
+  uint64_t bytes_per_peer = 0;    ///< resident engine bytes / peer
+  uint64_t event_queue_depth = 0; ///< queue high-water mark
+  double end_time_ms = 0.0;       ///< simulated clock at completion
+
+  double mean_recall() const {
+    return queries == 0 ? 0.0 : recall_sum / static_cast<double>(queries);
+  }
+  double mean_hops() const;
+
+  /// Single-line JSON object (scenario_matrix rows).
+  std::string ToJson() const;
+
+  /// Copies the counters and the two engine gauges into `m` so the
+  /// standard SystemMetrics::ToJson export carries them.
+  void FillMetrics(SystemMetrics* m) const;
+};
+
+/// \brief Runs one scenario cell to completion.
+class ScenarioEngine {
+ public:
+  static Result<ScenarioEngine> Make(const ScenarioConfig& config);
+
+  ScenarioEngine(ScenarioEngine&&) noexcept = default;
+  ScenarioEngine& operator=(ScenarioEngine&&) noexcept = default;
+
+  /// Drains the event queue. Single-shot; CHECK-fails when called off
+  /// the thread that built the engine (see file comment) or twice.
+  Result<ScenarioReport> Run();
+
+  /// True on the thread that constructed the engine.
+  bool on_owner_thread() const {
+    return std::this_thread::get_id() == owner_thread_;
+  }
+
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Resident footprint: overlay + descriptor tables + event queue.
+  uint64_t MemoryBytes() const;
+
+ private:
+  /// One replicated descriptor copy: the published range, who holds
+  /// the data, and where/when this copy was stored (epoch-stamped so a
+  /// crash invalidates resident copies without an eager sweep).
+  struct StoredDesc {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    uint32_t holder = 0;      ///< peer slot holding the materialized data
+    uint32_t home = 0;        ///< peer slot storing this copy
+    uint16_t home_epoch = 0;  ///< crash epoch of `home` at store time
+  };
+  static_assert(sizeof(StoredDesc) == 20, "descriptor rows must stay packed");
+
+  explicit ScenarioEngine(const ScenarioConfig& config);
+
+  void ScheduleWorkload();
+  Range NextQueryRange();
+  void RunQuery(ScenarioReport* report);
+  void Crash(uint32_t slot, ScenarioReport* report);
+  void Recover(uint32_t slot, ScenarioReport* report);
+  bool CopyValid(const StoredDesc& d, uint32_t at_slot) const;
+  void PublishRange(const Range& r, uint32_t holder, ScenarioReport* report);
+
+  ScenarioConfig config_;
+  std::unique_ptr<CompactOverlay> net_;
+  std::unique_ptr<LshScheme> lsh_;
+  EventQueue queue_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+
+  /// bucket identifier -> replicated descriptor copies.
+  std::unordered_map<uint32_t, std::vector<StoredDesc>> buckets_;
+  /// Per-peer crash epoch; bumping it orphans every resident copy.
+  std::vector<uint16_t> crash_epoch_;
+
+  std::vector<uint32_t> identifier_scratch_;
+  double now_ms_ = 0.0;
+  double wave_time_ms_ = -1.0;
+  bool ran_ = false;
+  std::thread::id owner_thread_;
+
+  /// Rolling recall window for the crash-wave recovery clock.
+  std::vector<double> recent_recall_;
+  size_t recent_pos_ = 0;
+};
+
+}  // namespace sim
+}  // namespace p2prange
+
+#endif  // P2PRANGE_SIM_ENGINE_SCENARIO_ENGINE_H_

@@ -45,7 +45,7 @@ Result<NetAddress> FaultInjector::PickVictim() {
   // protected query origin. The eligible set is large in any healthy
   // overlay, so a handful of draws suffices.
   for (int attempt = 0; attempt < 64; ++attempt) {
-    ASSIGN_OR_RETURN(const NetAddress addr, system_->ring().RandomAliveAddress());
+    ASSIGN_OR_RETURN(const NetAddress addr, system_->overlay().RandomAliveAddress());
     if (addr == system_->source_address()) continue;
     if (addr == protected_) continue;
     return addr;
@@ -54,7 +54,7 @@ Result<NetAddress> FaultInjector::PickVictim() {
 }
 
 Status FaultInjector::CrashRandomPeer() {
-  if (system_->ring().num_alive() <= config_.min_alive) {
+  if (system_->overlay().num_alive() <= config_.min_alive) {
     return Status::InvalidArgument("live population already at min_alive");
   }
   ASSIGN_OR_RETURN(const NetAddress victim, PickVictim());
@@ -108,7 +108,7 @@ Status FaultInjector::RecoverOneCrashedPeer() {
 }
 
 Status FaultInjector::KillRandomPeer() {
-  if (system_->ring().num_alive() <= config_.min_alive) {
+  if (system_->overlay().num_alive() <= config_.min_alive) {
     return Status::InvalidArgument("live population already at min_alive");
   }
   ASSIGN_OR_RETURN(const NetAddress victim, PickVictim());
@@ -149,8 +149,8 @@ void FaultInjector::ApplyStep(size_t step) {
   }
   if (config_.stabilize_every > 0 &&
       step % static_cast<size_t>(config_.stabilize_every) == 0 && step > 0) {
-    system_->ring().StabilizeAll(1);
-    system_->ring().FixAllFingers();
+    system_->overlay().Stabilize(1);
+    system_->overlay().RepairRouting();
   }
 }
 
@@ -183,7 +183,7 @@ Result<FaultWorkloadReport> FaultInjector::RunLookups(
   double recall_sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
     ApplyStep(i);
-    auto origin = system_->ring().RandomAliveAddress();
+    auto origin = system_->overlay().RandomAliveAddress();
     if (!origin.ok()) {
       active_report_ = nullptr;
       RemoveHook();
@@ -218,7 +218,7 @@ Result<FaultWorkloadReport> FaultInjector::RunQueries(
   double recall_sum = 0.0;
   for (size_t i = 0; i < n; ++i) {
     ApplyStep(i);
-    auto client = system_->ring().RandomAliveAddress();
+    auto client = system_->overlay().RandomAliveAddress();
     if (!client.ok()) {
       active_report_ = nullptr;
       RemoveHook();

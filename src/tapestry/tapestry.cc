@@ -20,29 +20,64 @@ size_t TapestryNode::PopulatedSlots() const {
   return n;
 }
 
-TapestryMesh::TapestryMesh(uint64_t seed)
+TapestryMesh::TapestryMesh(uint64_t seed, LatencyModel latency)
     : rng_(seed),
-      net_(std::make_unique<SimNetwork>(LatencyModel{}, seed ^ 0x7A9E57)) {}
+      net_(std::make_unique<SimNetwork>(latency, seed ^ 0x7A9E57)) {}
 
-Result<TapestryMesh> TapestryMesh::Make(size_t num_nodes, uint64_t seed) {
+Result<MeshNodeInfo> TapestryMesh::CreateNode() {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    NetAddress addr;
+    addr.host = rng_.Next32();
+    addr.port = static_cast<uint16_t>(1024 + rng_.NextBounded(60000));
+    if (nodes_.contains(addr)) continue;
+    const uint32_t id = Sha1::Hash32(addr.ToString());
+    bool id_taken = false;
+    for (const auto& [a, n] : nodes_) id_taken |= (n->id() == id);
+    if (id_taken) continue;
+    net_->Register(addr);
+    nodes_.emplace(addr, std::make_unique<TapestryNode>(id, addr));
+    return MeshNodeInfo{id, addr};
+  }
+  return Status::Internal("could not generate a unique mesh node");
+}
+
+Result<TapestryMesh> TapestryMesh::Make(size_t num_nodes, uint64_t seed,
+                                        LatencyModel latency) {
   if (num_nodes == 0) {
     return Status::InvalidArgument("a mesh needs at least one node");
   }
-  TapestryMesh mesh(seed);
+  RETURN_NOT_OK(latency.Validate());
+  TapestryMesh mesh(seed, latency);
   while (mesh.nodes_.size() < num_nodes) {
-    NetAddress addr;
-    addr.host = mesh.rng_.Next32();
-    addr.port = static_cast<uint16_t>(1024 + mesh.rng_.NextBounded(60000));
-    if (mesh.nodes_.contains(addr)) continue;
-    const uint32_t id = Sha1::Hash32(addr.ToString());
-    bool id_taken = false;
-    for (const auto& [a, n] : mesh.nodes_) id_taken |= (n->id() == id);
-    if (id_taken) continue;
-    mesh.net_->Register(addr);
-    mesh.nodes_.emplace(addr, std::make_unique<TapestryNode>(id, addr));
+    RETURN_NOT_OK(mesh.CreateNode().status());
   }
   mesh.RebuildRoutingTables();
   return mesh;
+}
+
+Result<MeshNodeInfo> TapestryMesh::AddNode() {
+  ASSIGN_OR_RETURN(const MeshNodeInfo info, CreateNode());
+  RebuildRoutingTables();
+  return info;
+}
+
+Status TapestryMesh::Leave(const NetAddress& addr) {
+  if (!nodes_.contains(addr)) return Status::NotFound("unknown mesh node");
+  if (!net_->IsAlive(addr)) return Status::InvalidArgument("node already down");
+  if (num_alive() == 1) {
+    return Status::InvalidArgument("the last mesh node cannot leave");
+  }
+  RETURN_NOT_OK(net_->SetAlive(addr, false));
+  RebuildRoutingTables();
+  return Status::OK();
+}
+
+Status TapestryMesh::Recover(const NetAddress& addr) {
+  if (!nodes_.contains(addr)) return Status::NotFound("unknown mesh node");
+  if (net_->IsAlive(addr)) return Status::InvalidArgument("node already up");
+  RETURN_NOT_OK(net_->SetAlive(addr, true));
+  RebuildRoutingTables();
+  return Status::OK();
 }
 
 std::vector<MeshNodeInfo> TapestryMesh::AliveInfos() const {

@@ -90,7 +90,8 @@ struct MeshLookupResult {
 /// \brief A simulated Tapestry mesh.
 class TapestryMesh {
  public:
-  static Result<TapestryMesh> Make(size_t num_nodes, uint64_t seed);
+  static Result<TapestryMesh> Make(size_t num_nodes, uint64_t seed,
+                                   LatencyModel latency = LatencyModel{});
 
   TapestryMesh(TapestryMesh&&) noexcept = default;
   TapestryMesh& operator=(TapestryMesh&&) noexcept = default;
@@ -98,10 +99,22 @@ class TapestryMesh {
   /// Prefix-routes `target` from `from` to its surrogate root.
   Result<MeshLookupResult> Lookup(const NetAddress& from, uint32_t target);
 
+  /// Joins a brand-new node with a fresh address and unique identifier
+  /// and repairs the mesh immediately (steady-state model).
+  Result<MeshNodeInfo> AddNode();
+
+  /// Graceful departure: the node goes down and the mesh is repaired
+  /// immediately (the leaver hands its routing role off).
+  Status Leave(const NetAddress& addr);
+
   /// Marks a node down; call RebuildRoutingTables to repair the mesh
   /// (this substrate models steady state, not Tapestry's incremental
   /// repair protocol).
   Status Fail(const NetAddress& addr);
+
+  /// A failed node comes back with its identifier; the mesh is
+  /// repaired immediately.
+  Status Recover(const NetAddress& addr);
 
   /// Recomputes every live node's routing table from global knowledge
   /// with the deterministic minimum-identifier fill.
@@ -111,13 +124,19 @@ class TapestryMesh {
   Result<NetAddress> RandomAliveAddress();
   const TapestryNode* node(const NetAddress& addr) const;
 
+  /// Live nodes in ascending identifier order.
+  std::vector<MeshNodeInfo> AliveNodesSorted() const { return AliveInfos(); }
+
   /// Routing-table occupancy per node (state metric).
   std::vector<size_t> StateSizes() const;
 
   SimNetwork& network() { return *net_; }
 
  private:
-  explicit TapestryMesh(uint64_t seed);
+  TapestryMesh(uint64_t seed, LatencyModel latency);
+
+  /// Registers one node at a fresh address with a unique identifier.
+  Result<MeshNodeInfo> CreateNode();
 
   std::vector<MeshNodeInfo> AliveInfos() const;
 

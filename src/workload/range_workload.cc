@@ -56,6 +56,34 @@ Range ZipfRangeGenerator::Next() {
   return Range(std::min(start, end), std::max(start, end));
 }
 
+HotspotRangeGenerator::HotspotRangeGenerator(uint32_t domain_lo,
+                                             uint32_t domain_hi, uint32_t hot_lo,
+                                             uint32_t hot_hi, double hot_fraction,
+                                             uint64_t seed)
+    : lo_(domain_lo),
+      hi_(domain_hi),
+      hot_lo_(hot_lo),
+      hot_hi_(hot_hi),
+      hot_fraction_(hot_fraction),
+      rng_(seed) {
+  CHECK_LE(domain_lo, domain_hi);
+  CHECK_LE(hot_lo, hot_hi);
+  CHECK_GE(hot_lo, domain_lo);
+  CHECK_LE(hot_hi, domain_hi);
+  CHECK_GE(hot_fraction, 0.0);
+  CHECK_LE(hot_fraction, 1.0);
+}
+
+Range HotspotRangeGenerator::Next() {
+  const bool hot = rng_.NextDouble() < hot_fraction_;
+  const uint32_t window_lo = hot ? hot_lo_ : lo_;
+  const uint32_t window_hi = hot ? hot_hi_ : hi_;
+  uint32_t a = static_cast<uint32_t>(rng_.NextInRange(window_lo, window_hi));
+  uint32_t b = static_cast<uint32_t>(rng_.NextInRange(window_lo, window_hi));
+  if (a > b) std::swap(a, b);
+  return Range(a, b);
+}
+
 double RepetitionRate(const std::vector<Range>& ranges) {
   if (ranges.empty()) return 0.0;
   std::unordered_set<uint64_t> seen;

@@ -69,6 +69,26 @@ class ZipfRangeGenerator {
   Rng rng_;
 };
 
+/// \brief Flash-crowd workload: a fixed fraction of queries draws both
+/// endpoints inside a small hot window; the rest are domain-uniform.
+/// Models the hotspot column of the scenario-matrix grid.
+class HotspotRangeGenerator {
+ public:
+  /// `hot_fraction` in [0, 1]; the hot window must lie in the domain.
+  HotspotRangeGenerator(uint32_t domain_lo, uint32_t domain_hi, uint32_t hot_lo,
+                        uint32_t hot_hi, double hot_fraction, uint64_t seed);
+
+  Range Next();
+
+ private:
+  uint32_t lo_;
+  uint32_t hi_;
+  uint32_t hot_lo_;
+  uint32_t hot_hi_;
+  double hot_fraction_;
+  Rng rng_;
+};
+
 /// \brief Draws `n` ranges from any generator.
 template <typename Generator>
 std::vector<Range> DrawRanges(Generator& gen, size_t n) {

@@ -1,0 +1,48 @@
+// The scenario-engine gauges on SystemMetrics: bytes_per_peer and
+// event_queue_depth must appear in both render paths (ToString for
+// logs, ToJson for benches), default to zero so plain
+// RangeCacheSystem runs are unchanged, and survive Add-merging.
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace p2prange {
+namespace {
+
+TEST(MetricsGaugesTest, DefaultsToZeroInBothRenderings) {
+  const SystemMetrics m;
+  EXPECT_NE(m.ToString().find("bytes_per_peer=0"), std::string::npos);
+  EXPECT_NE(m.ToString().find("event_queue_depth=0"), std::string::npos);
+  EXPECT_NE(m.ToJson().find("\"bytes_per_peer\":0"), std::string::npos);
+  EXPECT_NE(m.ToJson().find("\"event_queue_depth\":0"), std::string::npos);
+}
+
+TEST(MetricsGaugesTest, ValuesRenderVerbatim) {
+  SystemMetrics m;
+  m.bytes_per_peer = 137;
+  m.event_queue_depth = 100251;
+  EXPECT_NE(m.ToString().find("bytes_per_peer=137"), std::string::npos);
+  EXPECT_NE(m.ToJson().find("\"bytes_per_peer\":137"), std::string::npos);
+  EXPECT_NE(m.ToJson().find("\"event_queue_depth\":100251"),
+            std::string::npos);
+}
+
+TEST(MetricsGaugesTest, JsonParsesAsOneObjectPerField) {
+  // Cheap structural check: balanced braces, every field quoted once.
+  const std::string json = SystemMetrics{}.ToJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 1);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 1);
+  // The gauges are the last two integer fields (appended, so golden
+  // METRICS strings from earlier PRs only ever gain a suffix).
+  const size_t bpp = json.find("\"bytes_per_peer\"");
+  const size_t depth = json.find("\"event_queue_depth\"");
+  ASSERT_NE(bpp, std::string::npos);
+  ASSERT_NE(depth, std::string::npos);
+  EXPECT_LT(bpp, depth);
+}
+
+}  // namespace
+}  // namespace p2prange

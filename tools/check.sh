@@ -23,6 +23,10 @@
 #                chaos bench harness (ring behind the seeded proxy
 #                through partition, slow-loris, and corruption phases)
 #                asserting zero failed lookups and a clean shutdown
+#   matrix smoke the event-driven scenario engine across all three
+#                overlay substrates (10^4-peer grid + the 10^6-peer
+#                chord cell), asserting nonzero recall under churn on
+#                chord, can, and tapestry alike
 #   asan         full build + tests under AddressSanitizer + UBSan, then
 #                the crash fuzzer and live smoke again, sanitized
 #   tsan         ThreadSanitizer build (mutually exclusive with asan —
@@ -207,6 +211,15 @@ if echo "$chaos_json" | grep -q '"lookup_failures":[1-9]'; then
   exit 1
 fi
 
+# Scenario-matrix smoke: the event-driven engine over all three
+# overlay substrates (10^4-peer grid plus the 10^6-peer chord cell).
+# The bench computes the verdict itself: nonzero_recall_overlays
+# counts substrates with cache hits under churn and must be 3.
+echo "=== scenario-matrix smoke (chord/can/tapestry engine grid) ==="
+matrix_json=$(./build/bench/scenario_matrix --smoke 2>/dev/null)
+echo "$matrix_json" | grep -q '"nonzero_recall_overlays":3' \
+  || { echo "scenario-matrix smoke: an overlay had zero recall under churn" >&2; exit 1; }
+
 if [[ $do_sanitize -eq 1 ]]; then
   echo "=== sanitized build + tests (address;undefined) ==="
   run_suite build-asan -DP2PRANGE_SANITIZE="address;undefined"
@@ -216,6 +229,8 @@ if [[ $do_sanitize -eq 1 ]]; then
     --gtest_filter='CrashConsistencyFuzz.*:SerdeFuzzTest.*:WalTest.*:SnapshotTest.*'
   echo "=== sanitized live-ring smoke ==="
   run_live_smoke build-asan
+  echo "=== sanitized scenario-matrix smoke ==="
+  ./build-asan/bench/scenario_matrix --smoke > /dev/null
 fi
 
 if [[ $do_tsan -eq 1 ]]; then
