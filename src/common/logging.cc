@@ -2,11 +2,21 @@
 
 #include <atomic>
 
+#include "common/sync.h"
+
 namespace p2prange {
 namespace internal {
 
 namespace {
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+
+// The sink swap is the textbook shared-state hazard the annotation
+// layer exists for: a reader that grabbed the pointer outside the lock
+// could call into a sink the swapper already destroyed. Both sides go
+// through g_sink_mu, ranked as the innermost lock in the tree because
+// a log line may be emitted while any other lock is held.
+Mutex g_sink_mu(lock_rank::kLogSink);
+LogSink* g_sink GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,6 +39,13 @@ LogLevel GetLogThreshold() { return static_cast<LogLevel>(g_threshold.load()); }
 
 void SetLogThreshold(LogLevel level) { g_threshold.store(static_cast<int>(level)); }
 
+LogSink* SwapLogSink(LogSink* sink) {
+  MutexLock lock(&g_sink_mu);
+  LogSink* old = g_sink;
+  g_sink = sink;
+  return old;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
       enabled_(level >= GetLogThreshold() || level == LogLevel::kFatal) {
@@ -43,11 +60,17 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    // One insertion for the whole line (terminator included): cerr is
-    // unit-buffered, so concurrent writers interleave at line
-    // granularity instead of splicing a message and its '\n' apart.
+    // One insertion for the whole line (terminator included), under
+    // the sink lock: concurrent writers interleave at line granularity
+    // and never observe a half-swapped sink.
     stream_ << '\n';
-    std::cerr << stream_.str() << std::flush;
+    const std::string line = stream_.str();
+    MutexLock lock(&g_sink_mu);
+    if (g_sink != nullptr) {
+      g_sink->Write(line);
+    } else {
+      std::cerr << line << std::flush;
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -16,6 +16,24 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 LogLevel GetLogThreshold();
 void SetLogThreshold(LogLevel level);
 
+/// \brief Destination for emitted log lines — the test seam that lets
+/// suites capture output without stderr heroics. Write() is called
+/// with the sink mutex held, serialized across threads; a sink must
+/// never log (the self-deadlock is caught by the lock-rank CHECK in
+/// common/sync.h) and must stay alive until SwapLogSink returns it.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const std::string& line) = 0;
+};
+
+/// \brief Installs `sink` as the emission target (nullptr restores
+/// stderr) and returns the previous sink. The swap and every emission
+/// synchronize on one annotated Mutex, so when this returns the old
+/// sink is guaranteed not to be mid-Write on any thread — the caller
+/// may destroy it immediately.
+LogSink* SwapLogSink(LogSink* sink);
+
 /// \brief Accumulates one log line and emits it (to stderr) on destruction.
 /// kFatal aborts the process after emitting.
 class LogMessage {

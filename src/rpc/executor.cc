@@ -23,9 +23,12 @@ Result<std::unique_ptr<Executor>> Executor::Make(const Options& options) {
   }
   std::unique_ptr<Executor> exec =
       WrapUnique(new Executor(options, fds[0], fds[1]));
-  exec->workers_.reserve(static_cast<size_t>(options.workers));
-  for (int i = 0; i < options.workers; ++i) {
-    exec->workers_.emplace_back([raw = exec.get()] { raw->WorkerLoop(); });
+  {
+    MutexLock lock(&exec->mu_);
+    exec->workers_.reserve(static_cast<size_t>(options.workers));
+    for (int i = 0; i < options.workers; ++i) {
+      exec->workers_.emplace_back([raw = exec.get()] { raw->WorkerLoop(); });
+    }
   }
   return exec;
 }
@@ -38,7 +41,7 @@ Executor::~Executor() {
 
 bool Executor::TrySubmit(uint64_t tag, WorkFn work) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_ || work_.size() >= options_.queue_depth) {
       ++stats_.shed;
       return false;
@@ -47,7 +50,7 @@ bool Executor::TrySubmit(uint64_t tag, WorkFn work) {
     ++stats_.submitted;
     if (work_.size() > stats_.max_queue) stats_.max_queue = work_.size();
   }
-  work_ready_.notify_one();
+  work_ready_.Signal();
   return true;
 }
 
@@ -59,26 +62,37 @@ std::vector<Executor::Completion> Executor::DrainCompletions() {
   while (::read(doorbell_rd_, buf, sizeof(buf)) > 0) {
   }
   std::vector<Completion> done;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   done.swap(completions_);
   return done;
 }
 
 void Executor::Shutdown() {
+  // Exactly one caller swaps the threads out and joins them; racing
+  // callers find workers_ already empty and block on shutdown_done_
+  // until the join finishes, so nobody returns while a worker might
+  // still be touching this object.
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
+    MutexLock lock(&mu_);
     stopping_ = true;
+    work_ready_.SignalAll();
+    if (workers_.empty()) {
+      while (!joined_) shutdown_done_.Wait(&mu_);
+      return;
+    }
+    to_join.swap(workers_);
   }
-  work_ready_.notify_all();
-  for (std::thread& t : workers_) {
+  for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
-  workers_.clear();
+  MutexLock lock(&mu_);
+  joined_ = true;
+  shutdown_done_.SignalAll();
 }
 
 ExecutorStats Executor::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -86,15 +100,15 @@ void Executor::WorkerLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !work_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && work_.empty()) work_ready_.Wait(&mu_);
       if (work_.empty()) return;  // stopping, queue drained
       job = std::move(work_.front());
       work_.pop_front();
     }
     std::string payload = job.work();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       completions_.push_back(Completion{job.tag, std::move(payload)});
       ++stats_.completed;
     }

@@ -18,22 +18,23 @@
 // finish every job already admitted, and joins them.
 //
 // Thread-safety: TrySubmit / DrainCompletions / doorbell_fd / stats
-// may be called from the poll thread while workers run; the queues are
-// mutex-protected and the counters atomic.
+// may be called from the poll thread while workers run. All shared
+// state is annotated GUARDED_BY(mu_); clang's -Wthread-safety proves
+// every access happens under the lock, and Shutdown is safe to race
+// against itself (the first caller joins, later callers wait).
 #ifndef P2PRANGE_RPC_EXECUTOR_H_
 #define P2PRANGE_RPC_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace p2prange {
 namespace rpc {
@@ -83,23 +84,25 @@ class Executor {
   /// \brief Admits one job, or refuses because the queue is full.
   /// Never blocks. Returns false on refusal — the caller must shed
   /// (the job is dropped, not queued).
-  bool TrySubmit(uint64_t tag, WorkFn work);
+  bool TrySubmit(uint64_t tag, WorkFn work) EXCLUDES(mu_);
 
   /// \brief Takes every finished job, clearing the doorbell. Call when
   /// poll() reports the doorbell readable (calling it spuriously is
   /// harmless).
-  std::vector<Completion> DrainCompletions();
+  std::vector<Completion> DrainCompletions() EXCLUDES(mu_);
 
   /// Read end of the doorbell pipe: becomes readable whenever a
   /// completion is pending. Poll it alongside the sockets.
   int doorbell_fd() const { return doorbell_rd_; }
 
   /// \brief Stops intake, finishes every admitted job, joins the
-  /// workers. Idempotent; also run by the destructor. Completions
-  /// produced by the final jobs remain drainable afterwards.
-  void Shutdown();
+  /// workers. Idempotent and safe to call from several threads at
+  /// once: exactly one caller performs the join, the rest block until
+  /// it finishes. Also run by the destructor. Completions produced by
+  /// the final jobs remain drainable afterwards.
+  void Shutdown() EXCLUDES(mu_);
 
-  ExecutorStats snapshot() const;
+  ExecutorStats snapshot() const EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -110,21 +113,25 @@ class Executor {
   Executor(Options options, int doorbell_rd, int doorbell_wr)
       : options_(options), doorbell_rd_(doorbell_rd), doorbell_wr_(doorbell_wr) {}
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   void RingDoorbell();
 
   const Options options_;
   const int doorbell_rd_;
   const int doorbell_wr_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<Job> work_;                   ///< guarded by mu_
-  std::vector<Completion> completions_;    ///< guarded by mu_
-  ExecutorStats stats_;                    ///< guarded by mu_
-  bool stopping_ = false;                  ///< guarded by mu_
+  mutable Mutex mu_{lock_rank::kExecutor};
+  CondVar work_ready_;
+  CondVar shutdown_done_;
+  std::deque<Job> work_ GUARDED_BY(mu_);
+  std::vector<Completion> completions_ GUARDED_BY(mu_);
+  ExecutorStats stats_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  bool joined_ GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> workers_;
+  /// Swapped out (under mu_) by the one Shutdown caller that joins, so
+  /// a racing Shutdown never touches a thread mid-join.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 };
 
 }  // namespace rpc

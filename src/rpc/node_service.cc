@@ -241,6 +241,12 @@ Result<std::unique_ptr<NodeService>> NodeService::Make(
 }
 
 Status NodeService::LoadDurable() {
+  // Exclusive hold for the whole recovery: it rewrites the WAL image,
+  // replays it into the store, and re-flushes. Nothing else can run
+  // yet (Make has not returned), but the mutation path holds the same
+  // lock it always does — surfaced by the annotation pass, which
+  // rejected the unlocked store access here.
+  WriterMutexLock lock(&data_mu_);
   const std::string& dir = options_.wal_dir;
   std::string wal_image;
   if (ReadFile(dir + "/wal.bin", &wal_image).ok()) {
@@ -342,7 +348,7 @@ void NodeService::PublishRedirectRing() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ring_mu_);
+    MutexLock lock(&ring_mu_);
     redirect_ring_ = std::move(fresh);
   }
   redirect_uses_snapshot_.store(true, std::memory_order_release);
@@ -354,7 +360,7 @@ std::optional<NetAddress> NodeService::RedirectFor(
   if (redirect_uses_snapshot_.load(std::memory_order_acquire)) {
     // Worker-pool mode: the poll thread published an immutable ring;
     // membership itself is off limits from here.
-    std::lock_guard<std::mutex> lock(ring_mu_);
+    MutexLock lock(&ring_mu_);
     snapshot = redirect_ring_;
     if (snapshot == nullptr) return std::nullopt;
   }
@@ -377,7 +383,7 @@ std::optional<NetAddress> NodeService::RedirectFor(
 
 Status NodeService::InsertDescriptor(chord::ChordId bucket,
                                      const PartitionDescriptor& descriptor) {
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  WriterMutexLock lock(&data_mu_);
   store_->Insert(bucket, descriptor);
   ++counters_.descriptors_stored;
   return SaveDurable();
@@ -391,7 +397,7 @@ Result<std::string> NodeService::HandlePullBuckets(std::string_view body) {
   }
   HandoffBatch batch;
   {
-    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    ReaderMutexLock lock(&data_mu_);
     for (auto& [bucket, descriptor] : store_->store().EntriesOldestFirst()) {
       if (!chord::InOpenClosed(req->lo, req->hi, bucket)) continue;
       if (batch.entries.size() >= kMaxHandoffEntries) break;
@@ -404,7 +410,7 @@ Result<std::string> NodeService::HandlePullBuckets(std::string_view body) {
 
 Result<size_t> NodeService::ApplyHandoff(const HandoffBatch& batch) {
   {
-    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    WriterMutexLock lock(&data_mu_);
     for (const auto& [bucket, descriptor] : batch.entries) {
       store_->Insert(bucket, descriptor);
       ++counters_.descriptors_stored;
@@ -446,7 +452,7 @@ Result<std::string> NodeService::HandleStoreDescriptor(std::string_view body) {
   RETURN_NOT_OK(InsertDescriptor(req->bucket, req->descriptor));
   wire::Encoder enc;
   {
-    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    ReaderMutexLock lock(&data_mu_);
     enc.PutVarint(store_->store().num_descriptors());
   }
   return enc.Take();
@@ -461,7 +467,7 @@ Result<std::string> NodeService::HandleProbeBucket(std::string_view body) {
   ++counters_.probes_served;
   std::optional<MatchCandidate> best;
   {
-    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    ReaderMutexLock lock(&data_mu_);
     best = store_->store().BestMatch(req->bucket, req->query, req->criterion);
   }
   // Descriptors are immutable, so anything we still hold is a correct
@@ -486,7 +492,7 @@ Result<std::string> NodeService::HandleStorePartition(std::string_view body) {
   }
   ++counters_.partitions_stored;
   {
-    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    WriterMutexLock lock(&data_mu_);
     partitions_[req->key] = std::move(req->tuples);
   }
   return std::string();
@@ -498,7 +504,7 @@ Result<std::string> NodeService::HandleFetchPartition(std::string_view body) {
     ++counters_.bad_requests;
     return key.status();
   }
-  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  ReaderMutexLock lock(&data_mu_);
   auto it = partitions_.find(*key);
   if (it == partitions_.end()) {
     ++counters_.partitions_fetched;  // the miss still served a request
@@ -562,7 +568,7 @@ std::string NodeService::MetricsJson(const NetworkStats& net,
   out += ",\"redirects_sent\":" + std::to_string(counters_.redirects_sent);
   out += ",\"multi_ops\":" + std::to_string(counters_.multi_ops);
   {
-    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    ReaderMutexLock lock(&data_mu_);
     out += ",\"store_descriptors\":" +
            std::to_string(store_->store().num_descriptors());
     out +=

@@ -16,15 +16,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "chord/id.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "net/address.h"
 #include "rel/relation.h"
 #include "rpc/message.h"
@@ -147,7 +146,8 @@ class NodeService {
   NodeService& operator=(const NodeService&) = delete;
 
   /// The protocol handler: plug into TcpServer or SimTransport.
-  Result<std::string> Handle(MsgType type, std::string_view body);
+  Result<std::string> Handle(MsgType type, std::string_view body)
+      EXCLUDES(data_mu_, ring_mu_);
 
   /// Attaches live membership: its handlers serve the membership
   /// messages, and its alive ring drives wrong-owner redirects.
@@ -165,18 +165,19 @@ class NodeService {
   /// only the snapshot and worker threads never touch membership.
   /// Inline (no-executor) deployments never call it and keep the
   /// direct, always-fresh path.
-  void PublishRedirectRing();
+  void PublishRedirectRing() EXCLUDES(ring_mu_);
 
   /// \brief Stores one descriptor durably (insert + WAL/snapshot
   /// flush) — the local half of every descriptor-bearing message, also
   /// used directly by the re-replicator.
   Status InsertDescriptor(chord::ChordId bucket,
-                          const PartitionDescriptor& descriptor);
+                          const PartitionDescriptor& descriptor)
+      EXCLUDES(data_mu_);
 
   /// \brief Applies one handoff batch durably (all inserts, then a
   /// single flush) and returns how many descriptors it held. Serves
   /// kHandoff and the re-replicator's pull path.
-  Result<size_t> ApplyHandoff(const HandoffBatch& batch);
+  Result<size_t> ApplyHandoff(const HandoffBatch& batch) EXCLUDES(data_mu_);
 
   /// Single-line JSON: this node's counters + store gauges + the
   /// supplied transport counters (the daemon passes its server stats).
@@ -184,19 +185,19 @@ class NodeService {
   /// daemon passes its membership/re-replication gauges (must be
   /// either empty or a ",\"key\":{...}" fragment).
   std::string MetricsJson(const NetworkStats& net, const RpcStats& rpc,
-                          std::string_view extra = {}) const;
+                          std::string_view extra = {}) const
+      EXCLUDES(data_mu_);
 
   const NetAddress& self() const { return self_; }
   chord::ChordId id() const { return id_; }
   const NodeCounters& counters() const { return counters_; }
-  const store::DurableDescriptorStore& store() const { return *store_; }
 
   /// A locked snapshot of every (bucket, descriptor), oldest first —
   /// for the poll-thread maintenance paths (re-replication sweeps,
   /// graceful handoff) that enumerate the store while workers insert.
   std::vector<std::pair<chord::ChordId, PartitionDescriptor>> SnapshotEntries()
-      const {
-    std::shared_lock<std::shared_mutex> lock(data_mu_);
+      const EXCLUDES(data_mu_) {
+    ReaderMutexLock lock(&data_mu_);
     return store_->store().EntriesOldestFirst();
   }
   /// What startup recovery rebuilt (zeros when wal_dir was empty/new).
@@ -217,19 +218,27 @@ class NodeService {
   /// The redirect decision: with membership attached and >1 alive
   /// member, returns the bucket's owner when this node is not among
   /// its replicas (nullopt = serve locally).
-  std::optional<NetAddress> RedirectFor(chord::ChordId bucket) const;
+  std::optional<NetAddress> RedirectFor(chord::ChordId bucket) const
+      EXCLUDES(ring_mu_);
 
   /// Loads WAL + snapshot images from wal_dir (missing files = fresh).
-  Status LoadDurable();
-  /// Writes WAL + snapshot images to wal_dir after a mutation.
-  Status SaveDurable() const;
+  /// Takes data_mu_ exclusively: it runs before any worker exists, but
+  /// it mutates the store and flushes, so it holds the same lock those
+  /// operations always require — the annotation gate allows no
+  /// "too early to race" exceptions.
+  Status LoadDurable() EXCLUDES(data_mu_);
+  /// Writes WAL + snapshot images to wal_dir after a mutation. A
+  /// shared hold is enough (it only reads the images); mutating
+  /// callers already hold data_mu_ exclusively, which satisfies this.
+  Status SaveDurable() const REQUIRES_SHARED(data_mu_);
 
   NetAddress self_;
   chord::ChordId id_;
   NodeServiceOptions options_;
   LiveMembership* membership_ = nullptr;
-  std::unique_ptr<store::DurableDescriptorStore> store_;
-  std::unordered_map<PartitionKey, Relation, PartitionKeyHash> partitions_;
+  std::unique_ptr<store::DurableDescriptorStore> store_ GUARDED_BY(data_mu_);
+  std::unordered_map<PartitionKey, Relation, PartitionKeyHash> partitions_
+      GUARDED_BY(data_mu_);
   NodeCounters counters_;
   store::RecoveryReport recovery_;
 
@@ -237,13 +246,13 @@ class NodeService {
   /// handlers: shared for the read-heavy probe/fetch side, exclusive
   /// for inserts and the durable flush that follows them. Membership
   /// handlers never take it (they touch neither).
-  mutable std::shared_mutex data_mu_;
+  mutable SharedMutex data_mu_{lock_rank::kNodeData};
 
   /// The published redirect snapshot (see PublishRedirectRing);
   /// nullptr while fewer than two members are alive. ring_mu_ guards
   /// the pointer swap only — the pointee is immutable.
-  mutable std::mutex ring_mu_;
-  std::shared_ptr<const RingView> redirect_ring_;
+  mutable Mutex ring_mu_{lock_rank::kRedirectRing};
+  std::shared_ptr<const RingView> redirect_ring_ GUARDED_BY(ring_mu_);
   std::atomic<bool> redirect_uses_snapshot_{false};
 };
 

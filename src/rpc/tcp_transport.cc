@@ -96,6 +96,7 @@ TcpServer::~TcpServer() {
 }
 
 Status TcpServer::PollOnce(int timeout_ms) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpServer::PollOnce");
   if (listen_fd_ < 0) return Status::Internal("server not listening");
 
   std::vector<pollfd> fds;
@@ -273,6 +274,7 @@ void TcpServer::WriteReady(Conn& c) {
 }
 
 bool TcpServer::Respond(uint64_t conn_id, std::string_view envelope_payload) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpServer::Respond");
   for (auto& c : conns_) {
     if (c->id != conn_id || c->dead) continue;
     AppendFrame(envelope_payload, &c->out);
@@ -327,7 +329,10 @@ void TcpServer::SweepDeadlines(std::chrono::steady_clock::time_point now) {
   }
 }
 
-void TcpServer::AddWakeFd(int fd) { wake_fds_.push_back(fd); }
+void TcpServer::AddWakeFd(int fd) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpServer::AddWakeFd");
+  wake_fds_.push_back(fd);
+}
 
 void TcpServer::CloseConn(Conn& c) {
   if (c.fd >= 0) {
@@ -410,9 +415,13 @@ void TcpTransport::CloseConn(const NetAddress& to) {
   rpc_.open_connections = conns_.size();
 }
 
-void TcpTransport::Disconnect(const NetAddress& to) { CloseConn(to); }
+void TcpTransport::Disconnect(const NetAddress& to) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpTransport::Disconnect");
+  CloseConn(to);
+}
 
 void TcpTransport::PumpFor(double ms) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpTransport::PumpFor");
   const auto started = Clock::now();
   // A connection that dies mid-pump is left alone — its parked
   // responses must survive for their WaitCalls, which will rediscover
@@ -489,6 +498,7 @@ Status TcpTransport::SendAll(Conn& c, std::string_view bytes,
 
 Result<uint64_t> TcpTransport::StartCall(const NetAddress& to, MsgType type,
                                          std::string_view request) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpTransport::StartCall");
   ASSIGN_OR_RETURN(Conn * conn, GetConn(to));
   const uint64_t call_id = conn->next_call_id++;
 
@@ -609,6 +619,7 @@ Result<Transport::CallResult> TcpTransport::FinishCall(const NetAddress& to,
 Result<Transport::CallResult> TcpTransport::WaitCall(const NetAddress& to,
                                                      uint64_t call_id,
                                                      double deadline_ms) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpTransport::WaitCall");
   auto it = conns_.find(to);
   if (it == conns_.end()) {
     return Status::IOError("no connection to " + to.ToString() +
@@ -686,6 +697,7 @@ Status TcpTransport::DrainReady(const NetAddress& to, Conn& c) {
 
 Result<std::optional<Transport::CallResult>> TcpTransport::PollCall(
     const NetAddress& to, uint64_t call_id) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpTransport::PollCall");
   auto it = conns_.find(to);
   if (it == conns_.end()) {
     return Status::IOError("no connection to " + to.ToString() +
@@ -722,6 +734,7 @@ Result<Transport::CallResult> TcpTransport::Call(const NetAddress& from,
                                                  MsgType type,
                                                  std::string_view request,
                                                  const CallOptions& options) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpTransport::Call");
   (void)from;  // the socket's source address identifies the caller
   const double deadline = options.deadline_ms > 0.0
                               ? options.deadline_ms
@@ -733,6 +746,7 @@ Result<Transport::CallResult> TcpTransport::Call(const NetAddress& from,
 Result<double> TcpTransport::DeliverBytes(const NetAddress& from,
                                           const NetAddress& to,
                                           uint64_t payload_bytes) {
+  ExclusiveUse::Scope use(&exclusive_, "TcpTransport::DeliverBytes");
   // A real message: a ping padded to the requested size, so the bytes
   // actually cross the wire and the round trip is actually measured.
   const std::string padding(static_cast<size_t>(payload_bytes), '\0');

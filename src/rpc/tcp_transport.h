@@ -21,7 +21,12 @@
 // retrying may succeed).
 //
 // Threading: neither class is thread-safe; each belongs to one thread
-// (the daemon's event loop, or one client).
+// at a time (the daemon's event loop, or one client). The contract is
+// enforced, not just documented: every public entry point opens an
+// ExclusiveUse::Scope (common/sync.h), so two threads inside the same
+// object CHECK-abort naming the entry points instead of corrupting a
+// buffer. Handoff between threads (start the server on a helper
+// thread, join it, continue on the main thread) stays legal.
 #ifndef P2PRANGE_RPC_TCP_TRANSPORT_H_
 #define P2PRANGE_RPC_TCP_TRANSPORT_H_
 
@@ -33,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "rpc/frame.h"
 #include "rpc/message.h"
 #include "rpc/transport.h"
@@ -109,6 +115,7 @@ class TcpServer {
   /// Installs the async intercept (see AsyncDispatch). Poll-thread
   /// only, like every other method here.
   void set_async_dispatch(AsyncDispatch dispatch) {
+    ExclusiveUse::Scope use(&exclusive_, "TcpServer::set_async_dispatch");
     async_ = std::move(dispatch);
   }
 
@@ -167,6 +174,9 @@ class TcpServer {
   std::vector<int> wake_fds_;
   uint64_t next_conn_id_ = 1;
   RpcStats stats_;
+  /// One-thread-at-a-time sentinel (see the file comment). Moving the
+  /// server resets it: the new home thread takes over cleanly.
+  ExclusiveUse exclusive_;
 };
 
 /// \brief The caller-side TCP implementation of Transport.
@@ -301,6 +311,8 @@ class TcpTransport final : public Transport {
   std::unordered_map<NetAddress, Conn, NetAddressHash> conns_;
   NetworkStats stats_;
   RpcStats rpc_;
+  /// One-thread-at-a-time sentinel (see the file comment).
+  ExclusiveUse exclusive_;
 };
 
 }  // namespace rpc

@@ -135,9 +135,7 @@ void ScenarioReport::FillMetrics(SystemMetrics* m) const {
 }
 
 ScenarioEngine::ScenarioEngine(const ScenarioConfig& config)
-    : config_(config),
-      rng_(config.seed ^ 0x5CE9A210ULL),
-      owner_thread_(std::this_thread::get_id()) {}
+    : config_(config), rng_(config.seed ^ 0x5CE9A210ULL) {}
 
 Result<ScenarioEngine> ScenarioEngine::Make(const ScenarioConfig& config) {
   RETURN_NOT_OK(config.Validate());
@@ -157,7 +155,7 @@ Result<ScenarioEngine> ScenarioEngine::Make(const ScenarioConfig& config) {
   engine.crash_epoch_.assign(config.num_peers, 0);
   engine.recent_recall_.reserve(kRecallWindow);
   // Moving the engine must not re-pin it to a stale thread id.
-  engine.owner_thread_ = std::this_thread::get_id();
+  engine.owner_checker_.Rebind();
   return engine;
 }
 

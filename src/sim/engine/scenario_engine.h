@@ -20,12 +20,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "core/metrics.h"
 #include "hash/lsh.h"
 #include "overlay/overlay.h"
@@ -143,10 +143,9 @@ class ScenarioEngine {
   /// the thread that built the engine (see file comment) or twice.
   Result<ScenarioReport> Run();
 
-  /// True on the thread that constructed the engine.
-  bool on_owner_thread() const {
-    return std::this_thread::get_id() == owner_thread_;
-  }
+  /// True on the thread that owns the engine (the constructing
+  /// thread, re-pinned by Make after the build-and-move dance).
+  bool on_owner_thread() const { return owner_checker_.CalledOnOwnerThread(); }
 
   const ScenarioConfig& config() const { return config_; }
 
@@ -192,7 +191,7 @@ class ScenarioEngine {
   double now_ms_ = 0.0;
   double wave_time_ms_ = -1.0;
   bool ran_ = false;
-  std::thread::id owner_thread_;
+  ThreadChecker owner_checker_;
 
   /// Rolling recall window for the crash-wave recovery clock.
   std::vector<double> recent_recall_;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,7 +18,31 @@ namespace {
 
 using internal::GetLogThreshold;
 using internal::LogLevel;
+using internal::LogSink;
 using internal::SetLogThreshold;
+using internal::SwapLogSink;
+
+/// Appends every line to an owned buffer. Write() arrives with the
+/// sink mutex held, so the vector needs no lock of its own — that
+/// contract is exactly what the swap test below leans on.
+class CaptureSink : public LogSink {
+ public:
+  void Write(const std::string& line) override { lines_.push_back(line); }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// Restores stderr as the sink on scope exit.
+class SinkGuard {
+ public:
+  explicit SinkGuard(LogSink* sink) { previous_ = SwapLogSink(sink); }
+  ~SinkGuard() { SwapLogSink(previous_); }
+
+ private:
+  LogSink* previous_;
+};
 
 /// Restores the global threshold on scope exit so test order never
 /// leaks a changed default into other suites.
@@ -85,6 +110,65 @@ TEST(LoggingTest, ConcurrentLoggingAndThresholdFlipsAreRaceFree) {
     start = end + 1;
   }
   EXPECT_LE(lines, static_cast<size_t>(kThreads * kLinesPerThread * 2));
+}
+
+TEST(LoggingTest, SinkCapturesLinesAndRestores) {
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kInfo);
+  CaptureSink sink;
+  {
+    SinkGuard installed(&sink);
+    LOG_INFO() << "to the sink";
+    LOG_DEBUG() << "still filtered by threshold";
+  }
+  testing::internal::CaptureStderr();
+  LOG_INFO() << "back to stderr";
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_NE(sink.lines()[0].find("to the sink"), std::string::npos);
+  EXPECT_EQ(sink.lines()[0].back(), '\n') << "sink gets whole lines";
+  EXPECT_NE(err.find("back to stderr"), std::string::npos) << err;
+  EXPECT_EQ(err.find("to the sink"), std::string::npos) << err;
+}
+
+// Regression for the latent sink-swap hazard the annotated layer
+// closes: swapping the sink while other threads emit must neither
+// race (TSan checks that) nor let a Write land on the swapped-out
+// sink after SwapLogSink returned — the swapper destroys it
+// immediately, as this test does by scoping each CaptureSink to one
+// iteration of the loop.
+TEST(LoggingTest, SwappingSinksUnderConcurrentLoggingIsSafe) {
+  ThresholdGuard guard;
+  SetLogThreshold(LogLevel::kInfo);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop, t] {
+      for (int i = 0; !stop.load(); ++i) {
+        LOG_INFO() << "writer " << t << " line " << i;
+      }
+    });
+  }
+
+  testing::internal::CaptureStderr();  // absorb the between-sinks lines
+  size_t captured = 0;
+  for (int round = 0; round < 50; ++round) {
+    CaptureSink sink;
+    LogSink* prev = SwapLogSink(&sink);
+    LOG_INFO() << "round " << round;
+    SwapLogSink(prev);
+    // `sink` dies here; any late Write after the swap would be a
+    // use-after-free under ASan and a race under TSan.
+    captured += sink.lines().size();
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  (void)testing::internal::GetCapturedStderr();
+
+  EXPECT_GE(captured, 50u) << "each round's own line reaches its sink";
 }
 
 }  // namespace

@@ -170,6 +170,38 @@ TEST(RpcExecutorTest, ManyJobsAcrossWorkersAllComplete) {
   }
 }
 
+// Regression: Shutdown used to iterate and clear workers_ without the
+// lock, so two simultaneous callers (daemon teardown racing the
+// destructor) could join/clear the same std::thread concurrently. Now
+// exactly one caller swaps the pool out under mu_ and joins; the rest
+// wait on shutdown_done_. Runs under TSan in the check.sh/CI gate.
+TEST(RpcExecutorTest, ConcurrentShutdownIsSafe) {
+  for (int round = 0; round < 10; ++round) {
+    auto exec = Executor::Make({.workers = 3, .queue_depth = 64});
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+
+    constexpr uint64_t kJobs = 24;
+    for (uint64_t tag = 1; tag <= kJobs; ++tag) {
+      ASSERT_TRUE((*exec)->TrySubmit(tag, [tag] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        return std::to_string(tag);
+      }));
+    }
+
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 3; ++t) {
+      stoppers.emplace_back([&exec] { (*exec)->Shutdown(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+
+    // Every caller returned only after the join finished, so every
+    // admitted job completed and the pool is fully stopped.
+    EXPECT_EQ((*exec)->DrainCompletions().size(), kJobs);
+    EXPECT_EQ((*exec)->snapshot().completed, kJobs);
+    EXPECT_FALSE((*exec)->TrySubmit(99, [] { return std::string("late"); }));
+  }
+}
+
 }  // namespace
 }  // namespace rpc
 }  // namespace p2prange

@@ -4,9 +4,11 @@
 // envelopes, handlers, deadlines, the node service, the ring view —
 // must behave identically no matter which transport carries it.
 #include <gtest/gtest.h>
+#include <stdlib.h>
 
 #include <atomic>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "chord/ring.h"
@@ -437,6 +439,45 @@ TEST(NodeServiceTest, HandleIsSafeUnderConcurrentWorkers) {
             static_cast<uint64_t>(kThreads * kOpsPerThread));
   EXPECT_EQ(raw->counters().probes_served,
             static_cast<uint64_t>(kThreads * kOpsPerThread));
+}
+
+// Regression for the lock-discipline fix the annotation pass surfaced:
+// LoadDurable mutated the store and flushed it without holding
+// data_mu_. Harmless in practice only because Make() ran before the
+// first worker — the kind of implicit argument the gate exists to
+// retire. Recovery must still work end-to-end under the lock.
+TEST(NodeServiceTest, DurableRecoveryRestoresDescriptors) {
+  std::string tmpl = ::testing::TempDir() + "node_service_wal_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  ASSERT_NE(made, nullptr);
+  const std::string wal_dir = made;
+
+  NodeServiceOptions options;
+  options.wal_dir = wal_dir;
+  const NetAddress self = Addr(9, 90);
+  {
+    auto service = NodeService::Make(self, options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    ASSERT_TRUE((*service)
+                    ->InsertDescriptor(
+                        11, PartitionDescriptor{
+                                PartitionKey{"T", "a", Range(1, 5)}, self})
+                    .ok());
+    ASSERT_TRUE((*service)
+                    ->InsertDescriptor(
+                        12, PartitionDescriptor{
+                                PartitionKey{"T", "b", Range(6, 9)}, self})
+                    .ok());
+  }
+
+  // A fresh incarnation over the same wal_dir recovers both entries.
+  auto revived = NodeService::Make(self, options);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->recovery().descriptors_restored, 2u);
+  const auto entries = (*revived)->SnapshotEntries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, 11u);
+  EXPECT_EQ(entries[1].first, 12u);
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+// Corpus: P2P008 must fire on a blocking syscall issued while a
+// scoped lock from common/sync.h is held in the same block.
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/sync.h"
+
+namespace {
+p2prange::Mutex g_mu;
+p2prange::SharedMutex g_data_mu;
+int g_shared = 0;
+}  // namespace
+
+void SlowPeerStallsEveryone(pollfd* fds) {
+  p2prange::MutexLock lock(&g_mu);
+  (void)::poll(fds, 1, 10);  // line 16: poll while g_mu is held
+  ::usleep(100);             // line 17: sleep while g_mu is held
+  ++g_shared;
+}
+
+int ReaderBlocks(pollfd* fds) {
+  p2prange::ReaderMutexLock lock(&g_data_mu);
+  (void)::poll(fds, 1, 10);  // line 23: poll under a reader lock
+  return g_shared;
+}
+
+void CopyThenBlock(pollfd* fds) {
+  // The sanctioned shape: snapshot under the lock, block outside it.
+  int copy;
+  {
+    p2prange::MutexLock lock(&g_mu);
+    copy = g_shared;
+  }
+  (void)copy;
+  (void)::poll(fds, 1, 10);  // lock already released: not flagged
+}

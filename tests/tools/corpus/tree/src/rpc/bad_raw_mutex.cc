@@ -1,0 +1,28 @@
+// Corpus: P2P007 must fire on every raw std sync primitive in src/.
+#include <condition_variable>
+#include <mutex>
+
+#include "common/sync.h"
+
+namespace {
+std::mutex g_raw_mu;               // line 8: raw mutex
+std::condition_variable g_raw_cv;  // line 9: raw condition variable
+p2prange::Mutex g_mu;              // the annotated layer: not flagged
+int g_counter = 0;
+}  // namespace
+
+void Bump() {
+  std::lock_guard lock(g_raw_mu);  // line 15: raw scoped lock
+  ++g_counter;
+}
+
+void WaitNonEmpty() {
+  std::unique_lock lock(g_raw_mu);  // line 20: raw unique_lock
+  g_raw_cv.wait(lock, [] { return g_counter > 0; });
+}
+
+int BumpAnnotated() {
+  // The sanctioned spelling — the near-miss the rule must not flag.
+  p2prange::MutexLock lock(&g_mu);
+  return ++g_counter;
+}

@@ -7,10 +7,14 @@ Three assertions:
      expected.txt — same files, same rule ids, same line numbers — and
      exits 1. A linter that stops firing on a known-bad snippet is a
      broken gate, not a quiet success.
-  2. Every rule id (P2P000–P2P006) appears at least once in the corpus
+  2. Every rule id (P2P000–P2P008) appears at least once in the corpus
      output, so adding a rule without a corpus snippet fails loudly.
   3. On the corpus's clean file alone, the linter exits 0 with no
      output.
+  4. Spot checks for the concurrency rules: P2P007 and P2P008 fire on
+     the exact lines of their bad snippets, and their near-miss lines
+     (the annotated layer itself; blocking after the lock scope closes)
+     stay silent.
 
 Run directly or via ctest (registered in tests/CMakeLists.txt).
 """
@@ -26,7 +30,25 @@ CORPUS = os.path.join(HERE, "corpus", "tree")
 EXPECTED = os.path.join(HERE, "corpus", "expected.txt")
 
 ALL_RULES = ["P2P000", "P2P001", "P2P002", "P2P003", "P2P004", "P2P005",
-             "P2P006"]
+             "P2P006", "P2P007", "P2P008"]
+
+# Exact (file, line, rule) anchors for the concurrency rules — the
+# corpus comments label these lines, so a drifting linter (off-by-one
+# scope scan, missed primitive) fails here with a precise message.
+CONCURRENCY_ANCHORS = [
+    ("src/rpc/bad_raw_mutex.cc", 8, "P2P007"),    # std::mutex field
+    ("src/rpc/bad_raw_mutex.cc", 9, "P2P007"),    # std::condition_variable
+    ("src/rpc/bad_raw_mutex.cc", 15, "P2P007"),   # std::lock_guard
+    ("src/rpc/bad_raw_mutex.cc", 20, "P2P007"),   # std::unique_lock
+    ("src/rpc/bad_lock_io.cc", 16, "P2P008"),     # ::poll under MutexLock
+    ("src/rpc/bad_lock_io.cc", 17, "P2P008"),     # ::usleep under MutexLock
+    ("src/rpc/bad_lock_io.cc", 23, "P2P008"),     # ::poll under ReaderMutexLock
+]
+# Lines that must stay silent: the annotated-layer near-misses.
+CONCURRENCY_SILENT = [
+    ("src/rpc/bad_raw_mutex.cc", 26),  # p2prange::MutexLock is sanctioned
+    ("src/rpc/bad_lock_io.cc", 35),    # blocking after the lock scope closed
+]
 
 
 def fail(msg):
@@ -57,6 +79,16 @@ def main():
     for rule in ALL_RULES:
         if rule + " " not in out and "for " + rule not in out:
             fail("rule %s has no firing corpus snippet" % rule)
+
+    lines = out.splitlines()
+    for rel, line_no, rule in CONCURRENCY_ANCHORS:
+        prefix = "%s:%d: %s " % (rel, line_no, rule)
+        if not any(l.startswith(prefix) for l in lines):
+            fail("expected %s to fire at %s:%d" % (rule, rel, line_no))
+    for rel, line_no in CONCURRENCY_SILENT:
+        prefix = "%s:%d:" % (rel, line_no)
+        if any(l.startswith(prefix) for l in lines):
+            fail("near-miss line %s:%d must stay silent" % (rel, line_no))
 
     clean = os.path.join(CORPUS, "src", "core", "clean.cc")
     rc, out = run(["--root", CORPUS, clean])

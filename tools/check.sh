@@ -3,6 +3,11 @@
 #
 #   lint         p2prange_lint.py (repo invariants) + run_tidy.sh
 #                (clang-tidy when installed, NOLINT hygiene always)
+#   thread-safety clang build of src/ with -Wthread-safety promoted to
+#                an error: the annotated sync layer (common/sync.h) is
+#                machine-checked — a GUARDED_BY field read without its
+#                lock fails this stage. Skipped loudly when no clang++
+#                is installed (the analysis is clang-only).
 #   build+test   normal configuration with -DP2PRANGE_WERROR=ON —
 #                Status/Result are [[nodiscard]], so an unchecked error
 #                return is a build break here, not a warning
@@ -34,7 +39,7 @@
 #                transport/server and concurrent logging
 #
 # Usage: tools/check.sh [--lint-only] [--no-lint] [--no-sanitize]
-#                       [--no-tsan] [--no-bench-smoke]
+#                       [--no-tsan] [--no-bench-smoke] [--no-thread-safety]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,6 +53,7 @@ do_lint=1
 do_sanitize=1
 do_tsan=1
 do_bench_smoke=1
+do_thread_safety=1
 lint_only=0
 for arg in "$@"; do
   case "$arg" in
@@ -56,6 +62,7 @@ for arg in "$@"; do
     --no-sanitize) do_sanitize=0 ;;
     --no-tsan) do_tsan=0 ;;
     --no-bench-smoke) do_bench_smoke=0 ;;
+    --no-thread-safety) do_thread_safety=0 ;;
     -h | --help) usage ;;
     *)
       echo "check.sh: unknown flag: $arg" >&2
@@ -166,6 +173,18 @@ if [[ $do_lint -eq 1 ]]; then
   fi
 fi
 
+if [[ $do_thread_safety -eq 1 ]]; then
+  if command -v clang++ > /dev/null; then
+    echo "=== thread-safety analysis (clang -Wthread-safety as error) ==="
+    cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DP2PRANGE_THREAD_SAFETY=ON -DP2PRANGE_WERROR=ON
+    cmake --build build-tsafety -j
+  else
+    echo "=== thread-safety analysis SKIPPED: no clang++ on PATH ==="
+    echo "    (annotations still compile as no-ops; CI runs the real gate)"
+  fi
+fi
+
 echo "=== normal build + tests (with -Werror) ==="
 run_suite build
 
@@ -246,7 +265,7 @@ if [[ $do_tsan -eq 1 ]]; then
   cmake -B build-tsan -S . -DP2PRANGE_WERROR=ON -DP2PRANGE_SANITIZE=thread
   cmake --build build-tsan -j
   ./build-tsan/tests/p2prange_tests \
-    --gtest_filter='TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*:MembershipTest.*:LiveChurnTest.*:RpcExecutorTest.*:MultiOpTest.*:TcpHardeningTest.*:ChaosRingTest.*'
+    --gtest_filter='SyncTest.*:TcpTransportTest.*:LoggingTest.*:NodeServiceTest.*:RingClientTest.*:MembershipTest.*:LiveChurnTest.*:RpcExecutorTest.*:MultiOpTest.*:TcpHardeningTest.*:ChaosRingTest.*'
   # The load harness under TSan exercises the poll-loop/worker/doorbell
   # handoff in forked TSan-built daemons under real concurrent load.
   echo "=== tsan live-load smoke ==="

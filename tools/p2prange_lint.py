@@ -45,6 +45,26 @@ Rules
                               stalls the single poll loop the moment one
                               peer trickles, and a leaked fd crosses the
                               fork/exec boundary into child daemons.
+  P2P007 annotated-sync-only  Raw std synchronization primitives
+                              (std::mutex and friends, lock_guard,
+                              unique_lock, shared_lock, scoped_lock,
+                              condition_variable) anywhere under src/.
+                              Every lock is a p2prange::Mutex /
+                              MutexLock / CondVar (src/common/sync.h),
+                              so the clang thread-safety analysis and
+                              the runtime lock-rank checks see every
+                              acquisition in the tree. sync.h itself
+                              wraps the std primitives behind per-line
+                              suppressions — the only ones allowed.
+  P2P008 no-block-under-lock  In src/ and tools/: a blocking syscall
+                              (::poll, ::send, ::recv, ::connect,
+                              ::nanosleep, ::usleep) while a MutexLock /
+                              ReaderMutexLock / WriterMutexLock is in
+                              scope in the same block. A lock held
+                              across a syscall that can sleep turns one
+                              slow peer into a stalled worker pool:
+                              copy what you need under the lock, do the
+                              I/O outside it.
 
 Suppression: append `// p2plint: allow(P2PNNN): <reason>` to the
 offending line. The rule id is mandatory and the reason must be
@@ -221,6 +241,41 @@ RE_SOCKET_HEADER = re.compile(r'#\s*include\s*<sys/socket\.h>')
 RE_SOCKET_CALL = re.compile(r"::\s*socket\s*\(")
 RE_ACCEPT = re.compile(r"::\s*accept\s*\(")
 RE_ACCEPT4 = re.compile(r"::\s*accept4\s*\(")
+RE_STD_SYNC = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|condition_variable|condition_variable_any)\b")
+# A scoped-lock declaration: `MutexLock lock(&mu);` or brace-init.
+RE_SCOPED_LOCK = re.compile(r"\b(?:Reader|Writer)?MutexLock\s+\w+\s*[({]")
+RE_BLOCKING_CALL = re.compile(
+    r"::\s*(poll|send|recv|connect|nanosleep|usleep)\s*\(")
+
+
+def scoped_lock_span(stripped, m):
+    """(start, end) of the region where the lock declared at `m` is
+    held: from the end of its declaration to the close of the enclosing
+    block (the scoped lock releases in its destructor there)."""
+    i = m.end()
+    if stripped[i - 1] == "{":  # brace-init: skip to its matching close
+        depth = 1
+        while i < len(stripped) and depth:
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+            i += 1
+    start = i
+    depth = 0
+    while i < len(stripped):
+        c = stripped[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            if depth == 0:
+                break
+            depth -= 1
+        i += 1
+    return start, i
 
 
 def lint_file(root, rel):
@@ -317,6 +372,28 @@ def lint_file(root, rel):
                      "::accept4() without SOCK_NONBLOCK | SOCK_CLOEXEC; "
                      "the accepted fd must be non-blocking and "
                      "close-on-exec from birth")
+
+    if in_src:
+        for m in RE_STD_SYNC.finditer(stripped):
+            emit(m.start(), "P2P007",
+                 "raw std::%s; use the annotated layer in "
+                 "src/common/sync.h (Mutex/MutexLock/CondVar) so the "
+                 "thread-safety analysis and lock-rank checks see it"
+                 % m.group(1))
+
+    if in_src_or_tools:
+        # Deduped via set: nested lock scopes both covering one
+        # blocking call must not double-report it.
+        blocking_hits = set()
+        for m in RE_SCOPED_LOCK.finditer(stripped):
+            start, end = scoped_lock_span(stripped, m)
+            for b in RE_BLOCKING_CALL.finditer(stripped, start, end):
+                blocking_hits.add((b.start(), b.group(1)))
+        for pos, call in sorted(blocking_hits):
+            emit(pos, "P2P008",
+                 "::%s() while a scoped lock is held in this block; "
+                 "finish the I/O outside the lock (copy under it, "
+                 "block outside)" % call)
 
 
 def collect_files(root, explicit):
